@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction binaries: run a
+ * ServerSystem operating point and print paper-style rows.
+ */
+
+#ifndef HALSIM_BENCH_COMMON_HH
+#define HALSIM_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/server.hh"
+
+namespace halsim::bench {
+
+/** Default measurement windows (simulated time). */
+inline constexpr Tick kWarmup = 20 * kMs;
+inline constexpr Tick kMeasure = 100 * kMs;
+
+/** One constant-rate operating point. */
+inline core::RunResult
+runPoint(core::ServerConfig cfg, double rate_gbps, Tick warmup = kWarmup,
+         Tick measure = kMeasure)
+{
+    EventQueue eq;
+    core::ServerSystem sys(eq, cfg);
+    return sys.run(std::make_unique<net::ConstantRate>(rate_gbps), warmup,
+                   measure);
+}
+
+/** One datacenter-trace operating point (§VI traces, compressed). */
+inline core::RunResult
+runTrace(core::ServerConfig cfg, net::TraceKind trace,
+         Tick measure = 600 * kMs, Tick resample = 1 * kMs)
+{
+    EventQueue eq;
+    core::ServerSystem sys(eq, cfg);
+    return sys.run(net::makeTrace(trace), kWarmup, measure, resample);
+}
+
+/**
+ * Find the maximum sustainable throughput of a configuration by
+ * offering well above any profile and reading the delivered rate.
+ */
+inline core::RunResult
+runSaturated(core::ServerConfig cfg, double line_rate = 100.0)
+{
+    return runPoint(std::move(cfg), line_rate);
+}
+
+/** Section banner. */
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+} // namespace halsim::bench
+
+#endif // HALSIM_BENCH_COMMON_HH

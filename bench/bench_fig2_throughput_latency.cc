@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Fig. 2 reproduction: maximum throughput and p99 latency of the ten
+ * functions on the SNIC processor, normalized to the host processor
+ * (MTU frames). The cryptography bars additionally report the PKA
+ * micro-operation comparison the paper measures (RSA/DH/DSA ops on
+ * QAT vs the BF-2 PKA), and REM reports both rulesets.
+ *
+ * Paper anchors: host crypto accel 24-115x SNIC; compression host at
+ * 46-72% of SNIC; REM tea host +93% TP / -81% p99, REM lite SNIC 19x
+ * TP / -94% p99; software functions: SNIC 24-69% lower TP, 1.1-27x
+ * higher p99.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "funcs/calibration.hh"
+
+using namespace halsim;
+using namespace halsim::bench;
+using namespace halsim::core;
+
+namespace {
+
+struct Row
+{
+    const char *name;
+    double snic_tp, host_tp;
+    double snic_p99, host_p99;
+};
+
+Row
+measure(funcs::FunctionId fn, alg::RulesetKind ruleset)
+{
+    Row row{funcs::functionName(fn), 0, 0, 0, 0};
+
+    for (Mode mode : {Mode::SnicOnly, Mode::HostOnly}) {
+        ServerConfig cfg;
+        cfg.mode = mode;
+        cfg.function = fn;
+        cfg.rem_ruleset = ruleset;
+
+        // Saturate to find max throughput.
+        const auto sat = runPoint(cfg, 100.0, 10 * kMs, 60 * kMs);
+        // p99 at the maximum sustainable point (95% of max, like the
+        // paper's "packet rate achieving the maximum throughput").
+        const auto lat =
+            runPoint(cfg, sat.delivered_gbps * 0.95, 10 * kMs, 60 * kMs);
+        if (mode == Mode::SnicOnly) {
+            row.snic_tp = sat.delivered_gbps;
+            row.snic_p99 = lat.p99_us;
+        } else {
+            row.host_tp = sat.delivered_gbps;
+            row.host_p99 = lat.p99_us;
+        }
+    }
+    return row;
+}
+
+void
+print(const Row &r, const char *label = nullptr)
+{
+    std::printf("%-10s %8.2f %8.2f %8.3f | %9.1f %9.1f %8.2f\n",
+                label != nullptr ? label : r.name, r.snic_tp, r.host_tp,
+                r.snic_tp / r.host_tp, r.snic_p99, r.host_p99,
+                r.snic_p99 / r.host_p99);
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Fig. 2: max throughput and p99 latency, SNIC vs host (MTU)");
+    std::printf("%-10s %8s %8s %8s | %9s %9s %8s\n", "function",
+                "snicGbps", "hostGbps", "tpRatio", "snicP99us",
+                "hostP99us", "p99Ratio");
+
+    for (funcs::FunctionId fn : funcs::allFunctions()) {
+        if (fn == funcs::FunctionId::Rem)
+            continue;   // printed per ruleset below
+        print(measure(fn, alg::RulesetKind::Teakettle));
+    }
+    print(measure(funcs::FunctionId::Rem, alg::RulesetKind::Teakettle),
+          "rem-tea");
+    print(measure(funcs::FunctionId::Rem, alg::RulesetKind::SnortLiterals),
+          "rem-lite");
+
+    banner("Fig. 2 inset: PKA micro-operations (QAT vs BF-2 PKA)");
+    std::printf("%-10s %10s %10s %8s | %9s %9s %8s\n", "op", "host_ops",
+                "snic_ops", "tpRatio", "hostLatUs", "snicLatUs",
+                "latCut%");
+    std::size_t n = 0;
+    const auto *rows = funcs::pkaCalib(&n);
+    for (std::size_t i = 0; i < n; ++i) {
+        std::printf("%-10s %10.0f %10.0f %8.1f | %9.0f %9.0f %8.1f\n",
+                    rows[i].op, rows[i].host_ops_per_s,
+                    rows[i].snic_ops_per_s,
+                    rows[i].host_ops_per_s / rows[i].snic_ops_per_s,
+                    ticksToUs(rows[i].host_latency),
+                    ticksToUs(rows[i].snic_latency),
+                    100.0 * (1.0 - static_cast<double>(
+                                       rows[i].host_latency) /
+                                       rows[i].snic_latency));
+    }
+    return 0;
+}

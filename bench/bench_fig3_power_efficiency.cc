@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fig. 3 reproduction: average system power and energy efficiency
+ * (throughput / system power) of a server using the SNIC processor,
+ * normalized to a server using the host processor, each at its own
+ * maximum sustainable throughput point.
+ *
+ * Paper anchors: server idle 194 W, SNIC 29 W idle / 30-37 W loaded;
+ * SNIC contributes 0.5-2% of system power; host gives 73% higher EE
+ * on average for the software functions (throughput dominates EE).
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace halsim;
+using namespace halsim::bench;
+using namespace halsim::core;
+
+int
+main()
+{
+    banner("Fig. 3: system power and energy efficiency at max TP "
+           "(SNIC/host normalized)");
+    std::printf("%-8s %8s %8s %8s | %9s %9s %8s\n", "function", "snicW",
+                "hostW", "powRatio", "snicEE", "hostEE", "eeRatio");
+
+    double geo = 1.0;
+    int count = 0;
+    for (funcs::FunctionId fn : funcs::allFunctions()) {
+        ServerConfig snic_cfg, host_cfg;
+        snic_cfg.mode = Mode::SnicOnly;
+        host_cfg.mode = Mode::HostOnly;
+        snic_cfg.function = host_cfg.function = fn;
+
+        // Each platform measured at its own max throughput point.
+        const auto snic_sat = runPoint(snic_cfg, 100.0, 10 * kMs,
+                                       60 * kMs);
+        const auto host_sat = runPoint(host_cfg, 100.0, 10 * kMs,
+                                       60 * kMs);
+        const auto snic =
+            runPoint(snic_cfg, snic_sat.delivered_gbps * 0.95, 10 * kMs,
+                     60 * kMs);
+        const auto host =
+            runPoint(host_cfg, host_sat.delivered_gbps * 0.95, 10 * kMs,
+                     60 * kMs);
+
+        std::printf("%-8s %8.1f %8.1f %8.3f | %9.4f %9.4f %8.3f\n",
+                    funcs::functionName(fn), snic.system_power_w,
+                    host.system_power_w,
+                    snic.system_power_w / host.system_power_w,
+                    snic.energy_eff, host.energy_eff,
+                    snic.energy_eff / host.energy_eff);
+        geo *= host.energy_eff / snic.energy_eff;
+        ++count;
+    }
+    std::printf("\nhost EE advantage (geomean over functions): %.1f%%\n",
+                100.0 * (std::pow(geo, 1.0 / count) - 1.0));
+    std::printf("paper: host ~73%% higher EE on average for "
+                "software-only functions\n");
+    return 0;
+}

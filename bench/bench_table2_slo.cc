@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Table II reproduction: the SLO throughput of the SNIC processor
+ * (max rate it sustains without inflating p99) and the system-wide
+ * energy efficiency of the SNIC processor at that point, normalized
+ * to the host processor at the same rate.
+ *
+ * Paper anchors (SLO Gbps / EE ratio): KVS 3/1.19, Count 58/1.41,
+ * EMA 6/1.17, NAT 41/1.31, BM25 1/1.18, KNN 7/1.17, Bayes 0.1/1.14,
+ * REM 30/1.38, Crypto 28/1.33, Comp 43/1.55.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace halsim;
+using namespace halsim::bench;
+using namespace halsim::core;
+
+namespace {
+
+/** p99 at a given rate on the SNIC. */
+double
+p99At(funcs::FunctionId fn, double rate)
+{
+    ServerConfig cfg;
+    cfg.mode = Mode::SnicOnly;
+    cfg.function = fn;
+    return runPoint(cfg, rate, 10 * kMs, 50 * kMs).p99_us;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Table II: SNIC SLO throughput and normalized EE");
+    std::printf("%-8s %10s %10s | %8s %8s %8s\n", "function", "sloGbps",
+                "paperSLO", "snicEE", "hostEE", "EEratio");
+
+    const struct
+    {
+        funcs::FunctionId fn;
+        double paper_slo;
+        double paper_ee;
+    } paper[] = {
+        {funcs::FunctionId::Kvs, 3.0, 1.19},
+        {funcs::FunctionId::Count, 58.0, 1.41},
+        {funcs::FunctionId::Ema, 6.0, 1.17},
+        {funcs::FunctionId::Nat, 41.0, 1.31},
+        {funcs::FunctionId::Bm25, 1.0, 1.18},
+        {funcs::FunctionId::Knn, 7.0, 1.17},
+        {funcs::FunctionId::Bayes, 0.1, 1.14},
+        {funcs::FunctionId::Rem, 30.0, 1.38},
+        {funcs::FunctionId::Crypto, 28.0, 1.33},
+        {funcs::FunctionId::Compress, 43.0, 1.55},
+    };
+
+    for (const auto &row : paper) {
+        // Find the SNIC's max sustainable rate, then walk down until
+        // p99 stops inflating: the knee of the latency curve.
+        ServerConfig snic_cfg;
+        snic_cfg.mode = Mode::SnicOnly;
+        snic_cfg.function = row.fn;
+        const auto sat = runPoint(snic_cfg, 100.0, 10 * kMs, 50 * kMs);
+        const double max_tp = sat.delivered_gbps;
+
+        // Baseline p99 at 30% load; SLO = highest rate with p99 under
+        // 3x that baseline (bisection).
+        const double base_p99 =
+            std::max(p99At(row.fn, std::max(0.03, max_tp * 0.3)), 1.0);
+        double lo = max_tp * 0.3, hi = std::min(max_tp * 1.05, 100.0);
+        for (int it = 0; it < 7; ++it) {
+            const double mid = 0.5 * (lo + hi);
+            if (p99At(row.fn, mid) <= 3.0 * base_p99)
+                lo = mid;
+            else
+                hi = mid;
+        }
+        const double slo = lo;
+
+        // EE of both processors at the SLO point.
+        const auto snic = runPoint(snic_cfg, slo, 10 * kMs, 50 * kMs);
+        ServerConfig host_cfg;
+        host_cfg.mode = Mode::HostOnly;
+        host_cfg.function = row.fn;
+        const auto host = runPoint(host_cfg, slo, 10 * kMs, 50 * kMs);
+
+        std::printf("%-8s %10.2f %10.2f | %8.4f %8.4f %8.2f   "
+                    "(paper %.2f)\n",
+                    funcs::functionName(row.fn), slo, row.paper_slo,
+                    snic.energy_eff, host.energy_eff,
+                    snic.energy_eff / host.energy_eff, row.paper_ee);
+    }
+    return 0;
+}

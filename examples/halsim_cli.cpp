@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Command-line driver: run any mode/function/traffic combination and
+ * print the metrics, without writing code. The Swiss-army knife for
+ * exploring the model.
+ *
+ *   halsim_cli [--mode host|snic|hal|slb] [--function NAME]
+ *              [--second NAME]            two-stage pipeline
+ *              [--rate GBPS | --trace web|cache|hadoop]
+ *              [--frame BYTES] [--measure MS] [--warmup MS]
+ *              [--seed N] [--split token|rr|flow] [--dvfs]
+ *              [--no-coherence] [--slb-cores N] [--slb-th GBPS]
+ *              [--ruleset tea|lite]
+ *
+ * Examples:
+ *   halsim_cli --mode hal --function nat --rate 80
+ *   halsim_cli --mode snic --function rem --ruleset lite --trace hadoop
+ *   halsim_cli --mode hal --function count --second crypto --trace cache
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/server.hh"
+
+using namespace halsim;
+using namespace halsim::core;
+
+namespace {
+
+std::optional<funcs::FunctionId>
+parseFunction(const std::string &name)
+{
+    for (int i = 0; i < static_cast<int>(funcs::kFunctionCount); ++i) {
+        const auto id = static_cast<funcs::FunctionId>(i);
+        if (name == funcs::functionName(id))
+            return id;
+    }
+    return std::nullopt;
+}
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--mode host|snic|hal|slb|slb-host] [--function "
+                 "fwd|kvs|count|ema|nat|bm25|knn|bayes|rem|crypto|comp]\n"
+                 "  [--second NAME] [--rate GBPS | --trace "
+                 "web|cache|hadoop] [--frame BYTES]\n"
+                 "  [--measure MS] [--warmup MS] [--seed N]\n"
+                 "  [--split token|rr|flow] [--dvfs] [--no-coherence]\n"
+                 "  [--slb-cores N] [--slb-th GBPS] [--ruleset tea|lite]\n",
+                 argv0);
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ServerConfig cfg;
+    double rate = 40.0;
+    std::optional<net::TraceKind> trace;
+    Tick measure = 200 * kMs;
+    Tick warmup = 20 * kMs;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc)
+                usage(argv[0]);
+            return argv[i];
+        };
+        if (arg == "--mode") {
+            const std::string m = next();
+            if (m == "host")
+                cfg.mode = Mode::HostOnly;
+            else if (m == "snic")
+                cfg.mode = Mode::SnicOnly;
+            else if (m == "hal")
+                cfg.mode = Mode::Hal;
+            else if (m == "slb")
+                cfg.mode = Mode::Slb;
+            else if (m == "slb-host")
+                cfg.mode = Mode::HostSlb;
+            else
+                usage(argv[0]);
+        } else if (arg == "--function") {
+            const auto f = parseFunction(next());
+            if (!f)
+                usage(argv[0]);
+            cfg.function = *f;
+        } else if (arg == "--second") {
+            const auto f = parseFunction(next());
+            if (!f)
+                usage(argv[0]);
+            cfg.pipeline_second = *f;
+        } else if (arg == "--rate") {
+            rate = std::atof(next().c_str());
+        } else if (arg == "--trace") {
+            const std::string t = next();
+            if (t == "web")
+                trace = net::TraceKind::Web;
+            else if (t == "cache")
+                trace = net::TraceKind::Cache;
+            else if (t == "hadoop")
+                trace = net::TraceKind::Hadoop;
+            else
+                usage(argv[0]);
+        } else if (arg == "--frame") {
+            cfg.frame_bytes =
+                static_cast<std::size_t>(std::atoi(next().c_str()));
+        } else if (arg == "--measure") {
+            measure = static_cast<Tick>(std::atoi(next().c_str())) * kMs;
+        } else if (arg == "--warmup") {
+            warmup = static_cast<Tick>(std::atoi(next().c_str())) * kMs;
+        } else if (arg == "--seed") {
+            cfg.seed = static_cast<std::uint64_t>(
+                std::atoll(next().c_str()));
+        } else if (arg == "--split") {
+            const std::string s = next();
+            if (s == "token")
+                cfg.split_mode = SplitMode::TokenBucket;
+            else if (s == "rr")
+                cfg.split_mode = SplitMode::RoundRobin;
+            else if (s == "flow")
+                cfg.split_mode = SplitMode::FlowAffinity;
+            else
+                usage(argv[0]);
+        } else if (arg == "--dvfs") {
+            cfg.snic_dvfs = true;
+        } else if (arg == "--no-coherence") {
+            cfg.coherent_state = false;
+        } else if (arg == "--slb-cores") {
+            cfg.slb_cores =
+                static_cast<unsigned>(std::atoi(next().c_str()));
+        } else if (arg == "--slb-th") {
+            cfg.slb_fwd_th_gbps = std::atof(next().c_str());
+        } else if (arg == "--ruleset") {
+            const std::string r = next();
+            if (r == "tea")
+                cfg.rem_ruleset = alg::RulesetKind::Teakettle;
+            else if (r == "lite")
+                cfg.rem_ruleset = alg::RulesetKind::SnortLiterals;
+            else
+                usage(argv[0]);
+        } else {
+            usage(argv[0]);
+        }
+    }
+
+    EventQueue eq;
+    ServerSystem sys(eq, cfg);
+    const RunResult r =
+        trace ? sys.run(net::makeTrace(*trace), warmup, measure, 2 * kMs)
+              : sys.run(std::make_unique<net::ConstantRate>(rate), warmup,
+                        measure);
+
+    std::printf("mode=%s function=%s%s%s traffic=%s\n",
+                modeName(cfg.mode), funcs::functionName(cfg.function),
+                cfg.pipeline_second ? "+" : "",
+                cfg.pipeline_second
+                    ? funcs::functionName(*cfg.pipeline_second)
+                    : "",
+                trace ? net::traceName(*trace) : "constant");
+    std::printf("offered      %8.2f Gbps\n", r.offered_gbps);
+    std::printf("delivered    %8.2f Gbps (max window %.2f)\n",
+                r.delivered_gbps, r.max_window_gbps);
+    std::printf("p99 latency  %8.1f us (mean %.1f)\n", r.p99_us,
+                r.mean_us);
+    std::printf("system power %8.1f W (dynamic %.1f)\n",
+                r.system_power_w, r.dynamic_power_w);
+    std::printf("energy eff.  %8.4f Gbps/W\n", r.energy_eff);
+    std::printf("loss         %8.2f %%\n", 100.0 * r.lossFraction());
+    std::printf("split        %llu snic / %llu host\n",
+                static_cast<unsigned long long>(r.snic_frames),
+                static_cast<unsigned long long>(r.host_frames));
+    if (cfg.mode == Mode::Hal)
+        std::printf("final FwdTh  %8.1f Gbps\n", r.final_fwd_th_gbps);
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Scenario: a 100 Gbps NAT gateway at the edge of a rack, deciding
+ * between three deployments — host-only (classic DPDK on the server
+ * CPU), SNIC-only (offload everything to the BlueField), and HAL
+ * (cooperative). Sweeps the offered rate the way a capacity planner
+ * would and prints where each deployment breaks.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "core/server.hh"
+
+using namespace halsim;
+using namespace halsim::core;
+
+namespace {
+
+RunResult
+run(Mode mode, double rate_gbps)
+{
+    ServerConfig cfg;
+    cfg.mode = mode;
+    cfg.function = funcs::FunctionId::Nat;
+    // A production gateway: the 10 K-entry translation table.
+    EventQueue eq;
+    ServerSystem sys(eq, cfg);
+    return sys.run(std::make_unique<net::ConstantRate>(rate_gbps),
+                   20 * kMs, 100 * kMs);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("NAT gateway deployment study (MTU frames)\n");
+    std::printf("%5s |", "Gbps");
+    for (const char *m : {"host-only", "snic-only", "hal"})
+        std::printf(" %9s: %6s %9s %7s %7s |", m, "tp", "p99us", "W",
+                    "loss%");
+    std::printf("\n");
+
+    for (double rate : {10.0, 25.0, 40.0, 55.0, 70.0, 85.0, 100.0}) {
+        std::printf("%5.0f |", rate);
+        for (Mode mode : {Mode::HostOnly, Mode::SnicOnly, Mode::Hal}) {
+            const auto r = run(mode, rate);
+            std::printf(" %17.1f %9.1f %7.1f %6.1f%% |",
+                        r.delivered_gbps, r.p99_us, r.system_power_w,
+                        100.0 * r.lossFraction());
+        }
+        std::printf("\n");
+    }
+
+    std::printf(
+        "\nreading the table:\n"
+        " - host-only is safe at every rate but burns ~70 W of CPU "
+        "around the clock;\n"
+        " - snic-only is the cheapest below ~41 Gbps and useless "
+        "beyond it (drops, ms-scale tails);\n"
+        " - HAL gives snic-only's power at low rates and host-only's "
+        "capacity at high rates.\n");
+    return 0;
+}

@@ -1,0 +1,158 @@
+#include "alg/aho_corasick.hh"
+
+#include <cassert>
+#include <queue>
+
+namespace halsim::alg {
+
+namespace {
+
+/** Trie node used only during construction. */
+struct TrieNode
+{
+    std::uint32_t next[256];
+    std::uint32_t fail = 0;
+    std::vector<std::uint32_t> out;
+
+    TrieNode()
+    {
+        for (auto &n : next)
+            n = 0;
+    }
+};
+
+} // namespace
+
+AhoCorasick::AhoCorasick(const std::vector<std::string> &patterns)
+{
+    build(patterns);
+}
+
+void
+AhoCorasick::build(const std::vector<std::string> &patterns)
+{
+    patternLengths_.reserve(patterns.size());
+    for (const auto &p : patterns)
+        patternLengths_.push_back(static_cast<std::uint32_t>(p.size()));
+
+    // 1. Trie of all patterns. State 0 is the root; next[c] == 0 means
+    //    "no edge" during this phase (the root never appears as a
+    //    child).
+    std::vector<TrieNode> trie(1);
+    for (std::uint32_t pi = 0; pi < patterns.size(); ++pi) {
+        const std::string &p = patterns[pi];
+        assert(!p.empty() && "empty pattern is not allowed");
+        std::uint32_t s = 0;
+        for (unsigned char c : p) {
+            if (trie[s].next[c] == 0) {
+                trie[s].next[c] = static_cast<std::uint32_t>(trie.size());
+                trie.emplace_back();
+            }
+            s = trie[s].next[c];
+        }
+        trie[s].out.push_back(pi);
+    }
+
+    // 2. BFS to assign failure links and merge outputs along them.
+    std::queue<std::uint32_t> bfs;
+    for (int c = 0; c < 256; ++c) {
+        const std::uint32_t s = trie[0].next[c];
+        if (s != 0) {
+            trie[s].fail = 0;
+            bfs.push(s);
+        }
+    }
+    while (!bfs.empty()) {
+        const std::uint32_t u = bfs.front();
+        bfs.pop();
+        for (int c = 0; c < 256; ++c) {
+            const std::uint32_t v = trie[u].next[c];
+            if (v == 0)
+                continue;
+            // Follow fails until a state with an edge on c (or root).
+            std::uint32_t f = trie[u].fail;
+            while (f != 0 && trie[f].next[c] == 0)
+                f = trie[f].fail;
+            std::uint32_t target = trie[f].next[c];
+            if (target == v)   // only when f is root and the edge is v
+                target = 0;
+            trie[v].fail = target;
+            const auto &fo = trie[trie[v].fail].out;
+            trie[v].out.insert(trie[v].out.end(), fo.begin(), fo.end());
+            bfs.push(v);
+        }
+    }
+
+    // 3. Flatten to a dense delta function: delta[s][c] follows the
+    //    goto edge if present, else the failure chain's edge.
+    const std::size_t n = trie.size();
+    delta_.assign(n * 256, 0);
+    outputs_.resize(n);
+    for (std::uint32_t s = 0; s < n; ++s) {
+        const auto begin = static_cast<std::uint32_t>(matchList_.size());
+        matchList_.insert(matchList_.end(), trie[s].out.begin(),
+                          trie[s].out.end());
+        outputs_[s] = {begin, static_cast<std::uint32_t>(matchList_.size())};
+    }
+    // Root edges first (missing edge loops at root).
+    for (int c = 0; c < 256; ++c)
+        delta_[c] = trie[0].next[c];
+    std::queue<std::uint32_t> bfs2;
+    for (int c = 0; c < 256; ++c)
+        if (trie[0].next[c] != 0)
+            bfs2.push(trie[0].next[c]);
+    while (!bfs2.empty()) {
+        const std::uint32_t u = bfs2.front();
+        bfs2.pop();
+        for (int c = 0; c < 256; ++c) {
+            const std::uint32_t v = trie[u].next[c];
+            if (v != 0) {
+                delta_[u * 256 + c] = v;
+                bfs2.push(v);
+            } else {
+                delta_[u * 256 + c] = delta_[trie[u].fail * 256 + c];
+            }
+        }
+    }
+}
+
+std::uint64_t
+AhoCorasick::countMatches(std::span<const std::uint8_t> data) const
+{
+    std::uint64_t count = 0;
+    std::uint32_t s = 0;
+    for (std::uint8_t c : data) {
+        s = delta_[s * 256 + c];
+        count += outputs_[s].second - outputs_[s].first;
+    }
+    return count;
+}
+
+std::vector<Match>
+AhoCorasick::findAll(std::span<const std::uint8_t> data) const
+{
+    std::vector<Match> result;
+    std::uint32_t s = 0;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        s = delta_[s * 256 + data[i]];
+        for (std::uint32_t k = outputs_[s].first; k < outputs_[s].second;
+             ++k) {
+            result.push_back(Match{matchList_[k], i + 1});
+        }
+    }
+    return result;
+}
+
+bool
+AhoCorasick::contains(std::span<const std::uint8_t> data) const
+{
+    std::uint32_t s = 0;
+    for (std::uint8_t c : data) {
+        s = delta_[s * 256 + c];
+        if (outputs_[s].second != outputs_[s].first)
+            return true;
+    }
+    return false;
+}
+
+} // namespace halsim::alg

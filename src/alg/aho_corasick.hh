@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Aho-Corasick multi-pattern matcher: the regular-expression-matching
+ * (REM) substrate. The paper's REM function runs literal rulesets
+ * (teakettle_2500, snort_literals) through the BF-2 RXP accelerator
+ * or Hyperscan on the host; both engines reduce literal rulesets to
+ * exactly this automaton.
+ */
+
+#ifndef HALSIM_ALG_AHO_CORASICK_HH
+#define HALSIM_ALG_AHO_CORASICK_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace halsim::alg {
+
+/** One pattern hit: which pattern ended at which offset. */
+struct Match
+{
+    std::uint32_t pattern;   //!< index into the rule list
+    std::size_t end;         //!< offset one past the last byte
+
+    bool
+    operator==(const Match &o) const
+    {
+        return pattern == o.pattern && end == o.end;
+    }
+};
+
+/**
+ * Byte-alphabet Aho-Corasick automaton with goto/fail links flattened
+ * into a dense delta table for scan speed.
+ */
+class AhoCorasick
+{
+  public:
+    /** Build the automaton for the given literal patterns. */
+    explicit AhoCorasick(const std::vector<std::string> &patterns);
+
+    /** Number of automaton states (hardware-cost proxy). */
+    std::size_t stateCount() const { return delta_.size() / 256; }
+
+    std::size_t patternCount() const { return patternLengths_.size(); }
+
+    /** Count all matches (including overlaps) in @p data. */
+    std::uint64_t countMatches(std::span<const std::uint8_t> data) const;
+
+    /** Collect all matches; order is by end offset, then pattern. */
+    std::vector<Match> findAll(std::span<const std::uint8_t> data) const;
+
+    /** True when any pattern occurs in @p data (early exit). */
+    bool contains(std::span<const std::uint8_t> data) const;
+
+  private:
+    void build(const std::vector<std::string> &patterns);
+
+    /** delta_[state * 256 + byte] -> next state. */
+    std::vector<std::uint32_t> delta_;
+    /** outputs_[state] -> indices into matchList_ (begin, end). */
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> outputs_;
+    std::vector<std::uint32_t> matchList_;   //!< pattern ids, grouped
+    std::vector<std::uint32_t> patternLengths_;
+};
+
+} // namespace halsim::alg
+
+#endif // HALSIM_ALG_AHO_CORASICK_HH

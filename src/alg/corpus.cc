@@ -1,0 +1,152 @@
+#include "alg/corpus.hh"
+
+#include <array>
+#include <cstring>
+
+#include "sim/rng.hh"
+
+namespace halsim::alg {
+
+namespace {
+
+const std::array<const char *, 48> kWords = {
+    "the", "of", "packet", "network", "load", "balance", "server",
+    "queue", "switch", "kernel", "driver", "buffer", "stream",
+    "function", "latency", "through", "energy", "power", "core",
+    "cache", "memory", "socket", "thread", "burst", "flow", "rate",
+    "limit", "policy", "monitor", "director", "merger", "host",
+    "accelerator", "hardware", "software", "system", "balancer",
+    "traffic", "client", "response", "request", "header", "payload",
+    "checksum", "address", "protocol", "datacenter", "efficiency",
+};
+
+const std::array<const char *, 12> kPhrases = {
+    "the quick brown fox jumps over the lazy dog ",
+    "system-wide energy efficiency under tail latency constraints ",
+    "hardware-assisted load balancing for cooperative computing ",
+    "packets per second at one hundred gigabits ",
+    "receive queue occupancy above the high watermark ",
+    "forwarding threshold set by the load balancing policy ",
+    "the excess packets are directed to the host processor ",
+    "the embedded switch forwards packets to their destinations ",
+    "incremental checksum update on the modified header field ",
+    "round robin selection of packets at the forwarding rate ",
+    "deflate compression with a thirty two kilobyte window ",
+    "modular exponentiation over the oakley prime group ",
+};
+
+} // namespace
+
+std::vector<std::uint8_t>
+makeSilesiaLike(std::size_t bytes, std::uint64_t seed)
+{
+    halsim::Rng rng(seed ^ 0x51E51A);
+    std::vector<std::uint8_t> out;
+    out.reserve(bytes + 64);
+    while (out.size() < bytes) {
+        const double pick = rng.uniform();
+        if (pick < 0.45) {
+            // Repeated phrase: long-range matches for LZ77.
+            const char *p = kPhrases[rng.uniformInt(kPhrases.size())];
+            out.insert(out.end(), p, p + std::strlen(p));
+        } else if (pick < 0.85) {
+            // Word salad: short-range entropy.
+            for (int i = 0; i < 8; ++i) {
+                const char *w = kWords[rng.uniformInt(kWords.size())];
+                out.insert(out.end(), w, w + std::strlen(w));
+                out.push_back(' ');
+            }
+        } else {
+            // Structured binary record: id, flags, padding run.
+            std::uint8_t rec[24] = {};
+            const std::uint64_t id = rng.next();
+            std::memcpy(rec, &id, 8);
+            rec[8] = static_cast<std::uint8_t>(rng.uniformInt(4));
+            out.insert(out.end(), rec, rec + sizeof(rec));
+        }
+    }
+    out.resize(bytes);
+    return out;
+}
+
+const char *
+rulesetName(RulesetKind k)
+{
+    switch (k) {
+      case RulesetKind::Teakettle: return "teakettle_2500";
+      case RulesetKind::SnortLiterals: return "snort_literals";
+    }
+    return "?";
+}
+
+std::vector<std::string>
+makeRuleset(RulesetKind kind, std::size_t count, std::uint64_t seed)
+{
+    halsim::Rng rng(seed ^ (kind == RulesetKind::Teakettle ? 0x7EA : 0x5A0));
+    std::vector<std::string> rules;
+    rules.reserve(count);
+    const char *hexdig = "0123456789abcdef";
+    while (rules.size() < count) {
+        std::string r;
+        if (kind == RulesetKind::Teakettle) {
+            // Short pseudo-words: 4-8 lowercase letters, distinctive
+            // enough not to fire on ordinary text constantly.
+            const std::size_t len = 4 + rng.uniformInt(5);
+            for (std::size_t i = 0; i < len; ++i)
+                r.push_back(
+                    static_cast<char>('a' + rng.uniformInt(26)));
+            // Inject a rare digraph so hit rates stay controllable.
+            r[1] = 'q';
+            r[2] = static_cast<char>('u' + rng.uniformInt(3));
+        } else {
+            // Longer security-style tokens: protocol verbs, hex
+            // fragments, path traversals.
+            switch (rng.uniformInt(3)) {
+              case 0:
+                r = "cmd=";
+                for (int i = 0; i < 10; ++i)
+                    r.push_back(
+                        static_cast<char>('A' + rng.uniformInt(26)));
+                break;
+              case 1:
+                r = "\\x90\\x";
+                for (int i = 0; i < 12; ++i)
+                    r.push_back(hexdig[rng.uniformInt(16)]);
+                break;
+              default:
+                r = "../../";
+                for (int i = 0; i < 8; ++i)
+                    r.push_back(
+                        static_cast<char>('a' + rng.uniformInt(26)));
+                r += "/etc";
+                break;
+            }
+        }
+        rules.push_back(std::move(r));
+    }
+    return rules;
+}
+
+std::vector<std::uint8_t>
+makeScanStream(std::size_t bytes, const std::vector<std::string> &rules,
+               double hit_rate, std::uint64_t seed)
+{
+    halsim::Rng rng(seed ^ 0x5CA4);
+    std::vector<std::uint8_t> out;
+    out.reserve(bytes + 64);
+    while (out.size() < bytes) {
+        if (!rules.empty() && rng.chance(hit_rate)) {
+            const std::string &r = rules[rng.uniformInt(rules.size())];
+            out.insert(out.end(), r.begin(), r.end());
+        }
+        for (int i = 0; i < 8; ++i) {
+            const char *w = kWords[rng.uniformInt(kWords.size())];
+            out.insert(out.end(), w, w + std::strlen(w));
+            out.push_back(' ');
+        }
+    }
+    out.resize(bytes);
+    return out;
+}
+
+} // namespace halsim::alg

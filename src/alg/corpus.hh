@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Deterministic synthetic corpora standing in for the paper's
+ * datasets: a Silesia-mozilla-like mixed text/binary stream for the
+ * compression function, and literal rulesets shaped like Hyperscan's
+ * teakettle_2500 (many short patterns) and snort_literals (fewer,
+ * longer, security-flavoured patterns) for REM.
+ */
+
+#ifndef HALSIM_ALG_CORPUS_HH
+#define HALSIM_ALG_CORPUS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace halsim::alg {
+
+/**
+ * Mixed text/binary data with Silesia-like compressibility (roughly
+ * 2.5-3x with deflate): English-like word stream with repeated
+ * phrases, interleaved with structured binary records.
+ *
+ * @param bytes  output size
+ * @param seed   deterministic stream selector
+ */
+std::vector<std::uint8_t> makeSilesiaLike(std::size_t bytes,
+                                          std::uint64_t seed = 1);
+
+/** Ruleset flavors, mirroring the paper's REM configurations. */
+enum class RulesetKind
+{
+    Teakettle,      //!< 'tea': ~2500 short simple literals
+    SnortLiterals,  //!< 'lite': longer, more selective literals
+};
+
+const char *rulesetName(RulesetKind k);
+
+/**
+ * Deterministic literal ruleset of the given flavor.
+ * Teakettle: @p count short (4-8 byte) lowercase words.
+ * SnortLiterals: @p count longer (8-24 byte) mixed tokens
+ * resembling protocol strings and shellcode fragments.
+ */
+std::vector<std::string> makeRuleset(RulesetKind kind,
+                                     std::size_t count = 2500,
+                                     std::uint64_t seed = 7);
+
+/**
+ * A payload stream for REM scans: mostly innocuous text with a
+ * controllable rate of embedded rule hits.
+ *
+ * @param bytes      output size
+ * @param rules      the ruleset to embed hits from
+ * @param hit_rate   approximate fraction of 64-byte windows
+ *                   containing a planted match
+ */
+std::vector<std::uint8_t> makeScanStream(
+    std::size_t bytes, const std::vector<std::string> &rules,
+    double hit_rate, std::uint64_t seed = 11);
+
+} // namespace halsim::alg
+
+#endif // HALSIM_ALG_CORPUS_HH

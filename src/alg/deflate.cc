@@ -1,0 +1,832 @@
+#include "alg/deflate.hh"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cstring>
+#include <queue>
+#include <stdexcept>
+
+namespace halsim::alg {
+
+namespace {
+
+// RFC 1951 length/distance code tables.
+constexpr int kMinMatch = 3;
+constexpr int kMaxMatch = 258;
+constexpr int kWindowSize = 32768;
+
+constexpr std::uint16_t kLengthBase[29] = {
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43,
+    51, 59, 67, 83, 99, 115, 131, 163, 195, 227, 258};
+constexpr std::uint8_t kLengthExtra[29] = {
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4,
+    4, 4, 5, 5, 5, 5, 0};
+constexpr std::uint16_t kDistBase[30] = {
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257,
+    385, 513, 769, 1025, 1537, 2049, 3073, 4097, 6145, 8193, 12289,
+    16385, 24577};
+constexpr std::uint8_t kDistExtra[30] = {
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9,
+    10, 10, 11, 11, 12, 12, 13, 13};
+
+/** Order in which code-length-code lengths are transmitted. */
+constexpr std::uint8_t kClPermutation[19] = {
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15};
+
+constexpr int kLitLenSymbols = 286;
+constexpr int kDistSymbols = 30;
+
+/** Length (bytes) -> length code index 0..28. */
+int
+lengthCode(int len)
+{
+    assert(len >= kMinMatch && len <= kMaxMatch);
+    for (int c = 28; c >= 0; --c)
+        if (len >= kLengthBase[c])
+            return c;
+    return 0;
+}
+
+/** Distance -> distance code index 0..29. */
+int
+distCode(int dist)
+{
+    assert(dist >= 1 && dist <= kWindowSize);
+    for (int c = 29; c >= 0; --c)
+        if (dist >= kDistBase[c])
+            return c;
+    return 0;
+}
+
+/** LSB-first bit writer per the DEFLATE bit packing rules. */
+class BitWriter
+{
+  public:
+    /** Append @p nbits of @p value, LSB first. */
+    void
+    writeBits(std::uint32_t value, int nbits)
+    {
+        acc_ |= static_cast<std::uint64_t>(
+                    value & ((nbits < 32 ? (1u << nbits) : 0u) - 1u))
+                << filled_;
+        filled_ += nbits;
+        while (filled_ >= 8) {
+            out_.push_back(static_cast<std::uint8_t>(acc_));
+            acc_ >>= 8;
+            filled_ -= 8;
+        }
+    }
+
+    /** Append a Huffman code: code bits are emitted MSB-first. */
+    void
+    writeCode(std::uint32_t code, int nbits)
+    {
+        std::uint32_t rev = 0;
+        for (int i = 0; i < nbits; ++i)
+            rev |= ((code >> i) & 1u) << (nbits - 1 - i);
+        writeBits(rev, nbits);
+    }
+
+    /** Pad to a byte boundary with zero bits. */
+    void
+    align()
+    {
+        if (filled_ > 0) {
+            out_.push_back(static_cast<std::uint8_t>(acc_));
+            acc_ = 0;
+            filled_ = 0;
+        }
+    }
+
+    void
+    writeByte(std::uint8_t b)
+    {
+        assert(filled_ == 0);
+        out_.push_back(b);
+    }
+
+    /** Total bits emitted so far (for block-type cost comparison). */
+    std::size_t
+    bitCount() const
+    {
+        return out_.size() * 8 + static_cast<std::size_t>(filled_);
+    }
+
+    std::vector<std::uint8_t>
+    take()
+    {
+        align();
+        return std::move(out_);
+    }
+
+  private:
+    std::vector<std::uint8_t> out_;
+    std::uint64_t acc_ = 0;
+    int filled_ = 0;
+};
+
+/** LSB-first bit reader. */
+class BitReader
+{
+  public:
+    explicit BitReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+    std::uint32_t
+    readBits(int nbits)
+    {
+        while (filled_ < nbits) {
+            if (pos_ >= data_.size())
+                throw std::runtime_error("deflate: truncated stream");
+            acc_ |= static_cast<std::uint64_t>(data_[pos_++]) << filled_;
+            filled_ += 8;
+        }
+        const std::uint32_t v =
+            static_cast<std::uint32_t>(acc_ & ((1u << nbits) - 1));
+        acc_ >>= nbits;
+        filled_ -= nbits;
+        return v;
+    }
+
+    /** Read one Huffman-coded bit (same order as readBits(1)). */
+    std::uint32_t readBit() { return readBits(1); }
+
+    void
+    align()
+    {
+        acc_ = 0;
+        filled_ = 0;
+    }
+
+    std::uint8_t
+    readByte()
+    {
+        assert(filled_ == 0);
+        if (pos_ >= data_.size())
+            throw std::runtime_error("deflate: truncated stream");
+        return data_[pos_++];
+    }
+
+  private:
+    std::span<const std::uint8_t> data_;
+    std::size_t pos_ = 0;
+    std::uint64_t acc_ = 0;
+    int filled_ = 0;
+};
+
+/** Fixed literal/length code for symbol 0..287: (code, bits). */
+std::pair<std::uint32_t, int>
+fixedLitCode(int sym)
+{
+    if (sym <= 143)
+        return {0x30 + sym, 8};               // 00110000 ..
+    if (sym <= 255)
+        return {0x190 + (sym - 144), 9};      // 110010000 ..
+    if (sym <= 279)
+        return {sym - 256, 7};                // 0000000 ..
+    return {0xc0 + (sym - 280), 8};           // 11000000 ..
+}
+
+// --- Canonical Huffman machinery (dynamic blocks) ---------------------
+
+/**
+ * Length-limited Huffman code lengths for the given frequencies.
+ * Unused symbols get length 0; a single used symbol gets length 1.
+ * Overlong codes are clamped to @p max_len and the Kraft sum repaired
+ * by deepening the shallowest remaining codes (both sides only need
+ * matching lengths, which are transmitted).
+ */
+std::vector<std::uint8_t>
+buildCodeLengths(const std::vector<std::uint64_t> &freq, int max_len)
+{
+    const std::size_t n = freq.size();
+    std::vector<std::uint8_t> lengths(n, 0);
+
+    std::size_t used = 0;
+    std::size_t last_used = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (freq[i] > 0) {
+            ++used;
+            last_used = i;
+        }
+    }
+    if (used == 0)
+        return lengths;
+    if (used == 1) {
+        lengths[last_used] = 1;
+        return lengths;
+    }
+
+    // Standard Huffman tree via a min-heap of (weight, node id).
+    struct Node
+    {
+        std::uint64_t weight;
+        int left = -1, right = -1;
+        int symbol = -1;
+    };
+    std::vector<Node> nodes;
+    using Entry = std::pair<std::uint64_t, int>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (freq[i] > 0) {
+            nodes.push_back({freq[i], -1, -1, static_cast<int>(i)});
+            heap.emplace(freq[i], static_cast<int>(nodes.size()) - 1);
+        }
+    }
+    while (heap.size() > 1) {
+        const auto [wa, a] = heap.top();
+        heap.pop();
+        const auto [wb, b] = heap.top();
+        heap.pop();
+        nodes.push_back({wa + wb, a, b, -1});
+        heap.emplace(wa + wb, static_cast<int>(nodes.size()) - 1);
+    }
+
+    // Depth-first traversal for leaf depths (iterative).
+    std::vector<std::pair<int, int>> stack{{heap.top().second, 0}};
+    while (!stack.empty()) {
+        const auto [id, depth] = stack.back();
+        stack.pop_back();
+        const Node &node = nodes[static_cast<std::size_t>(id)];
+        if (node.symbol >= 0) {
+            lengths[static_cast<std::size_t>(node.symbol)] =
+                static_cast<std::uint8_t>(std::min(depth, max_len));
+            continue;
+        }
+        stack.emplace_back(node.left, depth + 1);
+        stack.emplace_back(node.right, depth + 1);
+    }
+
+    // Repair the Kraft inequality after clamping: deepen the
+    // shallowest codes (cheapest in expected bits) until the code is
+    // feasible again.
+    auto kraft = [&] {
+        std::uint64_t k = 0;
+        for (std::size_t i = 0; i < n; ++i)
+            if (lengths[i] > 0)
+                k += std::uint64_t{1}
+                     << static_cast<unsigned>(max_len - lengths[i]);
+        return k;
+    };
+    const std::uint64_t cap = std::uint64_t{1}
+                              << static_cast<unsigned>(max_len);
+    while (kraft() > cap) {
+        std::size_t best = n;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (lengths[i] > 0 && lengths[i] < max_len &&
+                (best == n || lengths[i] < lengths[best])) {
+                best = i;
+            }
+        }
+        assert(best < n && "cannot repair Huffman lengths");
+        ++lengths[best];
+    }
+    return lengths;
+}
+
+/** Canonical code values for a set of lengths (RFC 1951 §3.2.2). */
+std::vector<std::uint32_t>
+canonicalCodes(const std::vector<std::uint8_t> &lengths)
+{
+    int max_len = 0;
+    for (std::uint8_t l : lengths)
+        max_len = std::max<int>(max_len, l);
+    std::vector<std::uint32_t> bl_count(
+        static_cast<std::size_t>(max_len) + 1, 0);
+    for (std::uint8_t l : lengths)
+        if (l > 0)
+            ++bl_count[l];
+    std::vector<std::uint32_t> next_code(
+        static_cast<std::size_t>(max_len) + 1, 0);
+    std::uint32_t code = 0;
+    for (int len = 1; len <= max_len; ++len) {
+        code = (code + bl_count[static_cast<std::size_t>(len) - 1]) << 1;
+        next_code[static_cast<std::size_t>(len)] = code;
+    }
+    std::vector<std::uint32_t> codes(lengths.size(), 0);
+    for (std::size_t i = 0; i < lengths.size(); ++i)
+        if (lengths[i] > 0)
+            codes[i] = next_code[lengths[i]]++;
+    return codes;
+}
+
+/**
+ * Canonical Huffman decoder: per-length first-code tables plus the
+ * symbol list sorted by (length, symbol).
+ */
+class CanonicalDecoder
+{
+  public:
+    explicit CanonicalDecoder(const std::vector<std::uint8_t> &lengths)
+    {
+        maxLen_ = 0;
+        for (std::uint8_t l : lengths)
+            maxLen_ = std::max<int>(maxLen_, l);
+        if (maxLen_ == 0)
+            return;
+        count_.assign(static_cast<std::size_t>(maxLen_) + 1, 0);
+        for (std::uint8_t l : lengths)
+            if (l > 0)
+                ++count_[l];
+        firstCode_.assign(static_cast<std::size_t>(maxLen_) + 1, 0);
+        firstIndex_.assign(static_cast<std::size_t>(maxLen_) + 1, 0);
+        std::uint32_t code = 0, index = 0;
+        for (int len = 1; len <= maxLen_; ++len) {
+            code = (code + count_[static_cast<std::size_t>(len) - 1])
+                   << 1;
+            firstCode_[static_cast<std::size_t>(len)] = code;
+            firstIndex_[static_cast<std::size_t>(len)] = index;
+            index += count_[static_cast<std::size_t>(len)];
+        }
+        symbols_.resize(index);
+        std::uint32_t pos = 0;
+        for (int len = 1; len <= maxLen_; ++len)
+            for (std::size_t s = 0; s < lengths.size(); ++s)
+                if (lengths[s] == len)
+                    symbols_[pos++] = static_cast<std::uint16_t>(s);
+    }
+
+    bool usable() const { return maxLen_ > 0; }
+
+    int
+    decode(BitReader &br) const
+    {
+        std::uint32_t code = 0;
+        for (int len = 1; len <= maxLen_; ++len) {
+            code = (code << 1) | br.readBit();
+            const std::uint32_t first =
+                firstCode_[static_cast<std::size_t>(len)];
+            const std::uint32_t cnt =
+                count_[static_cast<std::size_t>(len)];
+            if (cnt != 0 && code >= first && code - first < cnt) {
+                return symbols_[firstIndex_[static_cast<std::size_t>(
+                                    len)] +
+                                (code - first)];
+            }
+        }
+        throw std::runtime_error("deflate: invalid Huffman code");
+    }
+
+  private:
+    int maxLen_ = 0;
+    std::vector<std::uint32_t> count_, firstCode_, firstIndex_;
+    std::vector<std::uint16_t> symbols_;
+};
+
+// --- LZ77 token stream -------------------------------------------------
+
+/** One LZ77 token: a literal (dist == 0) or a (length, dist) match. */
+struct Token
+{
+    std::uint16_t lit_or_len;
+    std::uint16_t dist;
+};
+
+/** Emit the token stream with the given (possibly fixed) code sets. */
+void
+emitTokens(BitWriter &bw, const std::vector<Token> &tokens,
+           const std::vector<std::uint8_t> &lit_len,
+           const std::vector<std::uint32_t> &lit_code,
+           const std::vector<std::uint8_t> &dist_len,
+           const std::vector<std::uint32_t> &dist_code)
+{
+    for (const Token &t : tokens) {
+        if (t.dist == 0) {
+            bw.writeCode(lit_code[t.lit_or_len], lit_len[t.lit_or_len]);
+            continue;
+        }
+        const int lc = lengthCode(t.lit_or_len);
+        const std::size_t lsym = static_cast<std::size_t>(257 + lc);
+        bw.writeCode(lit_code[lsym], lit_len[lsym]);
+        if (kLengthExtra[lc])
+            bw.writeBits(
+                static_cast<std::uint32_t>(t.lit_or_len - kLengthBase[lc]),
+                kLengthExtra[lc]);
+        const auto dc = static_cast<std::size_t>(distCode(t.dist));
+        bw.writeCode(dist_code[dc], dist_len[dc]);
+        if (kDistExtra[dc])
+            bw.writeBits(
+                static_cast<std::uint32_t>(t.dist - kDistBase[dc]),
+                kDistExtra[dc]);
+    }
+    // End of block.
+    bw.writeCode(lit_code[256], lit_len[256]);
+}
+
+/** Fixed-Huffman code tables as length/code vectors. */
+void
+fixedTables(std::vector<std::uint8_t> &lit_len,
+            std::vector<std::uint32_t> &lit_code,
+            std::vector<std::uint8_t> &dist_len,
+            std::vector<std::uint32_t> &dist_code)
+{
+    lit_len.resize(288);
+    lit_code.resize(288);
+    for (int s = 0; s < 288; ++s) {
+        const auto [code, bits] = fixedLitCode(s);
+        lit_code[static_cast<std::size_t>(s)] = code;
+        lit_len[static_cast<std::size_t>(s)] =
+            static_cast<std::uint8_t>(bits);
+    }
+    dist_len.assign(30, 5);
+    dist_code.resize(30);
+    for (std::uint32_t s = 0; s < 30; ++s)
+        dist_code[s] = s;
+}
+
+/**
+ * RLE-encode the concatenated literal+distance length arrays with the
+ * 0-18 code-length alphabet (16 = repeat previous 3-6, 17 = zero run
+ * 3-10, 18 = zero run 11-138). Returns (symbol, extra) pairs where
+ * extra is the repeat count payload (or -1 for plain symbols).
+ */
+std::vector<std::pair<int, int>>
+rleCodeLengths(const std::vector<std::uint8_t> &lengths)
+{
+    std::vector<std::pair<int, int>> out;
+    std::size_t i = 0;
+    while (i < lengths.size()) {
+        const std::uint8_t v = lengths[i];
+        std::size_t run = 1;
+        while (i + run < lengths.size() && lengths[i + run] == v)
+            ++run;
+        if (v == 0) {
+            std::size_t left = run;
+            while (left >= 11) {
+                const std::size_t take = std::min<std::size_t>(left, 138);
+                out.emplace_back(18, static_cast<int>(take) - 11);
+                left -= take;
+            }
+            while (left >= 3) {
+                const std::size_t take = std::min<std::size_t>(left, 10);
+                out.emplace_back(17, static_cast<int>(take) - 3);
+                left -= take;
+            }
+            while (left-- > 0)
+                out.emplace_back(0, -1);
+        } else {
+            out.emplace_back(v, -1);
+            std::size_t left = run - 1;
+            while (left >= 3) {
+                const std::size_t take = std::min<std::size_t>(left, 6);
+                out.emplace_back(16, static_cast<int>(take) - 3);
+                left -= take;
+            }
+            while (left-- > 0)
+                out.emplace_back(v, -1);
+        }
+        i += run;
+    }
+    return out;
+}
+
+/** Render one complete dynamic-Huffman block (BFINAL set). */
+void
+emitDynamicBlock(BitWriter &bw, const std::vector<Token> &tokens)
+{
+    // Symbol frequencies.
+    std::vector<std::uint64_t> lit_freq(kLitLenSymbols, 0);
+    std::vector<std::uint64_t> dist_freq(kDistSymbols, 0);
+    for (const Token &t : tokens) {
+        if (t.dist == 0) {
+            ++lit_freq[t.lit_or_len];
+        } else {
+            ++lit_freq[static_cast<std::size_t>(
+                257 + lengthCode(t.lit_or_len))];
+            ++dist_freq[static_cast<std::size_t>(distCode(t.dist))];
+        }
+    }
+    ++lit_freq[256];   // end-of-block always occurs
+
+    std::vector<std::uint8_t> lit_len = buildCodeLengths(lit_freq, 15);
+    std::vector<std::uint8_t> dist_len = buildCodeLengths(dist_freq, 15);
+    // The distance code set may be empty (all-literal data); the spec
+    // still transmits at least one distance code length.
+    bool any_dist = false;
+    for (std::uint8_t l : dist_len)
+        any_dist |= l > 0;
+    if (!any_dist)
+        dist_len[0] = 1;
+
+    const auto lit_code = canonicalCodes(lit_len);
+    const auto dist_code = canonicalCodes(dist_len);
+
+    // Trim trailing unused symbols: HLIT >= 257, HDIST >= 1.
+    std::size_t hlit = kLitLenSymbols;
+    while (hlit > 257 && lit_len[hlit - 1] == 0)
+        --hlit;
+    std::size_t hdist = kDistSymbols;
+    while (hdist > 1 && dist_len[hdist - 1] == 0)
+        --hdist;
+
+    std::vector<std::uint8_t> all(lit_len.begin(),
+                                  lit_len.begin() +
+                                      static_cast<long>(hlit));
+    all.insert(all.end(), dist_len.begin(),
+               dist_len.begin() + static_cast<long>(hdist));
+    const auto rle = rleCodeLengths(all);
+
+    std::vector<std::uint64_t> cl_freq(19, 0);
+    for (const auto &[sym, extra] : rle)
+        ++cl_freq[static_cast<std::size_t>(sym)];
+    std::vector<std::uint8_t> cl_len = buildCodeLengths(cl_freq, 7);
+    const auto cl_code = canonicalCodes(cl_len);
+
+    std::size_t hclen = 19;
+    while (hclen > 4 && cl_len[kClPermutation[hclen - 1]] == 0)
+        --hclen;
+
+    bw.writeBits(1, 1);   // BFINAL
+    bw.writeBits(2, 2);   // BTYPE = 10 dynamic
+    bw.writeBits(static_cast<std::uint32_t>(hlit - 257), 5);
+    bw.writeBits(static_cast<std::uint32_t>(hdist - 1), 5);
+    bw.writeBits(static_cast<std::uint32_t>(hclen - 4), 4);
+    for (std::size_t i = 0; i < hclen; ++i)
+        bw.writeBits(cl_len[kClPermutation[i]], 3);
+    for (const auto &[sym, extra] : rle) {
+        bw.writeCode(cl_code[static_cast<std::size_t>(sym)],
+                     cl_len[static_cast<std::size_t>(sym)]);
+        if (sym == 16)
+            bw.writeBits(static_cast<std::uint32_t>(extra), 2);
+        else if (sym == 17)
+            bw.writeBits(static_cast<std::uint32_t>(extra), 3);
+        else if (sym == 18)
+            bw.writeBits(static_cast<std::uint32_t>(extra), 7);
+    }
+
+    emitTokens(bw, tokens, lit_len, lit_code, dist_len, dist_code);
+}
+
+/** Render one complete fixed-Huffman block (BFINAL set). */
+void
+emitFixedBlock(BitWriter &bw, const std::vector<Token> &tokens)
+{
+    bw.writeBits(1, 1);   // BFINAL
+    bw.writeBits(1, 2);   // BTYPE = 01 fixed
+    std::vector<std::uint8_t> lit_len, dist_len;
+    std::vector<std::uint32_t> lit_code, dist_code;
+    fixedTables(lit_len, lit_code, dist_len, dist_code);
+    emitTokens(bw, tokens, lit_len, lit_code, dist_len, dist_code);
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+deflateCompress(std::span<const std::uint8_t> input, const DeflateConfig &cfg)
+{
+    const std::uint8_t *in = input.data();
+    const std::size_t n = input.size();
+
+    // Hash chains over 3-byte prefixes.
+    constexpr std::size_t kHashBits = 15;
+    constexpr std::size_t kHashSize = 1u << kHashBits;
+    std::vector<std::int32_t> head(kHashSize, -1);
+    std::vector<std::int32_t> prev(std::max<std::size_t>(n, 1), -1);
+
+    auto hash3 = [&](std::size_t i) {
+        const std::uint32_t h = (std::uint32_t{in[i]} << 16) ^
+                                (std::uint32_t{in[i + 1]} << 8) ^
+                                in[i + 2];
+        return (h * 2654435761u) >> (32 - kHashBits);
+    };
+
+    auto matchLen = [&](std::size_t a, std::size_t b) {
+        // Length of common prefix of in[a..] and in[b..], capped.
+        int len = 0;
+        const int cap = static_cast<int>(
+            std::min<std::size_t>(kMaxMatch, n - b));
+        while (len < cap && in[a + len] == in[b + len])
+            ++len;
+        return len;
+    };
+
+    auto findMatch = [&](std::size_t pos, int &best_dist) {
+        int best_len = 0;
+        best_dist = 0;
+        if (pos + kMinMatch > n)
+            return 0;
+        std::int32_t cand = head[hash3(pos)];
+        unsigned chain = cfg.max_chain;
+        while (cand >= 0 && chain-- > 0) {
+            const auto cpos = static_cast<std::size_t>(cand);
+            if (pos - cpos > kWindowSize)
+                break;
+            const int len = matchLen(cpos, pos);
+            if (len > best_len) {
+                best_len = len;
+                best_dist = static_cast<int>(pos - cpos);
+                if (len >= kMaxMatch)
+                    break;
+            }
+            cand = prev[cpos];
+        }
+        return best_len >= kMinMatch ? best_len : 0;
+    };
+
+    auto insert = [&](std::size_t pos) {
+        if (pos + kMinMatch <= n) {
+            const auto h = hash3(pos);
+            prev[pos] = head[h];
+            head[h] = static_cast<std::int32_t>(pos);
+        }
+    };
+
+    // Positions [0, inserted) are registered in the hash chains. A
+    // position is only registered once we have moved past it, so a
+    // position can never match against itself (distance 0).
+    std::size_t inserted = 0;
+    auto insertThrough = [&](std::size_t end) {
+        for (; inserted < end && inserted < n; ++inserted)
+            insert(inserted);
+    };
+
+    std::vector<Token> tokens;
+    tokens.reserve(n / 4 + 16);
+    std::size_t pos = 0;
+    while (pos < n) {
+        insertThrough(pos);
+        int dist = 0;
+        int len = findMatch(pos, dist);
+        if (len > 0 && cfg.lazy_match && pos + 1 < n) {
+            // One-step lazy evaluation, as zlib does: if the next
+            // position has a strictly longer match, emit a literal
+            // and take that one instead.
+            insertThrough(pos + 1);
+            int dist2 = 0;
+            const int len2 = findMatch(pos + 1, dist2);
+            if (len2 > len) {
+                tokens.push_back({in[pos], 0});
+                ++pos;
+                len = len2;
+                dist = dist2;
+            }
+        }
+
+        if (len > 0) {
+            tokens.push_back({static_cast<std::uint16_t>(len),
+                              static_cast<std::uint16_t>(dist)});
+            insertThrough(pos + static_cast<std::size_t>(len));
+            pos += static_cast<std::size_t>(len);
+        } else {
+            tokens.push_back({in[pos], 0});
+            ++pos;
+        }
+    }
+
+    // Render the cheaper of the fixed and dynamic encodings.
+    BitWriter fixed_bw;
+    emitFixedBlock(fixed_bw, tokens);
+    std::vector<std::uint8_t> out;
+    if (cfg.allow_dynamic) {
+        BitWriter dyn_bw;
+        emitDynamicBlock(dyn_bw, tokens);
+        out = dyn_bw.bitCount() < fixed_bw.bitCount() ? dyn_bw.take()
+                                                      : fixed_bw.take();
+    } else {
+        out = fixed_bw.take();
+    }
+
+    if (cfg.allow_stored && out.size() > n + 5 * (n / 65535 + 1)) {
+        // Compression expanded the data; fall back to stored blocks.
+        BitWriter sw;
+        std::size_t off = 0;
+        do {
+            const std::size_t chunk = std::min<std::size_t>(n - off, 65535);
+            const bool final = off + chunk == n;
+            sw.writeBits(final ? 1 : 0, 1);
+            sw.writeBits(0, 2);   // BTYPE = 00 stored
+            sw.align();
+            sw.writeByte(static_cast<std::uint8_t>(chunk));
+            sw.writeByte(static_cast<std::uint8_t>(chunk >> 8));
+            sw.writeByte(static_cast<std::uint8_t>(~chunk));
+            sw.writeByte(static_cast<std::uint8_t>(~(chunk >> 8)));
+            for (std::size_t i = 0; i < chunk; ++i)
+                sw.writeByte(in[off + i]);
+            off += chunk;
+        } while (off < n);
+        out = sw.take();
+    }
+    return out;
+}
+
+namespace {
+
+/** Shared literal/length + distance decode loop for coded blocks. */
+void
+inflateCodedBlock(BitReader &br, const CanonicalDecoder &lit,
+                  const CanonicalDecoder &dist,
+                  std::vector<std::uint8_t> &out)
+{
+    for (;;) {
+        const int sym = lit.decode(br);
+        if (sym == 256)
+            break;
+        if (sym < 256) {
+            out.push_back(static_cast<std::uint8_t>(sym));
+            continue;
+        }
+        const int lc = sym - 257;
+        if (lc >= 29)
+            throw std::runtime_error("deflate: bad length code");
+        int len = kLengthBase[lc];
+        if (kLengthExtra[lc])
+            len += static_cast<int>(br.readBits(kLengthExtra[lc]));
+        if (!dist.usable())
+            throw std::runtime_error(
+                "deflate: match with empty distance code");
+        const int dcode = dist.decode(br);
+        if (dcode >= 30)
+            throw std::runtime_error("deflate: bad distance code");
+        int distance = kDistBase[dcode];
+        if (kDistExtra[dcode])
+            distance += static_cast<int>(br.readBits(kDistExtra[dcode]));
+        if (static_cast<std::size_t>(distance) > out.size())
+            throw std::runtime_error("deflate: distance too far");
+        const std::size_t from =
+            out.size() - static_cast<std::size_t>(distance);
+        for (int i = 0; i < len; ++i)
+            out.push_back(out[from + static_cast<std::size_t>(i)]);
+    }
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+deflateDecompress(std::span<const std::uint8_t> input)
+{
+    BitReader br(input);
+    std::vector<std::uint8_t> out;
+    bool final = false;
+    while (!final) {
+        final = br.readBits(1) != 0;
+        const std::uint32_t btype = br.readBits(2);
+        if (btype == 0) {
+            br.align();
+            const std::uint32_t len =
+                br.readByte() | (std::uint32_t{br.readByte()} << 8);
+            const std::uint32_t nlen =
+                br.readByte() | (std::uint32_t{br.readByte()} << 8);
+            if ((len ^ nlen) != 0xffff)
+                throw std::runtime_error("deflate: stored LEN mismatch");
+            for (std::uint32_t i = 0; i < len; ++i)
+                out.push_back(br.readByte());
+        } else if (btype == 1) {
+            std::vector<std::uint8_t> lit_len, dist_len;
+            std::vector<std::uint32_t> lit_code, dist_code;
+            fixedTables(lit_len, lit_code, dist_len, dist_code);
+            const CanonicalDecoder lit(lit_len);
+            const CanonicalDecoder dist(dist_len);
+            inflateCodedBlock(br, lit, dist, out);
+        } else if (btype == 2) {
+            const std::size_t hlit = br.readBits(5) + 257;
+            const std::size_t hdist = br.readBits(5) + 1;
+            const std::size_t hclen = br.readBits(4) + 4;
+            if (hlit > 286 || hdist > 30)
+                throw std::runtime_error("deflate: bad dynamic header");
+            std::vector<std::uint8_t> cl_len(19, 0);
+            for (std::size_t i = 0; i < hclen; ++i)
+                cl_len[kClPermutation[i]] =
+                    static_cast<std::uint8_t>(br.readBits(3));
+            const CanonicalDecoder cl(cl_len);
+
+            std::vector<std::uint8_t> all;
+            all.reserve(hlit + hdist);
+            while (all.size() < hlit + hdist) {
+                const int sym = cl.decode(br);
+                if (sym < 16) {
+                    all.push_back(static_cast<std::uint8_t>(sym));
+                } else if (sym == 16) {
+                    if (all.empty())
+                        throw std::runtime_error(
+                            "deflate: repeat with no previous length");
+                    const std::uint32_t rep = br.readBits(2) + 3;
+                    all.insert(all.end(), rep, all.back());
+                } else if (sym == 17) {
+                    const std::uint32_t rep = br.readBits(3) + 3;
+                    all.insert(all.end(), rep, 0);
+                } else {
+                    const std::uint32_t rep = br.readBits(7) + 11;
+                    all.insert(all.end(), rep, 0);
+                }
+            }
+            if (all.size() != hlit + hdist)
+                throw std::runtime_error(
+                    "deflate: code-length overflow");
+            const std::vector<std::uint8_t> lit_len(
+                all.begin(), all.begin() + static_cast<long>(hlit));
+            const std::vector<std::uint8_t> dist_len(
+                all.begin() + static_cast<long>(hlit), all.end());
+            const CanonicalDecoder lit(lit_len);
+            const CanonicalDecoder dist(dist_len);
+            if (!lit.usable())
+                throw std::runtime_error(
+                    "deflate: empty literal code");
+            inflateCodedBlock(br, lit, dist, out);
+        } else {
+            throw std::runtime_error("deflate: reserved block type");
+        }
+    }
+    return out;
+}
+
+} // namespace halsim::alg

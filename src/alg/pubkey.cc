@@ -1,0 +1,166 @@
+#include "alg/pubkey.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace halsim::alg {
+
+namespace {
+
+/** Next probable prime at or above @p start (odd increments). */
+BigUint
+nextPrime(BigUint start, halsim::Rng &rng, int rounds = 12)
+{
+    if (!start.isOdd())
+        start = start + BigUint(1);
+    while (!start.isProbablePrime(rng, rounds))
+        start = start + BigUint(2);
+    return start;
+}
+
+/** SHA-256 digest of @p msg as an integer. */
+BigUint
+digestInt(std::span<const std::uint8_t> msg)
+{
+    const Sha256Digest d = Sha256::hash(msg);
+    return BigUint::fromBytes(
+        std::span<const std::uint8_t>(d.data(), d.size()));
+}
+
+} // namespace
+
+RsaKey
+RsaKey::generate(unsigned bits, halsim::Rng &rng)
+{
+    assert(bits >= 64);
+    RsaKey key;
+    key.e_ = BigUint(65537);
+    for (;;) {
+        const BigUint p = nextPrime(BigUint::randomBits(bits / 2, rng),
+                                    rng);
+        const BigUint q = nextPrime(BigUint::randomBits(bits / 2, rng),
+                                    rng);
+        if (p == q)
+            continue;
+        const BigUint phi = (p - BigUint(1)) * (q - BigUint(1));
+        if (BigUint::gcd(key.e_, phi) != BigUint(1))
+            continue;
+        key.n_ = p * q;
+        key.d_ = key.e_.modinv(phi);
+        assert(!key.d_.isZero());
+        return key;
+    }
+}
+
+BigUint
+RsaKey::encrypt(const BigUint &m) const
+{
+    assert(m < n_);
+    return m.modexp(e_, n_);
+}
+
+BigUint
+RsaKey::decrypt(const BigUint &c) const
+{
+    return c.modexp(d_, n_);
+}
+
+BigUint
+RsaKey::sign(std::span<const std::uint8_t> msg) const
+{
+    return (digestInt(msg) % n_).modexp(d_, n_);
+}
+
+bool
+RsaKey::verify(std::span<const std::uint8_t> msg, const BigUint &sig) const
+{
+    return sig.modexp(e_, n_) == digestInt(msg) % n_;
+}
+
+DsaKey
+DsaKey::generate(unsigned p_bits, unsigned q_bits, halsim::Rng &rng)
+{
+    assert(p_bits > q_bits + 16);
+    DsaKey key;
+    // Subgroup prime q, then search for p = q*k + 1 prime.
+    key.q_ = nextPrime(BigUint::randomBits(q_bits, rng), rng);
+    BigUint k = BigUint::randomBits(p_bits - q_bits, rng);
+    if (!((k % BigUint(2)).isZero()))
+        k = k + BigUint(1);   // k even keeps p odd
+    for (;;) {
+        const BigUint candidate = key.q_ * k + BigUint(1);
+        if (candidate.bitLength() >= p_bits - 1 &&
+            candidate.isProbablePrime(rng, 10)) {
+            key.p_ = candidate;
+            break;
+        }
+        k = k + BigUint(2);
+    }
+    // Generator of the order-q subgroup: g = h^((p-1)/q) mod p != 1.
+    const BigUint exp = (key.p_ - BigUint(1)) / key.q_;
+    for (std::uint64_t h = 2;; ++h) {
+        key.g_ = BigUint(h).modexp(exp, key.p_);
+        if (key.g_ != BigUint(1))
+            break;
+    }
+    // Keypair: x in [1, q), y = g^x mod p.
+    key.x_ = BigUint::randomBelow(key.q_, rng);
+    key.y_ = key.g_.modexp(key.x_, key.p_);
+    return key;
+}
+
+BigUint
+DsaKey::digestMod(std::span<const std::uint8_t> msg) const
+{
+    return digestInt(msg) % q_;
+}
+
+DsaKey::Signature
+DsaKey::sign(std::span<const std::uint8_t> msg, halsim::Rng &rng) const
+{
+    const BigUint h = digestMod(msg);
+    for (;;) {
+        const BigUint k = BigUint::randomBelow(q_, rng);
+        const BigUint r = g_.modexp(k, p_) % q_;
+        if (r.isZero())
+            continue;
+        const BigUint kinv = k.modinv(q_);
+        if (kinv.isZero())
+            continue;
+        const BigUint s = (kinv * ((h + x_ * r) % q_)) % q_;
+        if (s.isZero())
+            continue;
+        return Signature{r, s};
+    }
+}
+
+bool
+DsaKey::verify(std::span<const std::uint8_t> msg,
+               const Signature &sig) const
+{
+    if (sig.r.isZero() || sig.s.isZero() || sig.r >= q_ || sig.s >= q_)
+        return false;
+    const BigUint w = sig.s.modinv(q_);
+    if (w.isZero())
+        return false;
+    const BigUint u1 = (digestMod(msg) * w) % q_;
+    const BigUint u2 = (sig.r * w) % q_;
+    const BigUint v =
+        ((g_.modexp(u1, p_) * y_.modexp(u2, p_)) % p_) % q_;
+    return v == sig.r;
+}
+
+DhParty::DhParty(halsim::Rng &rng)
+    : p_(groups::oakley768()), x_(BigUint::randomBits(256, rng)),
+      gx_(BigUint(2).modexp(x_, p_))
+{}
+
+BigUint
+DhParty::agree(const BigUint &peer_public) const
+{
+    if (peer_public <= BigUint(1) || peer_public >= p_ - BigUint(1))
+        throw std::invalid_argument("DH: degenerate peer value");
+    return peer_public.modexp(x_, p_);
+}
+
+} // namespace halsim::alg

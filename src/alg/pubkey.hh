@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Public-key protocol layer over BigUint: textbook RSA (keygen /
+ * encrypt / decrypt / sign / verify), DSA (parameter generation,
+ * sign / verify), and Diffie-Hellman key agreement. These are the
+ * three PKA algorithms the paper's cryptography function drives
+ * through the BF-2 accelerator and the host QAT (Table IV), built
+ * here from scratch on the Montgomery-modexp bignum.
+ *
+ * Textbook (no padding/OAEP) on purpose: the repository needs the
+ * real modular-arithmetic workload and verifiable algebra, not a
+ * hardened TLS stack.
+ */
+
+#ifndef HALSIM_ALG_PUBKEY_HH
+#define HALSIM_ALG_PUBKEY_HH
+
+#include <cstdint>
+#include <span>
+
+#include "alg/bignum.hh"
+#include "alg/sha256.hh"
+#include "sim/rng.hh"
+
+namespace halsim::alg {
+
+/**
+ * Textbook RSA.
+ */
+class RsaKey
+{
+  public:
+    /** Generate a keypair with ~@p bits modulus (two bits/2 primes). */
+    static RsaKey generate(unsigned bits, halsim::Rng &rng);
+
+    const BigUint &modulus() const { return n_; }
+    const BigUint &publicExponent() const { return e_; }
+
+    /** c = m^e mod n. @pre m < n. */
+    BigUint encrypt(const BigUint &m) const;
+
+    /** m = c^d mod n. */
+    BigUint decrypt(const BigUint &c) const;
+
+    /** Sign the SHA-256 digest of @p msg: s = H(m)^d mod n. */
+    BigUint sign(std::span<const std::uint8_t> msg) const;
+
+    /** Verify s^e mod n == H(m). */
+    bool verify(std::span<const std::uint8_t> msg,
+                const BigUint &sig) const;
+
+  private:
+    BigUint n_, e_, d_;
+};
+
+/**
+ * DSA over a (p, q, g) group with q | p-1.
+ */
+class DsaKey
+{
+  public:
+    struct Signature
+    {
+        BigUint r, s;
+    };
+
+    /**
+     * Generate group parameters and a keypair.
+     * @param p_bits modulus size (e.g. 512)
+     * @param q_bits subgroup size (e.g. 160)
+     */
+    static DsaKey generate(unsigned p_bits, unsigned q_bits,
+                           halsim::Rng &rng);
+
+    const BigUint &p() const { return p_; }
+    const BigUint &q() const { return q_; }
+    const BigUint &g() const { return g_; }
+    const BigUint &publicKey() const { return y_; }
+
+    Signature sign(std::span<const std::uint8_t> msg,
+                   halsim::Rng &rng) const;
+    bool verify(std::span<const std::uint8_t> msg,
+                const Signature &sig) const;
+
+  private:
+    BigUint digestMod(std::span<const std::uint8_t> msg) const;
+
+    BigUint p_, q_, g_, x_, y_;
+};
+
+/**
+ * Classic Diffie-Hellman over the Oakley 768-bit group.
+ */
+class DhParty
+{
+  public:
+    explicit DhParty(halsim::Rng &rng);
+
+    const BigUint &publicValue() const { return gx_; }
+
+    /** Shared secret from the peer's public value. */
+    BigUint agree(const BigUint &peer_public) const;
+
+  private:
+    BigUint p_, x_, gx_;
+};
+
+} // namespace halsim::alg
+
+#endif // HALSIM_ALG_PUBKEY_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * SHA-256 (FIPS 180-4). Substrate for the cryptography function's
+ * hashing path and for DSA-style message digests. A from-scratch
+ * implementation so the repository has no external dependencies.
+ */
+
+#ifndef HALSIM_ALG_SHA256_HH
+#define HALSIM_ALG_SHA256_HH
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace halsim::alg {
+
+/** A 256-bit digest. */
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+/**
+ * Incremental SHA-256 context.
+ */
+class Sha256
+{
+  public:
+    Sha256() { reset(); }
+
+    /** Restart a fresh hash. */
+    void reset();
+
+    /** Absorb more message bytes. */
+    void update(std::span<const std::uint8_t> data);
+
+    /** Finish padding and produce the digest; context is consumed. */
+    Sha256Digest finish();
+
+    /** One-shot convenience. */
+    static Sha256Digest hash(std::span<const std::uint8_t> data);
+
+    /** Hex rendering for tests against published vectors. */
+    static std::string toHex(const Sha256Digest &d);
+
+  private:
+    void processBlock(const std::uint8_t *block);
+
+    std::array<std::uint32_t, 8> h_;
+    std::array<std::uint8_t, 64> buf_;
+    std::size_t bufLen_ = 0;
+    std::uint64_t totalBits_ = 0;
+};
+
+} // namespace halsim::alg
+
+#endif // HALSIM_ALG_SHA256_HH

@@ -1,0 +1,193 @@
+#include "alg/zstream.hh"
+
+#include <array>
+#include <stdexcept>
+
+namespace halsim::alg {
+
+namespace {
+
+/** CRC-32 table for the reflected IEEE polynomial 0xEDB88320. */
+const std::array<std::uint32_t, 256> &
+crcTable()
+{
+    static const std::array<std::uint32_t, 256> table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+void
+push32le(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+    out.push_back(static_cast<std::uint8_t>(v >> 16));
+    out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+std::uint32_t
+read32le(std::span<const std::uint8_t> data, std::size_t off)
+{
+    return data[off] | (std::uint32_t{data[off + 1]} << 8) |
+           (std::uint32_t{data[off + 2]} << 16) |
+           (std::uint32_t{data[off + 3]} << 24);
+}
+
+} // namespace
+
+std::uint32_t
+adler32(std::span<const std::uint8_t> data, std::uint32_t seed)
+{
+    constexpr std::uint32_t kMod = 65521;
+    std::uint32_t a = seed & 0xffff;
+    std::uint32_t b = (seed >> 16) & 0xffff;
+    std::size_t i = 0;
+    while (i < data.size()) {
+        // Process in chunks small enough to defer the modulo (zlib's
+        // NMAX trick: 5552 is the largest n with no 32-bit overflow).
+        const std::size_t chunk =
+            std::min<std::size_t>(data.size() - i, 5552);
+        for (std::size_t j = 0; j < chunk; ++j) {
+            a += data[i + j];
+            b += a;
+        }
+        a %= kMod;
+        b %= kMod;
+        i += chunk;
+    }
+    return (b << 16) | a;
+}
+
+std::uint32_t
+crc32(std::span<const std::uint8_t> data, std::uint32_t seed)
+{
+    const auto &table = crcTable();
+    std::uint32_t c = ~seed;
+    for (std::uint8_t byte : data)
+        c = table[(c ^ byte) & 0xff] ^ (c >> 8);
+    return ~c;
+}
+
+std::vector<std::uint8_t>
+zlibCompress(std::span<const std::uint8_t> input, const DeflateConfig &cfg)
+{
+    std::vector<std::uint8_t> out;
+    // CMF: CM=8 (deflate), CINFO=7 (32 KiB window) -> 0x78.
+    const std::uint8_t cmf = 0x78;
+    // FLG: FCHECK makes (CMF<<8 | FLG) % 31 == 0, FLEVEL=2.
+    std::uint8_t flg = 0x80;
+    flg += 31 - static_cast<std::uint8_t>(
+                    ((std::uint32_t{cmf} << 8) | flg) % 31);
+    out.push_back(cmf);
+    out.push_back(flg);
+
+    const auto body = deflateCompress(input, cfg);
+    out.insert(out.end(), body.begin(), body.end());
+
+    // Adler-32 trailer, big-endian.
+    const std::uint32_t ad = adler32(input);
+    out.push_back(static_cast<std::uint8_t>(ad >> 24));
+    out.push_back(static_cast<std::uint8_t>(ad >> 16));
+    out.push_back(static_cast<std::uint8_t>(ad >> 8));
+    out.push_back(static_cast<std::uint8_t>(ad));
+    return out;
+}
+
+std::vector<std::uint8_t>
+zlibDecompress(std::span<const std::uint8_t> input)
+{
+    if (input.size() < 6)
+        throw std::runtime_error("zlib: stream too short");
+    const std::uint8_t cmf = input[0];
+    const std::uint8_t flg = input[1];
+    if ((cmf & 0x0f) != 8)
+        throw std::runtime_error("zlib: not deflate");
+    if (((std::uint32_t{cmf} << 8) | flg) % 31 != 0)
+        throw std::runtime_error("zlib: bad header check");
+    if (flg & 0x20)
+        throw std::runtime_error("zlib: preset dictionaries unsupported");
+
+    const auto body = input.subspan(2, input.size() - 6);
+    auto data = deflateDecompress(body);
+
+    const std::uint32_t stored =
+        (std::uint32_t{input[input.size() - 4]} << 24) |
+        (std::uint32_t{input[input.size() - 3]} << 16) |
+        (std::uint32_t{input[input.size() - 2]} << 8) |
+        input[input.size() - 1];
+    if (adler32(data) != stored)
+        throw std::runtime_error("zlib: Adler-32 mismatch");
+    return data;
+}
+
+std::vector<std::uint8_t>
+gzipCompress(std::span<const std::uint8_t> input, const DeflateConfig &cfg)
+{
+    std::vector<std::uint8_t> out = {
+        0x1f, 0x8b,   // magic
+        0x08,         // CM = deflate
+        0x00,         // FLG: no extras
+        0, 0, 0, 0,   // MTIME = 0 (reproducible output)
+        0x00,         // XFL
+        0xff,         // OS = unknown
+    };
+    const auto body = deflateCompress(input, cfg);
+    out.insert(out.end(), body.begin(), body.end());
+    push32le(out, crc32(input));
+    push32le(out, static_cast<std::uint32_t>(input.size()));
+    return out;
+}
+
+std::vector<std::uint8_t>
+gzipDecompress(std::span<const std::uint8_t> input)
+{
+    if (input.size() < 18)
+        throw std::runtime_error("gzip: stream too short");
+    if (input[0] != 0x1f || input[1] != 0x8b)
+        throw std::runtime_error("gzip: bad magic");
+    if (input[2] != 0x08)
+        throw std::runtime_error("gzip: not deflate");
+    const std::uint8_t flg = input[3];
+    std::size_t off = 10;
+    if (flg & 0x04) {   // FEXTRA
+        if (off + 2 > input.size())
+            throw std::runtime_error("gzip: truncated FEXTRA");
+        const std::size_t xlen =
+            input[off] | (std::size_t{input[off + 1]} << 8);
+        off += 2 + xlen;
+    }
+    auto skipZeroTerminated = [&] {
+        while (off < input.size() && input[off] != 0)
+            ++off;
+        ++off;
+    };
+    if (flg & 0x08)   // FNAME
+        skipZeroTerminated();
+    if (flg & 0x10)   // FCOMMENT
+        skipZeroTerminated();
+    if (flg & 0x02)   // FHCRC
+        off += 2;
+    if (off + 8 > input.size())
+        throw std::runtime_error("gzip: truncated member");
+
+    const auto body = input.subspan(off, input.size() - off - 8);
+    auto data = deflateDecompress(body);
+
+    const std::uint32_t want_crc = read32le(input, input.size() - 8);
+    const std::uint32_t want_size = read32le(input, input.size() - 4);
+    if (crc32(data) != want_crc)
+        throw std::runtime_error("gzip: CRC-32 mismatch");
+    if (static_cast<std::uint32_t>(data.size()) != want_size)
+        throw std::runtime_error("gzip: ISIZE mismatch");
+    return data;
+}
+
+} // namespace halsim::alg

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Container formats over raw DEFLATE: zlib (RFC 1950) and gzip
+ * (RFC 1952), with their respective Adler-32 and CRC-32 integrity
+ * checksums. The paper's software baselines compress through
+ * zlib/QATzip, which produce these framings — implementing them makes
+ * the codec's output independently checkable byte-for-byte.
+ */
+
+#ifndef HALSIM_ALG_ZSTREAM_HH
+#define HALSIM_ALG_ZSTREAM_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "alg/deflate.hh"
+
+namespace halsim::alg {
+
+/** Adler-32 checksum (RFC 1950 §8). */
+std::uint32_t adler32(std::span<const std::uint8_t> data,
+                      std::uint32_t seed = 1);
+
+/** CRC-32 (IEEE 802.3, as used by gzip/zip/png). */
+std::uint32_t crc32(std::span<const std::uint8_t> data,
+                    std::uint32_t seed = 0);
+
+/** Wrap @p input in a zlib (RFC 1950) stream. */
+std::vector<std::uint8_t> zlibCompress(
+    std::span<const std::uint8_t> input,
+    const DeflateConfig &cfg = DeflateConfig{});
+
+/**
+ * Unwrap and inflate a zlib stream, verifying the Adler-32 trailer.
+ * @throws std::runtime_error on bad header, data, or checksum
+ */
+std::vector<std::uint8_t> zlibDecompress(
+    std::span<const std::uint8_t> input);
+
+/** Wrap @p input in a gzip (RFC 1952) member. */
+std::vector<std::uint8_t> gzipCompress(
+    std::span<const std::uint8_t> input,
+    const DeflateConfig &cfg = DeflateConfig{});
+
+/**
+ * Unwrap and inflate a gzip member, verifying CRC-32 and ISIZE.
+ * @throws std::runtime_error on bad header, data, or checksum
+ */
+std::vector<std::uint8_t> gzipDecompress(
+    std::span<const std::uint8_t> input);
+
+} // namespace halsim::alg
+
+#endif // HALSIM_ALG_ZSTREAM_HH

@@ -1,0 +1,81 @@
+#include "core/lbp.hh"
+
+#include <algorithm>
+
+namespace halsim::core {
+
+LoadBalancingPolicy::LoadBalancingPolicy(EventQueue &eq, Config cfg,
+                                         proc::Processor &snic,
+                                         TrafficDirector &director)
+    : eq_(eq), cfg_(cfg), snic_(snic), director_(director),
+      fwdTh_(cfg.initial_fwd_gbps)
+{
+    tickEvent_.setCallback([this] { tick(); });
+}
+
+LoadBalancingPolicy::~LoadBalancingPolicy()
+{
+    stop();
+}
+
+void
+LoadBalancingPolicy::start()
+{
+    lastBytes_ = snic_.processedBytes();
+    director_.setFwdTh(fwdTh_);
+    if (!tickEvent_.scheduled())
+        eq_.scheduleIn(&tickEvent_, cfg_.epoch);
+}
+
+void
+LoadBalancingPolicy::stop()
+{
+    if (tickEvent_.scheduled())
+        eq_.deschedule(&tickEvent_);
+}
+
+void
+LoadBalancingPolicy::tick()
+{
+    ++epochs_;
+    // SNIC_TP: accumulated rx_burst returns over the epoch.
+    const std::uint64_t bytes = snic_.processedBytes();
+    snicTp_ = gbps(bytes - lastBytes_, cfg_.epoch);
+    lastBytes_ = bytes;
+
+    // Algorithm 1: only act when Fwd_Th has converged down to the
+    // achieved throughput (the SNIC is the binding constraint).
+    if (fwdTh_ < snicTp_ + cfg_.delta_tp_gbps) {
+        const std::uint32_t occ = snic_.maxRingOccupancy();
+        double step = cfg_.step_gbps;
+        if (cfg_.adaptive_step) {
+            // Optional extension (§V-B): scale the step with how far
+            // the occupancy sits from the watermark band.
+            if (occ > cfg_.wm_high)
+                step *= 1.0 + static_cast<double>(occ - cfg_.wm_high) /
+                                  cfg_.wm_high;
+            else if (occ < cfg_.wm_low && occ == 0)
+                step *= 2.0;
+        }
+        const double before = fwdTh_;
+        if (occ < cfg_.wm_low)
+            fwdTh_ += step;
+        else if (occ > cfg_.wm_high)
+            fwdTh_ -= step;
+        fwdTh_ = std::clamp(fwdTh_, cfg_.min_fwd_gbps, cfg_.max_fwd_gbps);
+        if (fwdTh_ > before)
+            ++ups_;
+        else if (fwdTh_ < before)
+            ++downs_;
+        if (fwdTh_ != before) {
+            // The decision travels to the FPGA over Ethernet.
+            const double decided = fwdTh_;
+            eq_.scheduleFnIn(
+                [this, decided] { director_.setFwdTh(decided); },
+                cfg_.comms_latency);
+        }
+    }
+    eq_.scheduleIn(&tickEvent_, cfg_.epoch);
+}
+
+} // namespace halsim::core

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The intelligent load-balancing policy (LBP) of §V-B, Algorithm 1:
+ * a greedy controller running on one SNIC CPU core. Every epoch it
+ * reads the SNIC processor's throughput (accumulated rx_burst
+ * returns) and the maximum Rx-queue occupancy
+ * (rte_eth_rx_queue_count over all queues); when the threshold is
+ * within Delta_TP of the achieved throughput it nudges Fwd_Th up or
+ * down by Step_Th according to the low/high occupancy watermarks.
+ * The new threshold reaches the FPGA director after the
+ * LBP->FPGA Ethernet communication latency.
+ */
+
+#ifndef HALSIM_CORE_LBP_HH
+#define HALSIM_CORE_LBP_HH
+
+#include <cstdint>
+
+#include "core/hlb.hh"
+#include "proc/processor.hh"
+#include "sim/event.hh"
+#include "sim/event_queue.hh"
+
+namespace halsim::core {
+
+/**
+ * Algorithm 1, with the paper's optional adaptive step extension.
+ */
+class LoadBalancingPolicy
+{
+  public:
+    struct Config
+    {
+        Tick epoch = 100 * kUs;         //!< policy period
+        double delta_tp_gbps = 3.0;     //!< Delta_TP
+        double step_gbps = 1.0;         //!< Step_Th
+        std::uint32_t wm_low = 4;       //!< WM_Low (ring occupancy)
+        std::uint32_t wm_high = 48;     //!< WM_High
+        double initial_fwd_gbps = 5.0;
+        double min_fwd_gbps = 0.5;
+        double max_fwd_gbps = 100.0;
+        /** §V-B: adaptively scale Step_Th with the watermark error to
+         *  converge faster. */
+        bool adaptive_step = false;
+        /** FPGA threshold update latency over the Ethernet hop. */
+        Tick comms_latency = 2 * kUs;
+    };
+
+    LoadBalancingPolicy(EventQueue &eq, Config cfg,
+                        proc::Processor &snic, TrafficDirector &director);
+    ~LoadBalancingPolicy();
+
+    void start();
+    void stop();
+
+    /** Threshold currently decided by the policy (Gbps). */
+    double fwdTh() const { return fwdTh_; }
+
+    /** SNIC throughput observed in the last epoch (Gbps). */
+    double snicTpGbps() const { return snicTp_; }
+
+    std::uint64_t adjustmentsUp() const { return ups_; }
+    std::uint64_t adjustmentsDown() const { return downs_; }
+    std::uint64_t epochs() const { return epochs_; }
+
+  private:
+    void tick();
+
+    EventQueue &eq_;
+    Config cfg_;
+    proc::Processor &snic_;
+    TrafficDirector &director_;
+
+    CallbackEvent tickEvent_;
+    std::uint64_t lastBytes_ = 0;
+    double fwdTh_;
+    double snicTp_ = 0.0;
+    std::uint64_t ups_ = 0;
+    std::uint64_t downs_ = 0;
+    std::uint64_t epochs_ = 0;
+};
+
+} // namespace halsim::core
+
+#endif // HALSIM_CORE_LBP_HH

@@ -1,0 +1,378 @@
+#include "core/server.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace halsim::core {
+
+const char *
+modeName(Mode m)
+{
+    switch (m) {
+      case Mode::HostOnly: return "host";
+      case Mode::SnicOnly: return "snic";
+      case Mode::Hal: return "hal";
+      case Mode::Slb: return "slb";
+      case Mode::HostSlb: return "slb-host";
+    }
+    return "?";
+}
+
+ServerSystem::ServerSystem(EventQueue &eq, ServerConfig cfg)
+    : eq_(eq), cfg_(cfg), rng_(cfg.seed ^ 0x5E57E4),
+      clientMac_(net::MacAddr::fromUint(0x020000000001)),
+      snicMac_(net::MacAddr::fromUint(0x020000000002)),
+      hostMac_(net::MacAddr::fromUint(0x020000000003)),
+      clientIp_(10, 0, 0, 1), snicIp_(10, 0, 0, 2), hostIp_(10, 0, 0, 3),
+      client_(eq), extraPower_(eq)
+{
+    const auto &paths = funcs::pathLatencies();
+
+    // --- Function (single or two-stage pipeline) ---------------------
+    fn_ = cfg_.pipeline_second
+              ? funcs::makePipeline(cfg_.function, *cfg_.pipeline_second)
+              : funcs::makeFunction(cfg_.function);
+
+    const bool cooperative = cfg_.mode != Mode::HostOnly &&
+                             cfg_.mode != Mode::SnicOnly;
+    if (fn_->stateful() && cooperative && cfg_.coherent_state)
+        domain_ = std::make_unique<coherence::CoherenceDomain>();
+
+    // --- Egress: processors -> (merger) -> return link -> client ----
+    returnLink_ = std::make_unique<net::Link>(
+        eq_, net::Link::Config{100.0, 500 * kNs, 4096, "return"},
+        client_);
+
+    net::PacketSink *egress = returnLink_.get();
+    if (cfg_.mode == Mode::Hal) {
+        // Responses also traverse the HLB FPGA on the way out.
+        mergerDelay_ = std::make_unique<nic::FixedDelay>(
+            eq_, paths.hlb_per_direction, *returnLink_);
+        egress = mergerDelay_.get();
+    }
+    merger_ = std::make_unique<TrafficMerger>(
+        TrafficMerger::Config{snicIp_, hostIp_, snicMac_}, *egress);
+
+    // Host responses cross PCIe back to the eSwitch first.
+    hostTxDelay_ = std::make_unique<nic::FixedDelay>(
+        eq_, paths.pcie_extra, *merger_);
+
+    // --- Profiles -----------------------------------------------------
+    auto profileFor = [&](funcs::Platform p) {
+        if (cfg_.function == funcs::FunctionId::Rem &&
+            !cfg_.pipeline_second) {
+            return funcs::remProfile(p, cfg_.rem_ruleset);
+        }
+        if (cfg_.pipeline_second) {
+            // Two-stage pipeline: stages run concurrently on
+            // different cores/units (the paper's example feeds an
+            // SNIC-CPU stage into an SNIC-accelerator stage), so the
+            // combined rate is the slower stage's, derated for the
+            // inter-stage hand-off; latency adds.
+            constexpr double kInterStageEff = 0.9;
+            const auto &a = funcs::profile(p, cfg_.function);
+            const auto &b = funcs::profile(p, *cfg_.pipeline_second);
+            funcs::FunctionProfile combo = a;
+            // Pipelines run on the CPU unless a stage needs the
+            // accelerator; the accelerator stage dominates latency.
+            combo.unit = (a.unit == funcs::ExecUnit::Accel ||
+                          b.unit == funcs::ExecUnit::Accel)
+                             ? funcs::ExecUnit::Accel
+                             : funcs::ExecUnit::Cpu;
+            combo.max_tp_gbps =
+                kInterStageEff * std::min(a.max_tp_gbps, b.max_tp_gbps);
+            combo.cap_gbps = std::max(a.cap_gbps, b.cap_gbps);
+            combo.accel_latency = a.accel_latency + b.accel_latency;
+            combo.core_active_w =
+                std::max(a.core_active_w, b.core_active_w);
+            combo.accel_w = a.accel_w + b.accel_w;
+            return combo;
+        }
+        return funcs::profile(p, cfg_.function);
+    };
+
+    // --- Processors ----------------------------------------------------
+    const bool wants_host = cfg_.mode != Mode::SnicOnly;
+    const bool wants_snic = cfg_.mode != Mode::HostOnly;
+
+    if (wants_host) {
+        proc::Processor::Config hc;
+        hc.platform = cfg_.host_platform;
+        hc.profile = profileFor(cfg_.host_platform);
+        hc.cores = cfg_.mode == Mode::HostSlb &&
+                           cfg_.host_cores > cfg_.slb_cores
+                       ? cfg_.host_cores - cfg_.slb_cores
+                       : cfg_.host_cores;
+        hc.ring_descriptors = cfg_.ring_descriptors;
+        // Host cores sleep only under HAL (§V-B); the host baseline
+        // busy-polls like any DPDK deployment.
+        if (cfg_.mode == Mode::Hal && cfg_.host_sleep)
+            hc.sleep = cfg_.sleep_policy;
+        hc.node = coherence::NodeId::Host;
+        hc.service_mac = hostMac_;
+        // In host-only mode the host IS the service identity.
+        hc.service_ip = cfg_.mode == Mode::HostOnly ? snicIp_ : hostIp_;
+        host_ = std::make_unique<proc::Processor>(
+            eq_, hc, *fn_, domain_.get(), *hostTxDelay_);
+    }
+
+    if (wants_snic) {
+        proc::Processor::Config sc;
+        sc.platform = cfg_.snic_platform;
+        sc.profile = profileFor(cfg_.snic_platform);
+        // HAL dedicates one SNIC core to the LBP; the SNIC-side SLB
+        // dedicates slb_cores to balancing (the host-side SLB takes
+        // its cores from the host instead).
+        unsigned cores = cfg_.snic_cores;
+        if (cfg_.mode == Mode::Hal && cores > 1)
+            cores -= 1;
+        if (cfg_.mode == Mode::Slb)
+            cores = cores > cfg_.slb_cores ? cores - cfg_.slb_cores : 1;
+        sc.cores = cores;
+        sc.ring_descriptors = cfg_.ring_descriptors;
+        sc.dvfs.enabled = cfg_.snic_dvfs;
+        sc.node = coherence::NodeId::Snic;
+        sc.service_mac = snicMac_;
+        sc.service_ip = snicIp_;
+        snic_ = std::make_unique<proc::Processor>(
+            eq_, sc, *fn_, domain_.get(), *merger_);
+    }
+
+    // --- Ingress paths -------------------------------------------------
+    // For a stateful function under HAL, the server is the CXL-SNIC
+    // emulation (§V-C): the host sits one cache-coherent hop away.
+    const Tick host_hop =
+        paths.eswitch_to_snic + paths.pcie_extra +
+        (fn_->stateful() && cfg_.mode == Mode::Hal ? paths.upi_extra : 0);
+
+    if (wants_snic) {
+        snicPathDelay_ = std::make_unique<nic::FixedDelay>(
+            eq_, paths.eswitch_to_snic, snic_->input());
+    }
+    if (wants_host) {
+        hostPathDelay_ = std::make_unique<nic::FixedDelay>(
+            eq_, host_hop, host_->input());
+    }
+
+    switch (cfg_.mode) {
+      case Mode::HostOnly:
+        ingress_ = hostPathDelay_.get();
+        break;
+      case Mode::SnicOnly:
+        ingress_ = snicPathDelay_.get();
+        break;
+      case Mode::Hal: {
+        eswitch_ = std::make_unique<nic::ESwitch>();
+        eswitch_->addRule(snicIp_, snicPathDelay_.get());
+        eswitch_->addRule(hostIp_, hostPathDelay_.get());
+        monitor_ = std::make_unique<TrafficMonitor>(eq_, cfg_.monitor);
+        TrafficDirector::Config dc;
+        dc.snic_ip = snicIp_;
+        dc.host_ip = hostIp_;
+        dc.host_mac = hostMac_;
+        dc.mode = cfg_.split_mode;
+        dc.initial_fwd_th_gbps = cfg_.lbp.initial_fwd_gbps;
+        director_ = std::make_unique<TrafficDirector>(eq_, dc, *monitor_,
+                                                      *eswitch_);
+        hlbDelay_ = std::make_unique<nic::FixedDelay>(
+            eq_, funcs::pathLatencies().hlb_per_direction, *director_);
+        lbp_ = std::make_unique<LoadBalancingPolicy>(eq_, cfg_.lbp,
+                                                     *snic_, *director_);
+        // The LBP occupies one SNIC core; the HLB burns its FPGA
+        // power (§VII-C).
+        extraPower_.add(
+            funcs::profile(cfg_.snic_platform, cfg_.function)
+                .core_active_w +
+            kHlbPowerW);
+        ingress_ = hlbDelay_.get();
+        break;
+      }
+      case Mode::Slb: {
+        SoftwareLoadBalancer::Config lc;
+        lc.slb_cores = cfg_.slb_cores;
+        lc.fwd_th_gbps = cfg_.slb_fwd_th_gbps;
+        lc.fwd_ip = hostIp_;
+        lc.fwd_mac = hostMac_;
+        lc.core_active_w =
+            funcs::profile(cfg_.snic_platform, cfg_.function)
+                .core_active_w;
+        // Forwarded packets cross from SNIC memory over PCIe.
+        slb_ = std::make_unique<SoftwareLoadBalancer>(
+            eq_, lc, snic_->input(), *hostPathDelay_, extraPower_);
+        // Everything lands on the SLB cores first (via the eSwitch
+        // path into SNIC memory).
+        snicPathDelay_ = std::make_unique<nic::FixedDelay>(
+            eq_, paths.eswitch_to_snic, slb_->input());
+        ingress_ = snicPathDelay_.get();
+        break;
+      }
+      case Mode::HostSlb: {
+        // §IV alternative: every packet first crosses to the host,
+        // whose SLB cores keep the excess and tx_burst the
+        // below-threshold share back through the eSwitch to the SNIC
+        // (eSwitch -> host -> eSwitch -> SNIC: 2x DPDK processing).
+        SoftwareLoadBalancer::Config lc;
+        lc.slb_cores = cfg_.slb_cores;
+        lc.fwd_th_gbps = cfg_.slb_fwd_th_gbps;
+        lc.fwd_ip = snicIp_;
+        lc.fwd_mac = snicMac_;
+        lc.forward_kept = true;
+        // A full DPDK rx_burst + tx_burst pass on the host per
+        // packet (the paper's "2x DPDK packet processing"), plus the
+        // copy bandwidth; host cores are several times faster than
+        // the wimpy Arm cores at both.
+        lc.classify_cost = 600 * kNs;
+        lc.fwd_gbps_per_core = 60.0;
+        lc.core_active_w =
+            funcs::profile(cfg_.host_platform, cfg_.function)
+                .core_active_w;
+        // PCIe back to the eSwitch, the eSwitch hop, and the SNIC's
+        // own receive processing of the forwarded stream.
+        lc.fwd_path_latency =
+            paths.pcie_extra + 2 * paths.eswitch_to_snic;
+        slb_ = std::make_unique<SoftwareLoadBalancer>(
+            eq_, lc, host_->input(), snic_->input(), extraPower_);
+        hostPathDelay_ = std::make_unique<nic::FixedDelay>(
+            eq_, paths.eswitch_to_snic + paths.pcie_extra,
+            slb_->input());
+        ingress_ = hostPathDelay_.get();
+        break;
+      }
+    }
+
+    // --- Client link ----------------------------------------------------
+    clientLink_ = std::make_unique<net::Link>(
+        eq_, net::Link::Config{100.0, 500 * kNs, 4096, "client"},
+        *ingress_);
+}
+
+ServerSystem::~ServerSystem() = default;
+
+double
+ServerSystem::totalDynamicW() const
+{
+    double w = extraPower_.averageW();
+    if (snic_ != nullptr)
+        w += snic_->averageDynamicW();
+    if (host_ != nullptr)
+        w += host_->averageDynamicW();
+    return w;
+}
+
+RunResult
+ServerSystem::run(std::unique_ptr<net::RateProcess> rate, Tick warmup,
+                  Tick measure, Tick resample_epoch)
+{
+    net::TrafficGenerator::Config gc;
+    gc.endpoints.src_mac = clientMac_;
+    gc.endpoints.dst_mac = snicMac_;
+    gc.endpoints.src_ip = clientIp_;
+    gc.endpoints.dst_ip = snicIp_;
+    gc.endpoints.src_port = 40000;
+    gc.endpoints.dst_port = 9000;
+    gc.frame_bytes = cfg_.frame_bytes;
+    gc.resample_epoch = resample_epoch;
+    gc.seed = cfg_.seed;
+
+    net::TrafficGenerator gen(eq_, gc, std::move(rate), *clientLink_);
+    gen.setPayloadFn(
+        [this](net::Packet &pkt) { fn_->makeRequest(pkt, rng_); });
+
+    if (monitor_ != nullptr)
+        monitor_->start();
+    if (lbp_ != nullptr)
+        lbp_->start();
+
+    const Tick start = eq_.now();
+    const Tick measure_start = start + warmup;
+    const Tick end = measure_start + measure;
+    gen.start(end);
+
+    eq_.runUntil(measure_start);
+
+    // Reset all statistics at the warmup boundary.
+    client_.resetStats();
+    extraPower_.reset();
+    if (snic_ != nullptr)
+        snic_->resetStats();
+    if (host_ != nullptr)
+        host_->resetStats();
+    if (director_ != nullptr)
+        director_->resetStats();
+    if (slb_ != nullptr)
+        slb_->resetStats();
+    const std::uint64_t sent_base = gen.sentFrames();
+    const std::uint64_t sent_bytes_base = gen.sentBytes();
+    const std::uint64_t snic_base =
+        snic_ != nullptr ? snic_->processedFrames() : 0;
+    const std::uint64_t host_base =
+        host_ != nullptr ? host_->processedFrames() : 0;
+
+    // Windowed throughput sampler for the "Max" columns of Table V.
+    // The window tracks the rate-modulation epoch so bursts are not
+    // averaged away.
+    double max_window = 0.0;
+    const Tick window = std::max<Tick>(resample_epoch, 1 * kMs);
+    auto delivered_bytes = [this]() {
+        std::uint64_t b = 0;
+        if (snic_ != nullptr)
+            b += snic_->processedBytes();
+        if (host_ != nullptr)
+            b += host_->processedBytes();
+        return b;
+    };
+    std::uint64_t last_bytes_snapshot = delivered_bytes();
+    CallbackEvent sampler;
+    sampler.setCallback([&] {
+        const std::uint64_t b = delivered_bytes();
+        max_window =
+            std::max(max_window, gbps(b - last_bytes_snapshot, window));
+        last_bytes_snapshot = b;
+        if (eq_.now() + window <= end)
+            eq_.scheduleIn(&sampler, window);
+    });
+    eq_.scheduleIn(&sampler, window);
+
+    eq_.runUntil(end);
+    if (sampler.scheduled())
+        eq_.deschedule(&sampler);
+    gen.stop();
+
+    // Read rate/power metrics at the end of the measurement window,
+    // then let in-flight packets drain so their latency still counts.
+    RunResult r;
+    r.dynamic_power_w = totalDynamicW();
+    r.system_power_w = funcs::kServerBasePowerW + r.dynamic_power_w;
+    r.offered_gbps =
+        gbps(gen.sentBytes() - sent_bytes_base, end - measure_start);
+    r.delivered_gbps = client_.deliveredGbps();
+
+    eq_.runUntil(end + 10 * kMs);
+
+    r.sent = gen.sentFrames() - sent_base;
+    r.responses = client_.responses();
+    r.max_window_gbps = std::max(max_window, r.delivered_gbps);
+    r.p99_us = client_.p99Us();
+    r.mean_us = client_.meanUs();
+    r.energy_eff = r.system_power_w > 0.0
+                       ? r.delivered_gbps / r.system_power_w
+                       : 0.0;
+    r.snic_frames = (snic_ != nullptr ? snic_->processedFrames() : 0) -
+                    snic_base;
+    r.host_frames = (host_ != nullptr ? host_->processedFrames() : 0) -
+                    host_base;
+    r.drops = (snic_ != nullptr ? snic_->drops() : 0) +
+              (host_ != nullptr ? host_->drops() : 0) +
+              (slb_ != nullptr ? slb_->drops() : 0) +
+              clientLink_->drops();
+    r.final_fwd_th_gbps = lbp_ != nullptr ? lbp_->fwdTh() : 0.0;
+
+    if (monitor_ != nullptr)
+        monitor_->stop();
+    if (lbp_ != nullptr)
+        lbp_->stop();
+
+    return r;
+}
+
+} // namespace halsim::core

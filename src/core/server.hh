@@ -1,0 +1,215 @@
+/**
+ * @file
+ * ServerSystem: the full evaluated machine. Assembles client link,
+ * HLB (monitor/director/merger), eSwitch, SNIC processor, host
+ * processor, LBP, and power accounting in one of four modes:
+ *
+ *  - HostOnly: the host processor handles every packet (the paper's
+ *    host baseline);
+ *  - SnicOnly: the SNIC processor handles every packet;
+ *  - Hal:      the proposed system — HLB splits at Fwd_Th set by LBP,
+ *    host cores sleep at low rates;
+ *  - Slb:      the software load balancer baseline of §IV.
+ *
+ * run() drives a traffic process through the system with a warmup and
+ * a measurement window and returns the paper's metrics: delivered
+ * throughput (average and windowed max), p99 latency, average
+ * system-wide power, and energy efficiency.
+ */
+
+#ifndef HALSIM_CORE_SERVER_HH
+#define HALSIM_CORE_SERVER_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "coherence/domain.hh"
+#include "core/hlb.hh"
+#include "core/lbp.hh"
+#include "core/slb.hh"
+#include "funcs/calibration.hh"
+#include "funcs/registry.hh"
+#include "net/client.hh"
+#include "net/link.hh"
+#include "net/traffic.hh"
+#include "nic/eswitch.hh"
+#include "proc/processor.hh"
+#include "sim/event_queue.hh"
+
+namespace halsim::core {
+
+/** Which processors handle traffic. */
+enum class Mode : std::uint8_t
+{
+    HostOnly,
+    SnicOnly,
+    Hal,
+    Slb,
+    /** §IV's alternative: the host CPU runs the software balancer,
+     *  keeping the excess and forwarding the below-threshold share
+     *  to the SNIC — always-hot host, double DPDK processing. */
+    HostSlb,
+};
+
+const char *modeName(Mode m);
+
+/** Full system configuration. */
+struct ServerConfig
+{
+    Mode mode = Mode::Hal;
+
+    funcs::FunctionId function = funcs::FunctionId::Nat;
+    /** Second stage for the pipelined compositions of §VII-B. */
+    std::optional<funcs::FunctionId> pipeline_second;
+    /** REM ruleset variant (affects the host profile, §III-A). */
+    alg::RulesetKind rem_ruleset = alg::RulesetKind::Teakettle;
+
+    funcs::Platform host_platform = funcs::Platform::HostSkylake;
+    funcs::Platform snic_platform = funcs::Platform::SnicBf2;
+    unsigned host_cores = 8;
+    unsigned snic_cores = 8;
+    std::uint32_t ring_descriptors = 512;
+
+    /** DPDK power management on the host cores (§V-B); HAL default. */
+    bool host_sleep = true;
+    proc::SleepPolicy sleep_policy{true, 20 * kUs, 5 * kUs};
+
+    /**
+     * Share stateful-function state coherently (CXL-SNIC emulation,
+     * §V-C). When false, stateful functions run "like stateless ones"
+     * — the paper's §VII-B methodology check.
+     */
+    bool coherent_state = true;
+
+    SplitMode split_mode = SplitMode::TokenBucket;
+    TrafficMonitor::Config monitor;
+    LoadBalancingPolicy::Config lbp;
+
+    /** SLB baseline parameters (Mode::Slb). */
+    unsigned slb_cores = 4;
+    double slb_fwd_th_gbps = 20.0;
+
+    /** Enable the SNIC CPU's DVFS governor (§VIII discussion). */
+    bool snic_dvfs = false;
+
+    std::size_t frame_bytes = net::kMtuFrameBytes;
+    std::uint64_t seed = 1;
+};
+
+/** The paper's metrics for one operating point. */
+struct RunResult
+{
+    double offered_gbps = 0.0;       //!< average offered rate
+    double delivered_gbps = 0.0;     //!< average response throughput
+    double max_window_gbps = 0.0;    //!< max over 10 ms windows
+    double p99_us = 0.0;
+    double mean_us = 0.0;
+    double system_power_w = 0.0;     //!< base + all dynamic
+    double dynamic_power_w = 0.0;
+    double energy_eff = 0.0;         //!< Gbps per watt (system)
+    std::uint64_t sent = 0;
+    std::uint64_t responses = 0;
+    std::uint64_t drops = 0;
+    std::uint64_t snic_frames = 0;   //!< responses from the SNIC side
+    std::uint64_t host_frames = 0;   //!< responses from the host side
+    double final_fwd_th_gbps = 0.0;
+
+    /** Loss fraction over the measurement window (clamped: packets
+     *  in flight across window boundaries can make the raw ratio
+     *  marginally negative). */
+    double
+    lossFraction() const
+    {
+        if (sent == 0)
+            return 0.0;
+        const double loss = 1.0 - static_cast<double>(responses) /
+                                      static_cast<double>(sent);
+        return loss > 0.0 ? loss : 0.0;
+    }
+};
+
+/**
+ * The assembled server + client pair.
+ */
+class ServerSystem
+{
+  public:
+    ServerSystem(EventQueue &eq, ServerConfig cfg);
+    ~ServerSystem();
+
+    ServerSystem(const ServerSystem &) = delete;
+    ServerSystem &operator=(const ServerSystem &) = delete;
+
+    /**
+     * Drive @p rate through the system.
+     *
+     * @param rate            offered-rate process (constant or trace)
+     * @param warmup          excluded from all statistics
+     * @param measure         measurement window
+     * @param resample_epoch  how often the generator re-draws rate
+     */
+    RunResult run(std::unique_ptr<net::RateProcess> rate, Tick warmup,
+                  Tick measure, Tick resample_epoch = 1 * kMs);
+
+    // --- test/inspection hooks ---------------------------------------
+    const ServerConfig &config() const { return cfg_; }
+    funcs::NetworkFunction &function() { return *fn_; }
+    proc::Processor *snicProcessor() { return snic_.get(); }
+    proc::Processor *hostProcessor() { return host_.get(); }
+    TrafficDirector *director() { return director_.get(); }
+    TrafficMerger *merger() { return merger_.get(); }
+    LoadBalancingPolicy *lbp() { return lbp_.get(); }
+    SoftwareLoadBalancer *slb() { return slb_.get(); }
+    coherence::CoherenceDomain *domain() { return domain_.get(); }
+    net::Client &client() { return client_; }
+
+    /** Paper addressing: the identity clients talk to. */
+    net::Ipv4Addr snicIp() const { return snicIp_; }
+    net::Ipv4Addr hostIp() const { return hostIp_; }
+
+  private:
+    double totalDynamicW() const;
+
+    EventQueue &eq_;
+    ServerConfig cfg_;
+    Rng rng_;
+
+    net::MacAddr clientMac_, snicMac_, hostMac_;
+    net::Ipv4Addr clientIp_, snicIp_, hostIp_;
+
+    net::Client client_;
+    funcs::FunctionPtr fn_;
+    std::unique_ptr<coherence::CoherenceDomain> domain_;
+
+    // Egress path (server -> client).
+    std::unique_ptr<net::Link> returnLink_;
+    std::unique_ptr<TrafficMerger> merger_;
+    std::unique_ptr<nic::FixedDelay> mergerDelay_;    //!< HLB egress hop
+    std::unique_ptr<nic::FixedDelay> hostTxDelay_;    //!< PCIe back-hop
+
+    // Processors.
+    std::unique_ptr<proc::Processor> snic_;
+    std::unique_ptr<proc::Processor> host_;
+
+    // Ingress path (client -> processors).
+    std::unique_ptr<nic::ESwitch> eswitch_;
+    std::unique_ptr<nic::FixedDelay> snicPathDelay_;
+    std::unique_ptr<nic::FixedDelay> hostPathDelay_;
+    std::unique_ptr<TrafficMonitor> monitor_;
+    std::unique_ptr<TrafficDirector> director_;
+    std::unique_ptr<nic::FixedDelay> hlbDelay_;
+    std::unique_ptr<LoadBalancingPolicy> lbp_;
+    std::unique_ptr<SoftwareLoadBalancer> slb_;
+    std::unique_ptr<net::Link> clientLink_;
+
+    /** SLB balancer cores, the LBP core, and the HLB itself. */
+    proc::PowerMeter extraPower_;
+
+    net::PacketSink *ingress_ = nullptr;
+};
+
+} // namespace halsim::core
+
+#endif // HALSIM_CORE_SERVER_HH

@@ -1,0 +1,132 @@
+#include "core/slb.hh"
+
+#include <algorithm>
+
+namespace halsim::core {
+
+/**
+ * One balancer core: drains its ring, deciding keep-vs-forward per
+ * packet; forwarding costs streaming cycles on this core.
+ */
+class SoftwareLoadBalancer::SlbCore
+{
+  public:
+    SlbCore(EventQueue &eq, SoftwareLoadBalancer &owner,
+            nic::DpdkRing &ring)
+        : eq_(eq), owner_(owner), ring_(ring)
+    {
+        ring_.setNotify([this] { onWork(); });
+    }
+
+    void
+    onWork()
+    {
+        if (!busy_)
+            startNext();
+    }
+
+  private:
+    void
+    startNext()
+    {
+        net::PacketPtr pkt = ring_.dequeue();
+        if (pkt == nullptr) {
+            busy_ = false;
+            return;
+        }
+        busy_ = true;
+
+        const Config &cfg = owner_.cfg_;
+        const bool in_budget = owner_.takeTokens(pkt->size());
+        // In the SNIC SLB the excess is forwarded; the host-side SLB
+        // forwards the in-budget share instead (§IV).
+        const bool forward = cfg.forward_kept ? in_budget : !in_budget;
+        Tick cost = cfg.classify_cost;
+        if (forward)
+            cost += transferTicks(pkt->size(), cfg.fwd_gbps_per_core);
+
+        net::Packet *raw = pkt.release();
+        eq_.scheduleFnIn([this, raw, forward] { finish(raw, forward); },
+                         cost);
+    }
+
+    void
+    finish(net::Packet *raw, bool forward)
+    {
+        net::PacketPtr pkt(raw);
+        const Config &cfg = owner_.cfg_;
+        if (!forward) {
+            ++owner_.kept_;
+            owner_.localPath_.accept(std::move(pkt));
+        } else {
+            // tx_burst to the peer processor: rewrite the destination
+            // identity and pay the long software forwarding path.
+            pkt->ip().rewriteDst(cfg.fwd_ip);
+            pkt->eth().setDst(cfg.fwd_mac);
+            pkt->directedToHost = !cfg.forward_kept;
+            ++owner_.forwarded_;
+            net::Packet *p = pkt.release();
+            eq_.scheduleFnIn(
+                [this, p] { owner_.fwdPath_.accept(net::PacketPtr(p)); },
+                cfg.fwd_path_latency);
+        }
+        if (!ring_.empty())
+            startNext();
+        else
+            busy_ = false;
+    }
+
+    EventQueue &eq_;
+    SoftwareLoadBalancer &owner_;
+    nic::DpdkRing &ring_;
+    bool busy_ = false;
+};
+
+SoftwareLoadBalancer::SoftwareLoadBalancer(EventQueue &eq, Config cfg,
+                                           net::PacketSink &local_path,
+                                           net::PacketSink &fwd_path,
+                                           proc::PowerMeter &power)
+    : eq_(eq), cfg_(cfg), localPath_(local_path), fwdPath_(fwd_path)
+{
+    for (unsigned i = 0; i < cfg_.slb_cores; ++i) {
+        rings_.push_back(
+            std::make_unique<nic::DpdkRing>(cfg_.ring_descriptors));
+        cores_.push_back(
+            std::make_unique<SlbCore>(eq, *this, *rings_.back()));
+        rss_.addQueue(rings_.back().get());
+    }
+    // Balancer cores busy-poll continuously.
+    power.add(cfg_.core_active_w * cfg_.slb_cores);
+}
+
+SoftwareLoadBalancer::~SoftwareLoadBalancer() = default;
+
+bool
+SoftwareLoadBalancer::takeTokens(std::size_t bytes)
+{
+    const Tick now = eq_.now();
+    if (now > lastRefill_) {
+        const double bytes_per_tick = cfg_.fwd_th_gbps / 8.0 / 1000.0;
+        const double cap = cfg_.fwd_th_gbps / 8.0 * 1000.0 * 50.0;  // 50 us
+        tokens_ = std::min(
+            cap, tokens_ + bytes_per_tick *
+                               static_cast<double>(now - lastRefill_));
+        lastRefill_ = now;
+    }
+    if (tokens_ >= static_cast<double>(bytes)) {
+        tokens_ -= static_cast<double>(bytes);
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+SoftwareLoadBalancer::drops() const
+{
+    std::uint64_t n = 0;
+    for (const auto &r : rings_)
+        n += r->drops();
+    return n - dropBase_;
+}
+
+} // namespace halsim::core

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Calibration tables: per-(platform, function) service-cost and power
+ * constants anchored to the paper's measurements. Every number cites
+ * the figure/table/section it comes from (see calibration.cc).
+ *
+ * The model for a CPU-executed function is
+ *   service(frame) = fixed + stream * frame_bytes
+ * where (fixed, stream) are chosen so that the platform's reference
+ * core count exactly reproduces the paper's maximum MTU throughput,
+ * with fixed_frac of the MTU service time attributed to per-packet
+ * overhead (which is what makes small packets expensive, §III-A).
+ * Accelerator-executed functions are a pipeline with a fixed latency
+ * and a streaming rate, optionally hard-capped (the REM accelerator
+ * tops out at 50 Gbps regardless of offered load).
+ */
+
+#ifndef HALSIM_FUNCS_CALIBRATION_HH
+#define HALSIM_FUNCS_CALIBRATION_HH
+
+#include <cstdint>
+
+#include "alg/corpus.hh"
+#include "funcs/function.hh"
+#include "sim/types.hh"
+
+namespace halsim::funcs {
+
+/** The evaluated processors. */
+enum class Platform : std::uint8_t
+{
+    HostSkylake,   //!< Xeon Gold 6140 + QAT (the paper's server)
+    SnicBf2,       //!< BlueField-2 (8 Arm cores + accelerators)
+    HostSpr,       //!< Sapphire Rapids (Fig. 10 comparison)
+    SnicBf3,       //!< BlueField-3 (Fig. 10 comparison)
+};
+
+const char *platformName(Platform p);
+
+/** Which execution unit runs the function on a platform. */
+enum class ExecUnit : std::uint8_t
+{
+    Cpu,
+    Accel,
+};
+
+/** Platform-wide constants. */
+struct PlatformSpec
+{
+    unsigned cores;          //!< cores available for functions
+    double line_rate_gbps;   //!< attached network speed
+    /** Per-core dynamic power when busy-polling/processing (W). */
+    double core_idle_poll_w;
+};
+
+const PlatformSpec &platformSpec(Platform p);
+
+/** Whole-server baseline: idle power including the idle SNIC (§III-B:
+ *  194 W server + SNIC in the low single digits of dynamic range). */
+inline constexpr double kServerBasePowerW = 194.0;
+/** SNIC standalone idle power (§III-B). */
+inline constexpr double kSnicIdlePowerW = 29.0;
+
+/** Cost/power profile of one function on one platform. */
+struct FunctionProfile
+{
+    ExecUnit unit = ExecUnit::Cpu;
+    /**
+     * Maximum MTU throughput (Gbps) at the platform's reference core
+     * count (CPU) or the accelerator pipeline rate (Accel).
+     */
+    double max_tp_gbps = 0.0;
+    /** Share of MTU service time that is per-packet fixed overhead. */
+    double fixed_frac = 0.10;
+    /** Hard throughput cap (0 = none); REM accel = 50 Gbps. */
+    double cap_gbps = 0.0;
+    /** Accelerator pipeline latency (Accel only). */
+    Tick accel_latency = 0;
+    /** Per active core dynamic power (W) for this function. */
+    double core_active_w = 0.0;
+    /** Accelerator active power (W). */
+    double accel_w = 0.0;
+    /** Reference core count the max_tp_gbps was measured at. */
+    unsigned ref_cores = 8;
+
+    /** Per-core service time for a frame of @p bytes (CPU unit). */
+    Tick serviceTicks(std::size_t frame_bytes) const;
+
+    /** Aggregate throughput with @p cores active cores (CPU). */
+    double scaledTp(unsigned cores) const;
+};
+
+/** Profile lookup; REM uses the teakettle ruleset by default. */
+const FunctionProfile &profile(Platform p, FunctionId f);
+
+/**
+ * REM profiles depend on the ruleset (§III-A): the host CPU wins on
+ * teakettle but loses 19x on snort_literals, while the SNIC
+ * accelerator's rate is ruleset-insensitive.
+ */
+const FunctionProfile &remProfile(Platform p, alg::RulesetKind ruleset);
+
+/**
+ * PKA (public-key accelerator) micro-operation calibration for
+ * Fig. 2's cryptography comparison, which is measured in operations
+ * rather than packet throughput.
+ */
+struct PkaOpCalib
+{
+    const char *op;
+    double host_ops_per_s;
+    double snic_ops_per_s;
+    Tick host_latency;
+    Tick snic_latency;
+};
+
+/** RSA / DH / DSA rows (Fig. 2 crypto bars). */
+const PkaOpCalib *pkaCalib(std::size_t *count);
+
+/** Packet-delivery path latencies (§III-A). */
+struct PathLatencies
+{
+    /** eSwitch -> SNIC CPU rings. */
+    Tick eswitch_to_snic = 1000 * kNs;
+    /** extra for eSwitch -> host over PCIe (paper: ~0.3 us). */
+    Tick pcie_extra = 300 * kNs;
+    /** extra for a remote-socket (UPI/CXL) hop (paper: ~0.5 us). */
+    Tick upi_extra = 500 * kNs;
+    /** HLB adds 800 ns round-trip (§VII-C), 365 ns of which is the
+     *  FPGA transceiver+MAC; half charged per direction. */
+    Tick hlb_per_direction = 400 * kNs;
+};
+
+const PathLatencies &pathLatencies();
+
+} // namespace halsim::funcs
+
+#endif // HALSIM_FUNCS_CALIBRATION_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Two-stage pipelined function composition (§VII-B "Two Pipelined
+ * Functions"): the first function takes the packet from DPDK
+ * processing and its output feeds the second (e.g. NAT + REM).
+ */
+
+#ifndef HALSIM_FUNCS_PIPELINE_HH
+#define HALSIM_FUNCS_PIPELINE_HH
+
+#include <utility>
+
+#include "funcs/function.hh"
+
+namespace halsim::funcs {
+
+/**
+ * Composition of two functions run back-to-back on each packet.
+ *
+ * Request generation composes both stages' generators, second stage
+ * first: header-level generators (NAT's flow spreading) and
+ * payload-level generators coexist, and the first stage's request
+ * format wins where they overlap — its output is what the second
+ * stage actually consumes.
+ */
+class PipelineFunction : public NetworkFunction
+{
+  public:
+    PipelineFunction(FunctionPtr first, FunctionPtr second)
+        : first_(std::move(first)), second_(std::move(second))
+    {}
+
+    /** Pipelines are identified by their first stage for tables. */
+    FunctionId id() const override { return first_->id(); }
+
+    bool
+    stateful() const override
+    {
+        return first_->stateful() || second_->stateful();
+    }
+
+    void
+    process(net::Packet &pkt, coherence::StateContext &state) override
+    {
+        first_->process(pkt, state);
+        second_->process(pkt, state);
+    }
+
+    void
+    makeRequest(net::Packet &pkt, Rng &rng) override
+    {
+        second_->makeRequest(pkt, rng);
+        first_->makeRequest(pkt, rng);
+    }
+
+    const NetworkFunction &first() const { return *first_; }
+    const NetworkFunction &second() const { return *second_; }
+
+  private:
+    FunctionPtr first_;
+    FunctionPtr second_;
+};
+
+} // namespace halsim::funcs
+
+#endif // HALSIM_FUNCS_PIPELINE_HH

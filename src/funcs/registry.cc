@@ -1,0 +1,95 @@
+#include "funcs/registry.hh"
+
+#include "funcs/analytics.hh"
+#include "funcs/content.hh"
+#include "funcs/nat.hh"
+#include "funcs/pipeline.hh"
+#include "funcs/stateful.hh"
+
+namespace halsim::funcs {
+
+const char *
+functionName(FunctionId id)
+{
+    switch (id) {
+      case FunctionId::DpdkFwd: return "fwd";
+      case FunctionId::Kvs: return "kvs";
+      case FunctionId::Count: return "count";
+      case FunctionId::Ema: return "ema";
+      case FunctionId::Nat: return "nat";
+      case FunctionId::Bm25: return "bm25";
+      case FunctionId::Knn: return "knn";
+      case FunctionId::Bayes: return "bayes";
+      case FunctionId::Rem: return "rem";
+      case FunctionId::Crypto: return "crypto";
+      case FunctionId::Compress: return "comp";
+    }
+    return "?";
+}
+
+FunctionPtr
+makeFunction(FunctionId id)
+{
+    switch (id) {
+      case FunctionId::DpdkFwd:
+        return std::make_unique<DpdkFwdFunction>();
+      case FunctionId::Kvs:
+        return std::make_unique<KvsFunction>();
+      case FunctionId::Count:
+        return std::make_unique<CountFunction>();
+      case FunctionId::Ema:
+        return std::make_unique<EmaFunction>();
+      case FunctionId::Nat:
+        return std::make_unique<NatFunction>();
+      case FunctionId::Bm25:
+        return std::make_unique<Bm25Function>();
+      case FunctionId::Knn:
+        return std::make_unique<KnnFunction>();
+      case FunctionId::Bayes:
+        return std::make_unique<BayesFunction>();
+      case FunctionId::Rem:
+        return std::make_unique<RemFunction>();
+      case FunctionId::Crypto:
+        return std::make_unique<CryptoFunction>();
+      case FunctionId::Compress:
+        return std::make_unique<CompressFunction>();
+    }
+    return nullptr;
+}
+
+FunctionPtr
+makePipeline(FunctionId first, FunctionId second)
+{
+    return std::make_unique<PipelineFunction>(makeFunction(first),
+                                              makeFunction(second));
+}
+
+std::vector<FunctionId>
+allFunctions()
+{
+    return {FunctionId::Kvs,   FunctionId::Count, FunctionId::Ema,
+            FunctionId::Nat,   FunctionId::Bm25,  FunctionId::Knn,
+            FunctionId::Bayes, FunctionId::Rem,   FunctionId::Crypto,
+            FunctionId::Compress};
+}
+
+std::vector<FunctionId>
+tableVFunctions()
+{
+    // §VII-B: KNN, NAT, Count, EMA, crypto, and REM. (Bayes, BM25,
+    // KVS are excluded for very low SNIC throughput; compression is
+    // excluded as a non-cooperative stateful accelerator function.)
+    return {FunctionId::Knn, FunctionId::Nat,    FunctionId::Count,
+            FunctionId::Ema, FunctionId::Crypto, FunctionId::Rem};
+}
+
+std::vector<std::pair<FunctionId, FunctionId>>
+tableVPipelines()
+{
+    return {{FunctionId::Nat, FunctionId::Rem},
+            {FunctionId::Nat, FunctionId::Crypto},
+            {FunctionId::Count, FunctionId::Rem},
+            {FunctionId::Count, FunctionId::Crypto}};
+}
+
+} // namespace halsim::funcs

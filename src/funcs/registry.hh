@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Factory for the benchmark functions and their paper configurations.
+ */
+
+#ifndef HALSIM_FUNCS_REGISTRY_HH
+#define HALSIM_FUNCS_REGISTRY_HH
+
+#include <vector>
+
+#include "funcs/function.hh"
+
+namespace halsim::funcs {
+
+/** Instantiate a function with its default (paper) configuration. */
+FunctionPtr makeFunction(FunctionId id);
+
+/**
+ * Instantiate a two-stage pipeline (§VII-B), e.g.
+ * makePipeline(FunctionId::Nat, FunctionId::Rem) for "NAT + REM".
+ */
+FunctionPtr makePipeline(FunctionId first, FunctionId second);
+
+/** All ten Table IV functions (excludes DpdkFwd). */
+std::vector<FunctionId> allFunctions();
+
+/** The six functions evaluated under traces in Table V. */
+std::vector<FunctionId> tableVFunctions();
+
+/** The four pipelines of Table V. */
+std::vector<std::pair<FunctionId, FunctionId>> tableVPipelines();
+
+} // namespace halsim::funcs
+
+#endif // HALSIM_FUNCS_REGISTRY_HH

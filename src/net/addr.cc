@@ -1,0 +1,27 @@
+#include "net/addr.hh"
+
+#include <cstdio>
+
+namespace halsim::net {
+
+std::string
+MacAddr::toString() const
+{
+    char buf[18];
+    std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x",
+                  bytes[0], bytes[1], bytes[2], bytes[3], bytes[4],
+                  bytes[5]);
+    return buf;
+}
+
+std::string
+Ipv4Addr::toString() const
+{
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u",
+                  (value >> 24) & 0xff, (value >> 16) & 0xff,
+                  (value >> 8) & 0xff, value & 0xff);
+    return buf;
+}
+
+} // namespace halsim::net

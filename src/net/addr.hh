@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Link- and network-layer address types (Ethernet MAC, IPv4).
+ */
+
+#ifndef HALSIM_NET_ADDR_HH
+#define HALSIM_NET_ADDR_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace halsim::net {
+
+/**
+ * 48-bit Ethernet MAC address, stored in wire (big-endian) order.
+ */
+struct MacAddr
+{
+    std::array<std::uint8_t, 6> bytes{};
+
+    constexpr MacAddr() = default;
+
+    constexpr
+    MacAddr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+            std::uint8_t d, std::uint8_t e, std::uint8_t f)
+        : bytes{a, b, c, d, e, f}
+    {}
+
+    /** Build from the low 48 bits of @p v (useful for tests). */
+    static constexpr MacAddr
+    fromUint(std::uint64_t v)
+    {
+        return MacAddr(static_cast<std::uint8_t>(v >> 40),
+                       static_cast<std::uint8_t>(v >> 32),
+                       static_cast<std::uint8_t>(v >> 24),
+                       static_cast<std::uint8_t>(v >> 16),
+                       static_cast<std::uint8_t>(v >> 8),
+                       static_cast<std::uint8_t>(v));
+    }
+
+    constexpr std::uint64_t
+    toUint() const
+    {
+        std::uint64_t v = 0;
+        for (auto b : bytes)
+            v = (v << 8) | b;
+        return v;
+    }
+
+    constexpr bool
+    operator==(const MacAddr &o) const
+    {
+        return bytes == o.bytes;
+    }
+
+    /** "aa:bb:cc:dd:ee:ff" rendering. */
+    std::string toString() const;
+
+    static constexpr MacAddr
+    broadcast()
+    {
+        return MacAddr(0xff, 0xff, 0xff, 0xff, 0xff, 0xff);
+    }
+};
+
+/**
+ * IPv4 address held as a host-order 32-bit integer; serialization to
+ * wire order happens in the header codec.
+ */
+struct Ipv4Addr
+{
+    std::uint32_t value = 0;
+
+    constexpr Ipv4Addr() = default;
+    constexpr explicit Ipv4Addr(std::uint32_t v) : value(v) {}
+
+    constexpr
+    Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+        : value((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                (std::uint32_t{c} << 8) | d)
+    {}
+
+    constexpr bool
+    operator==(const Ipv4Addr &o) const
+    {
+        return value == o.value;
+    }
+
+    /** Dotted-quad rendering. */
+    std::string toString() const;
+};
+
+} // namespace halsim::net
+
+#endif // HALSIM_NET_ADDR_HH

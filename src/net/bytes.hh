@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Big-endian (network byte order) load/store helpers.
+ */
+
+#ifndef HALSIM_NET_BYTES_HH
+#define HALSIM_NET_BYTES_HH
+
+#include <cstdint>
+
+namespace halsim::net {
+
+inline std::uint16_t
+load16(const std::uint8_t *p)
+{
+    return static_cast<std::uint16_t>((std::uint16_t{p[0]} << 8) | p[1]);
+}
+
+inline std::uint32_t
+load32(const std::uint8_t *p)
+{
+    return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+           (std::uint32_t{p[2]} << 8) | p[3];
+}
+
+inline std::uint64_t
+load64(const std::uint8_t *p)
+{
+    return (std::uint64_t{load32(p)} << 32) | load32(p + 4);
+}
+
+inline void
+store16(std::uint8_t *p, std::uint16_t v)
+{
+    p[0] = static_cast<std::uint8_t>(v >> 8);
+    p[1] = static_cast<std::uint8_t>(v);
+}
+
+inline void
+store32(std::uint8_t *p, std::uint32_t v)
+{
+    p[0] = static_cast<std::uint8_t>(v >> 24);
+    p[1] = static_cast<std::uint8_t>(v >> 16);
+    p[2] = static_cast<std::uint8_t>(v >> 8);
+    p[3] = static_cast<std::uint8_t>(v);
+}
+
+inline void
+store64(std::uint8_t *p, std::uint64_t v)
+{
+    store32(p, static_cast<std::uint32_t>(v >> 32));
+    store32(p + 4, static_cast<std::uint32_t>(v));
+}
+
+} // namespace halsim::net
+
+#endif // HALSIM_NET_BYTES_HH

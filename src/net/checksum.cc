@@ -1,0 +1,49 @@
+#include "net/checksum.hh"
+
+namespace halsim::net {
+
+std::uint16_t
+onesComplementSum(const std::uint8_t *data, std::size_t len)
+{
+    std::uint32_t sum = 0;
+    std::size_t i = 0;
+    for (; i + 1 < len; i += 2)
+        sum += (std::uint32_t{data[i]} << 8) | data[i + 1];
+    if (i < len)
+        sum += std::uint32_t{data[i]} << 8;   // pad odd byte with zero
+    while (sum >> 16)
+        sum = (sum & 0xffff) + (sum >> 16);
+    return static_cast<std::uint16_t>(sum);
+}
+
+std::uint16_t
+internetChecksum(const std::uint8_t *data, std::size_t len)
+{
+    return static_cast<std::uint16_t>(~onesComplementSum(data, len));
+}
+
+std::uint16_t
+checksumUpdate16(std::uint16_t hc, std::uint16_t old_word,
+                 std::uint16_t new_word)
+{
+    // RFC 1624 eqn. 3: HC' = ~(~HC + ~m + m'), all in one's complement.
+    std::uint32_t sum = static_cast<std::uint16_t>(~hc);
+    sum += static_cast<std::uint16_t>(~old_word);
+    sum += new_word;
+    while (sum >> 16)
+        sum = (sum & 0xffff) + (sum >> 16);
+    return static_cast<std::uint16_t>(~sum);
+}
+
+std::uint16_t
+checksumUpdate32(std::uint16_t hc, std::uint32_t old_val,
+                 std::uint32_t new_val)
+{
+    hc = checksumUpdate16(hc, static_cast<std::uint16_t>(old_val >> 16),
+                          static_cast<std::uint16_t>(new_val >> 16));
+    hc = checksumUpdate16(hc, static_cast<std::uint16_t>(old_val & 0xffff),
+                          static_cast<std::uint16_t>(new_val & 0xffff));
+    return hc;
+}
+
+} // namespace halsim::net

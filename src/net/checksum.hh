@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Internet checksum (RFC 1071) and incremental update (RFC 1624).
+ *
+ * The HAL traffic director and merger rewrite IP addresses in flight
+ * and must fix the IPv4 header checksum without touching the rest of
+ * the packet; RFC 1624's HC' = ~(~HC + ~m + m') is exactly what the
+ * FPGA datapath does, so we implement and test it against a full
+ * recompute.
+ */
+
+#ifndef HALSIM_NET_CHECKSUM_HH
+#define HALSIM_NET_CHECKSUM_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace halsim::net {
+
+/**
+ * One's-complement sum of 16-bit big-endian words over @p len bytes.
+ * An odd trailing byte is padded with zero, per RFC 1071.
+ * @return the folded 16-bit sum (not complemented).
+ */
+std::uint16_t onesComplementSum(const std::uint8_t *data, std::size_t len);
+
+/**
+ * Full internet checksum: complement of the one's-complement sum.
+ */
+std::uint16_t internetChecksum(const std::uint8_t *data, std::size_t len);
+
+/**
+ * Incrementally update checksum @p hc when a 16-bit field changes
+ * from @p old_word to @p new_word (RFC 1624 equation 3).
+ */
+std::uint16_t checksumUpdate16(std::uint16_t hc, std::uint16_t old_word,
+                               std::uint16_t new_word);
+
+/**
+ * Incrementally update checksum @p hc for a 32-bit field change
+ * (e.g. an IPv4 address rewrite), applying RFC 1624 per half.
+ */
+std::uint16_t checksumUpdate32(std::uint16_t hc, std::uint32_t old_val,
+                               std::uint32_t new_val);
+
+} // namespace halsim::net
+
+#endif // HALSIM_NET_CHECKSUM_HH

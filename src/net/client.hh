@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Client endpoint: terminates response packets and measures
+ * end-to-end latency and delivered throughput, like the paper's
+ * ConnectX-6 Dx load-generator machine.
+ */
+
+#ifndef HALSIM_NET_CLIENT_HH
+#define HALSIM_NET_CLIENT_HH
+
+#include <array>
+#include <cstdint>
+
+#include "net/packet.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace halsim::net {
+
+/**
+ * Receives response frames, attributing latency against the request
+ * timestamp carried in packet metadata. Statistics can be reset at a
+ * warmup boundary so measurements exclude cold-start transients.
+ */
+class Client : public PacketSink
+{
+  public:
+    explicit Client(EventQueue &eq) : eq_(eq) {}
+
+    void
+    accept(PacketPtr pkt) override
+    {
+        const Tick now = eq_.now();
+        const Tick lat = now - pkt->clientTx;
+        latency_.sample(static_cast<double>(lat));
+        delivered_.add(pkt->size());
+        byProcessor_[static_cast<std::size_t>(pkt->processedBy)]++;
+    }
+
+    /** Drop all measurements and restart the throughput window. */
+    void
+    resetStats()
+    {
+        latency_.reset();
+        delivered_.resetAt(eq_.now());
+        byProcessor_.fill(0);
+    }
+
+    /** End-to-end latency distribution (ticks). */
+    const Histogram &latency() const { return latency_; }
+
+    /** p99 end-to-end latency in microseconds. */
+    double p99Us() const { return ticksToUs(
+        static_cast<Tick>(latency_.p99())); }
+
+    /** Mean end-to-end latency in microseconds. */
+    double meanUs() const { return latency_.mean() /
+        static_cast<double>(kUs); }
+
+    /** Delivered (response) throughput since the last reset, Gbps. */
+    double deliveredGbps() const { return delivered_.gbpsAt(eq_.now()); }
+
+    std::uint64_t responses() const { return latency_.count(); }
+
+    /** Responses broken down by which processor handled them. */
+    std::uint64_t
+    responsesFrom(Processor p) const
+    {
+        return byProcessor_[static_cast<std::size_t>(p)];
+    }
+
+  private:
+    EventQueue &eq_;
+    Histogram latency_;
+    RateMeter delivered_;
+    std::array<std::uint64_t, 5> byProcessor_{};
+};
+
+} // namespace halsim::net
+
+#endif // HALSIM_NET_CLIENT_HH

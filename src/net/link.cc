@@ -1,0 +1,36 @@
+#include "net/link.hh"
+
+#include <algorithm>
+#include <utility>
+
+namespace halsim::net {
+
+void
+Link::send(PacketPtr pkt)
+{
+    const Tick now = eq_.now();
+    if (queued_ >= cfg_.max_queue) {
+        ++drops_;
+        return;
+    }
+
+    const Tick start = std::max(busyUntil_, now);
+    const Tick ser = transferTicks(pkt->size(), cfg_.rate_gbps);
+    busyUntil_ = start + ser;
+    const Tick deliver = busyUntil_ + cfg_.propagation;
+
+    ++queued_;
+    deliveredBytes_ += pkt->size();
+    ++deliveredFrames_;
+
+    // Hand ownership to the delivery event.
+    Packet *raw = pkt.release();
+    eq_.scheduleFn(
+        [this, raw] {
+            --queued_;
+            sink_.accept(PacketPtr(raw));
+        },
+        deliver);
+}
+
+} // namespace halsim::net

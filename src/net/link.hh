@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Point-to-point link model: serialization at line rate, fixed
+ * propagation delay, FIFO contention, bounded transmit queue.
+ *
+ * Used for the client<->server Ethernet cable, the FPGA<->SNIC cable,
+ * and (with different constants) the PCIe and UPI hops inside the
+ * server.
+ */
+
+#ifndef HALSIM_NET_LINK_HH
+#define HALSIM_NET_LINK_HH
+
+#include <cstdint>
+#include <string>
+
+#include "net/packet.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace halsim::net {
+
+/**
+ * Unidirectional link. Packets serialize back-to-back at the line
+ * rate; each is delivered to the sink after serialization plus
+ * propagation. When the backlog waiting to serialize exceeds the
+ * configured budget the link tail-drops, modeling a bounded Tx FIFO.
+ */
+class Link : public PacketSink
+{
+  public:
+    struct Config
+    {
+        double rate_gbps = 100.0;       //!< serialization rate
+        Tick propagation = 500 * kNs;   //!< cable/interconnect latency
+        std::uint32_t max_queue = 4096; //!< max packets queued for Tx
+        std::string name = "link";
+    };
+
+    Link(EventQueue &eq, Config cfg, PacketSink &sink)
+        : eq_(eq), cfg_(std::move(cfg)), sink_(sink)
+    {}
+
+    /** Offer a packet to the link; may tail-drop. */
+    void send(PacketPtr pkt);
+
+    /** PacketSink interface: same as send(). */
+    void accept(PacketPtr pkt) override { send(std::move(pkt)); }
+
+    /** Packets dropped at the Tx FIFO. */
+    std::uint64_t drops() const { return drops_; }
+
+    /** Bytes successfully delivered to the far end. */
+    std::uint64_t deliveredBytes() const { return deliveredBytes_; }
+
+    /** Frames successfully delivered to the far end. */
+    std::uint64_t deliveredFrames() const { return deliveredFrames_; }
+
+    const Config &config() const { return cfg_; }
+
+  private:
+    EventQueue &eq_;
+    Config cfg_;
+    PacketSink &sink_;
+    Tick busyUntil_ = 0;
+    std::uint32_t queued_ = 0;
+    std::uint64_t drops_ = 0;
+    std::uint64_t deliveredBytes_ = 0;
+    std::uint64_t deliveredFrames_ = 0;
+};
+
+} // namespace halsim::net
+
+#endif // HALSIM_NET_LINK_HH

@@ -1,0 +1,121 @@
+#include "net/pcap.hh"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace halsim::net {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0xa1b2c3d4;   //!< microsecond pcap
+constexpr std::uint16_t kVersionMajor = 2;
+constexpr std::uint16_t kVersionMinor = 4;
+constexpr std::uint32_t kLinkTypeEthernet = 1;
+constexpr std::uint32_t kSnapLen = 65535;
+
+void
+put32(std::ofstream &out, std::uint32_t v)
+{
+    // Host byte order, per the format (the magic disambiguates).
+    out.write(reinterpret_cast<const char *>(&v), 4);
+}
+
+void
+put16(std::ofstream &out, std::uint16_t v)
+{
+    out.write(reinterpret_cast<const char *>(&v), 2);
+}
+
+std::uint32_t
+get32(std::ifstream &in)
+{
+    std::uint32_t v = 0;
+    in.read(reinterpret_cast<char *>(&v), 4);
+    if (!in)
+        throw std::runtime_error("pcap: truncated file");
+    return v;
+}
+
+} // namespace
+
+PcapWriter::PcapWriter(const std::string &path)
+    : out_(path, std::ios::binary)
+{
+    if (!out_)
+        throw std::runtime_error("pcap: cannot open " + path);
+    put32(out_, kMagic);
+    put16(out_, kVersionMajor);
+    put16(out_, kVersionMinor);
+    put32(out_, 0);   // thiszone
+    put32(out_, 0);   // sigfigs
+    put32(out_, kSnapLen);
+    put32(out_, kLinkTypeEthernet);
+}
+
+void
+PcapWriter::record(const Packet &pkt, Tick now)
+{
+    const std::uint64_t usec_total = now / kUs;
+    put32(out_, static_cast<std::uint32_t>(usec_total / 1000000));
+    put32(out_, static_cast<std::uint32_t>(usec_total % 1000000));
+    const auto len = static_cast<std::uint32_t>(pkt.size());
+    put32(out_, len);   // captured
+    put32(out_, len);   // on the wire
+    out_.write(reinterpret_cast<const char *>(pkt.data()),
+               static_cast<std::streamsize>(pkt.size()));
+    ++frames_;
+}
+
+void
+PcapWriter::close()
+{
+    if (out_.is_open())
+        out_.close();
+}
+
+PcapWriter::~PcapWriter()
+{
+    close();
+}
+
+std::vector<PcapRecord>
+readPcap(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("pcap: cannot open " + path);
+
+    if (get32(in) != kMagic)
+        throw std::runtime_error("pcap: bad magic (not usec classic)");
+    std::uint32_t tmp = 0;
+    in.read(reinterpret_cast<char *>(&tmp), 4);   // versions
+    (void)get32(in);                              // thiszone
+    (void)get32(in);                              // sigfigs
+    (void)get32(in);                              // snaplen
+    if (get32(in) != kLinkTypeEthernet)
+        throw std::runtime_error("pcap: not an Ethernet capture");
+
+    std::vector<PcapRecord> records;
+    for (;;) {
+        std::uint32_t sec = 0;
+        in.read(reinterpret_cast<char *>(&sec), 4);
+        if (!in)
+            break;   // clean EOF
+        const std::uint32_t usec = get32(in);
+        const std::uint32_t caplen = get32(in);
+        const std::uint32_t origlen = get32(in);
+        if (caplen > kSnapLen || caplen > origlen)
+            throw std::runtime_error("pcap: corrupt record header");
+        PcapRecord rec;
+        rec.timestamp =
+            (static_cast<Tick>(sec) * 1000000 + usec) * kUs;
+        rec.bytes.resize(caplen);
+        in.read(reinterpret_cast<char *>(rec.bytes.data()), caplen);
+        if (!in)
+            throw std::runtime_error("pcap: truncated record");
+        records.push_back(std::move(rec));
+    }
+    return records;
+}
+
+} // namespace halsim::net

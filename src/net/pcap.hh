@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Classic pcap (libpcap 2.4) capture files: write simulated traffic
+ * to disk in the standard format (openable with tcpdump/wireshark)
+ * and read it back. Used to audit what the HLB datapath actually
+ * did to the frames, and as a debugging tap on any PacketSink edge.
+ */
+
+#ifndef HALSIM_NET_PCAP_HH
+#define HALSIM_NET_PCAP_HH
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "net/packet.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace halsim::net {
+
+/**
+ * Streaming pcap writer. Timestamps are the simulated clock
+ * (microsecond resolution, the classic format's limit).
+ */
+class PcapWriter
+{
+  public:
+    /**
+     * Open @p path and emit the global header.
+     * @throws std::runtime_error when the file cannot be opened
+     */
+    explicit PcapWriter(const std::string &path);
+
+    /** Record @p pkt at simulated time @p now. */
+    void record(const Packet &pkt, Tick now);
+
+    /** Frames written so far. */
+    std::uint64_t frames() const { return frames_; }
+
+    /** Flush and close; implicit in the destructor. */
+    void close();
+
+    ~PcapWriter();
+
+  private:
+    std::ofstream out_;
+    std::uint64_t frames_ = 0;
+};
+
+/** One frame read back from a capture. */
+struct PcapRecord
+{
+    Tick timestamp;
+    std::vector<std::uint8_t> bytes;
+};
+
+/**
+ * Load an entire pcap file (classic format, any snaplen).
+ * @throws std::runtime_error on malformed input
+ */
+std::vector<PcapRecord> readPcap(const std::string &path);
+
+/**
+ * Pass-through sink that records everything it forwards — a
+ * wire tap to insert on any edge of the simulated topology.
+ */
+class PcapTap : public PacketSink
+{
+  public:
+    PcapTap(EventQueue &eq, const std::string &path, PacketSink &next)
+        : eq_(eq), writer_(path), next_(next)
+    {}
+
+    void
+    accept(PacketPtr pkt) override
+    {
+        writer_.record(*pkt, eq_.now());
+        next_.accept(std::move(pkt));
+    }
+
+    PcapWriter &writer() { return writer_; }
+
+  private:
+    EventQueue &eq_;
+    PcapWriter writer_;
+    PacketSink &next_;
+};
+
+} // namespace halsim::net
+
+#endif // HALSIM_NET_PCAP_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * DPDK-style receive descriptor ring. Bounded FIFO of packets with
+ * the two APIs the paper's LBP algorithm uses: burst dequeue
+ * (rte_eth_rx_burst) and occupancy query (rte_eth_rx_queue_count).
+ * Enqueue beyond the descriptor count tail-drops, which is exactly
+ * how a NIC behaves when software cannot keep up — the source of the
+ * paper's saturation latency/drop behaviour.
+ */
+
+#ifndef HALSIM_NIC_DPDK_RING_HH
+#define HALSIM_NIC_DPDK_RING_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "net/packet.hh"
+
+namespace halsim::nic {
+
+/**
+ * Bounded packet FIFO with an enqueue notification hook (the poll
+ * core uses it to wake from idle without simulating spin loops).
+ */
+class DpdkRing : public net::PacketSink
+{
+  public:
+    explicit DpdkRing(std::uint32_t descriptors = 512)
+        : capacity_(descriptors)
+    {}
+
+    /** Hook invoked after a successful enqueue into an empty ring. */
+    void setNotify(std::function<void()> fn) { notify_ = std::move(fn); }
+
+    void
+    accept(net::PacketPtr pkt) override
+    {
+        if (q_.size() >= capacity_) {
+            ++drops_;
+            return;
+        }
+        const bool was_empty = q_.empty();
+        bytesIn_ += pkt->size();
+        q_.push_back(std::move(pkt));
+        if (was_empty && notify_)
+            notify_();
+    }
+
+    /** rte_eth_rx_burst(1): take the head packet, or null. */
+    net::PacketPtr
+    dequeue()
+    {
+        if (q_.empty())
+            return nullptr;
+        net::PacketPtr pkt = std::move(q_.front());
+        q_.pop_front();
+        return pkt;
+    }
+
+    /** rte_eth_rx_queue_count analog. */
+    std::uint32_t occupancy() const
+    {
+        return static_cast<std::uint32_t>(q_.size());
+    }
+
+    bool empty() const { return q_.empty(); }
+    std::uint32_t capacity() const { return capacity_; }
+    std::uint64_t drops() const { return drops_; }
+    std::uint64_t bytesIn() const { return bytesIn_; }
+
+  private:
+    std::uint32_t capacity_;
+    std::deque<net::PacketPtr> q_;
+    std::function<void()> notify_;
+    std::uint64_t drops_ = 0;
+    std::uint64_t bytesIn_ = 0;
+};
+
+} // namespace halsim::nic
+
+#endif // HALSIM_NIC_DPDK_RING_HH

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The SNIC embedded switch (eSwitch, §II-A): forwards frames to the
+ * SNIC processor or the host processor according to OvS-style rules
+ * keyed on the destination IP, exactly the mechanism HAL's traffic
+ * director relies on (it rewrites the destination and lets the
+ * eSwitch route). Also small helper sinks for fixed path delays and
+ * RSS spreading.
+ */
+
+#ifndef HALSIM_NIC_ESWITCH_HH
+#define HALSIM_NIC_ESWITCH_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "net/packet.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace halsim::nic {
+
+/**
+ * Destination-IP forwarding switch. Rules are exact-match on the
+ * IPv4 destination; unmatched frames go to the default port (or are
+ * dropped when none is set).
+ */
+class ESwitch : public net::PacketSink
+{
+  public:
+    /** Add/replace the rule dst_ip -> port. */
+    void
+    addRule(net::Ipv4Addr dst_ip, net::PacketSink *port)
+    {
+        for (auto &r : rules_) {
+            if (r.first == dst_ip) {
+                r.second = port;
+                return;
+            }
+        }
+        rules_.emplace_back(dst_ip, port);
+    }
+
+    void setDefault(net::PacketSink *port) { default_ = port; }
+
+    void
+    accept(net::PacketPtr pkt) override
+    {
+        const net::Ipv4Addr dst = pkt->ip().dst();
+        for (const auto &r : rules_) {
+            if (r.first == dst) {
+                ++matched_;
+                r.second->accept(std::move(pkt));
+                return;
+            }
+        }
+        if (default_ != nullptr) {
+            default_->accept(std::move(pkt));
+            return;
+        }
+        ++unrouted_;
+    }
+
+    std::uint64_t matched() const { return matched_; }
+    std::uint64_t unrouted() const { return unrouted_; }
+
+  private:
+    /** Tiny rule count (2-3); linear scan beats a map. */
+    std::vector<std::pair<net::Ipv4Addr, net::PacketSink *>> rules_;
+    net::PacketSink *default_ = nullptr;
+    std::uint64_t matched_ = 0;
+    std::uint64_t unrouted_ = 0;
+};
+
+/**
+ * Fixed-latency forwarding element for the intra-server hops the
+ * paper quantifies (§III-A): eSwitch -> SNIC rings, the extra PCIe
+ * hop to the host, and the extra UPI/CXL hop to a remote socket.
+ */
+class FixedDelay : public net::PacketSink
+{
+  public:
+    FixedDelay(EventQueue &eq, Tick delay, net::PacketSink &next)
+        : eq_(eq), delay_(delay), next_(next)
+    {}
+
+    void
+    accept(net::PacketPtr pkt) override
+    {
+        net::Packet *raw = pkt.release();
+        eq_.scheduleFnIn(
+            [this, raw] { next_.accept(net::PacketPtr(raw)); }, delay_);
+    }
+
+    Tick delay() const { return delay_; }
+
+  private:
+    EventQueue &eq_;
+    Tick delay_;
+    net::PacketSink &next_;
+};
+
+/**
+ * Receive-side scaling: spreads frames over N rings by flow hash,
+ * one ring per polling core, as DPDK configures the (S)NIC.
+ */
+class RssDistributor : public net::PacketSink
+{
+  public:
+    void addQueue(net::PacketSink *q) { queues_.push_back(q); }
+
+    void
+    accept(net::PacketPtr pkt) override
+    {
+        if (queues_.empty())
+            return;
+        const std::size_t i = pkt->flowHash % queues_.size();
+        queues_[i]->accept(std::move(pkt));
+    }
+
+    std::size_t queueCount() const { return queues_.size(); }
+
+  private:
+    std::vector<net::PacketSink *> queues_;
+};
+
+} // namespace halsim::nic
+
+#endif // HALSIM_NIC_ESWITCH_HH

@@ -1,0 +1,427 @@
+#include "proc/processor.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace halsim::proc {
+
+namespace {
+
+/**
+ * Turn a processed request into its response frame: reply-to
+ * addressing from the packet metadata, source identity of the
+ * processing service. Host-sourced responses carry the host IP here;
+ * HAL's traffic merger later rewrites it to the SNIC identity.
+ */
+void
+makeResponse(net::Packet &pkt, const net::MacAddr &service_mac,
+             net::Ipv4Addr service_ip, net::Processor tag)
+{
+    auto eth = pkt.eth();
+    eth.setSrc(service_mac);
+    eth.setDst(pkt.clientMac);
+
+    auto ip = pkt.ip();
+    ip.setSrcRaw(service_ip);
+    ip.setDstRaw(pkt.clientIp);
+    ip.fillChecksum();
+
+    auto udp = pkt.udp();
+    udp.setSrcPort(udp.dstPort());
+    udp.setDstPort(pkt.clientPort);
+
+    pkt.isResponse = true;
+    pkt.processedBy = tag;
+}
+
+} // namespace
+
+PollCore::PollCore(EventQueue &eq, Config cfg, nic::DpdkRing &ring,
+                   funcs::NetworkFunction &fn,
+                   coherence::CoherenceDomain *domain, net::PacketSink &tx,
+                   PowerMeter &power)
+    : eq_(eq), cfg_(std::move(cfg)), ring_(ring), fn_(fn),
+      domain_(domain), tx_(tx), power_(power)
+{
+    sleepEvent_.setCallback([this] { maybeSleep(); });
+    // Without power management a poll-mode core burns full power from
+    // the start (§III-B: DPDK busy-waiting keeps the CPU hot even
+    // when idle); with it, waiting costs only the umwait fraction.
+    setPowerLevel(idleLevel());
+    if (cfg_.sleep.enabled)
+        eq_.scheduleIn(&sleepEvent_, cfg_.sleep.sleep_after);
+}
+
+double
+PollCore::freqScale() const
+{
+    return cfg_.freq_scale != nullptr ? *cfg_.freq_scale : 1.0;
+}
+
+void
+PollCore::setPowerLevel(double frac)
+{
+    // Dynamic power scales ~f^2 under DVFS (voltage tracks
+    // frequency). The factor is sampled at state transitions, which
+    // happen far more often than governor epochs.
+    const double f = freqScale();
+    const double watts = frac * f * f * cfg_.profile.core_active_w;
+    power_.add(watts - currentW_);
+    currentW_ = watts;
+    powerLevel_ = frac;
+}
+
+double
+PollCore::idleLevel() const
+{
+    return cfg_.sleep.enabled ? cfg_.sleep.shallow_idle_frac : 1.0;
+}
+
+PollCore::~PollCore()
+{
+    if (sleepEvent_.scheduled())
+        eq_.deschedule(&sleepEvent_);
+}
+
+void
+PollCore::onWork()
+{
+    if (!busy_)
+        startNext();
+}
+
+void
+PollCore::startNext()
+{
+    net::PacketPtr pkt = ring_.dequeue();
+    if (pkt == nullptr) {
+        goIdle();
+        return;
+    }
+
+    Tick extra = 0;
+    if (sleeping_) {
+        sleeping_ = false;
+        extra = cfg_.sleep.wake_latency;
+    }
+    if (sleepEvent_.scheduled())
+        eq_.deschedule(&sleepEvent_);
+
+    busy_ = true;
+    setPowerLevel(1.0);
+    busyTime_.set(1.0, eq_.now());
+
+    // The real function work happens here; timing below is modeled.
+    coherence::StateContext ctx(domain_, cfg_.node);
+    fn_.process(*pkt, ctx);
+
+    const Tick service =
+        static_cast<Tick>(
+            static_cast<double>(cfg_.profile.serviceTicks(pkt->size())) /
+            freqScale()) +
+        ctx.latency() + extra;
+    net::Packet *raw = pkt.release();
+    eq_.scheduleFnIn([this, raw] { finish(raw); }, service);
+}
+
+void
+PollCore::finish(net::Packet *raw)
+{
+    ++frames_;
+    bytes_ += raw->size();
+    makeResponse(*raw, cfg_.service_mac, cfg_.service_ip, cfg_.tag);
+    tx_.accept(net::PacketPtr(raw));
+
+    busy_ = false;
+    busyTime_.set(0.0, eq_.now());
+    if (!ring_.empty()) {
+        startNext();
+    } else {
+        setPowerLevel(idleLevel());
+        goIdle();
+    }
+}
+
+void
+PollCore::goIdle()
+{
+    if (cfg_.sleep.enabled && !sleeping_ && !sleepEvent_.scheduled())
+        eq_.scheduleIn(&sleepEvent_, cfg_.sleep.sleep_after);
+}
+
+void
+PollCore::maybeSleep()
+{
+    if (!busy_ && ring_.empty() && !sleeping_) {
+        sleeping_ = true;
+        setPowerLevel(0.0);
+    }
+}
+
+double
+PollCore::utilization() const
+{
+    return busyTime_.average(eq_.now());
+}
+
+void
+PollCore::resetStats()
+{
+    frames_ = 0;
+    bytes_ = 0;
+    busyTime_.resetAt(eq_.now());
+}
+
+Accelerator::Accelerator(EventQueue &eq, Config cfg,
+                         funcs::NetworkFunction &fn,
+                         coherence::CoherenceDomain *domain,
+                         net::PacketSink &tx, PowerMeter &power)
+    : eq_(eq), cfg_(std::move(cfg)), fn_(fn), domain_(domain), tx_(tx),
+      power_(power), queue_(cfg_.queue_depth)
+{
+    queue_.setNotify([this] { pump(); });
+    sleepEvent_.setCallback([this] {
+        if (!busyPipeline_ && queue_.empty() && !deepSleep_) {
+            deepSleep_ = true;
+            setPowerLevel(0.0);
+        }
+    });
+    setPowerLevel(idleLevel());
+    if (cfg_.sleep.enabled)
+        eq_.scheduleIn(&sleepEvent_, cfg_.sleep.sleep_after);
+}
+
+Accelerator::~Accelerator()
+{
+    if (sleepEvent_.scheduled())
+        eq_.deschedule(&sleepEvent_);
+}
+
+double
+Accelerator::activeBlockW() const
+{
+    // Feeding cores + the accelerator itself, treated as one block
+    // whose duty cycle follows the pipeline.
+    return cfg_.feed_power_w + cfg_.profile.accel_w;
+}
+
+void
+Accelerator::setPowerLevel(double frac)
+{
+    power_.add((frac - powerLevel_) * activeBlockW());
+    powerLevel_ = frac;
+}
+
+double
+Accelerator::idleLevel() const
+{
+    return cfg_.sleep.enabled ? cfg_.sleep.shallow_idle_frac : 1.0;
+}
+
+void
+Accelerator::pump()
+{
+    // One packet occupies the serialization slot between pop and
+    // slot-exit; the input queue backs up behind it, which is where
+    // saturation drops and queueing delay come from.
+    if (inSlot_)
+        return;   // the slot-exit event will re-pump
+    net::PacketPtr pkt = queue_.dequeue();
+    if (pkt == nullptr)
+        return;
+    inSlot_ = true;
+
+    Tick extra = 0;
+    if (!busyPipeline_) {
+        busyPipeline_ = true;
+        if (deepSleep_) {
+            deepSleep_ = false;
+            extra = cfg_.sleep.wake_latency;
+        }
+        if (sleepEvent_.scheduled())
+            eq_.deschedule(&sleepEvent_);
+        setPowerLevel(1.0);
+    }
+
+    // The real function work happens at pipeline entry; coherent
+    // state accesses extend the slot occupancy just as they stall a
+    // hardware pipeline.
+    coherence::StateContext ctx(domain_, cfg_.node);
+    fn_.process(*pkt, ctx);
+
+    const double rate = cfg_.profile.max_tp_gbps;
+    const Tick ser =
+        transferTicks(pkt->size(), rate) + ctx.latency() + extra;
+    net::Packet *raw = pkt.release();
+    eq_.scheduleFnIn(
+        [this, raw] {
+            // Serialization slot free: the next packet can enter
+            // while this one traverses the fixed pipeline latency.
+            inSlot_ = false;
+            net::Packet *p = raw;
+            eq_.scheduleFnIn([this, p] { finish(p); },
+                             cfg_.profile.accel_latency);
+            if (!queue_.empty()) {
+                pump();
+            } else {
+                busyPipeline_ = false;
+                setPowerLevel(idleLevel());
+                if (cfg_.sleep.enabled && !sleepEvent_.scheduled())
+                    eq_.scheduleIn(&sleepEvent_, cfg_.sleep.sleep_after);
+            }
+        },
+        ser);
+}
+
+void
+Accelerator::finish(net::Packet *raw)
+{
+    net::PacketPtr pkt(raw);
+    ++frames_;
+    bytes_ += pkt->size();
+    makeResponse(*pkt, cfg_.service_mac, cfg_.service_ip, cfg_.tag);
+    tx_.accept(std::move(pkt));
+}
+
+void
+Accelerator::resetStats()
+{
+    frames_ = 0;
+    bytes_ = 0;
+}
+
+Processor::Processor(EventQueue &eq, Config cfg,
+                     funcs::NetworkFunction &fn,
+                     coherence::CoherenceDomain *domain,
+                     net::PacketSink &tx)
+    : eq_(eq), cfg_(std::move(cfg)), power_(eq)
+{
+    if (cfg_.profile.unit == funcs::ExecUnit::Accel) {
+        Accelerator::Config ac;
+        ac.profile = cfg_.profile;
+        ac.node = cfg_.node;
+        ac.tag = cfg_.node == coherence::NodeId::Snic
+                     ? net::Processor::SnicAccel
+                     : net::Processor::HostAccel;
+        ac.service_mac = cfg_.service_mac;
+        ac.service_ip = cfg_.service_ip;
+        ac.sleep = cfg_.sleep;
+        // The polling cores that feed the accelerator burn power with
+        // the same duty cycle as the pipeline.
+        ac.feed_power_w = cfg_.profile.core_active_w * cfg_.cores;
+        accel_ = std::make_unique<Accelerator>(eq, ac, fn, domain, tx,
+                                               power_);
+        return;
+    }
+
+    PollCore::Config cc;
+    cc.profile = cfg_.profile;
+    cc.sleep = cfg_.sleep;
+    cc.freq_scale = cfg_.dvfs.enabled ? &freqScale_ : nullptr;
+    cc.node = cfg_.node;
+    cc.tag = cfg_.node == coherence::NodeId::Snic
+                 ? net::Processor::SnicCpu
+                 : net::Processor::HostCpu;
+    cc.service_mac = cfg_.service_mac;
+    cc.service_ip = cfg_.service_ip;
+
+    for (unsigned i = 0; i < cfg_.cores; ++i) {
+        rings_.push_back(
+            std::make_unique<nic::DpdkRing>(cfg_.ring_descriptors));
+        cores_.push_back(std::make_unique<PollCore>(
+            eq, cc, *rings_.back(), fn, domain, tx, power_));
+        nic::DpdkRing *ring = rings_.back().get();
+        PollCore *core = cores_.back().get();
+        ring->setNotify([core] { core->onWork(); });
+        rss_.addQueue(ring);
+    }
+
+    if (cfg_.dvfs.enabled) {
+        freqScale_ = cfg_.dvfs.min_scale;
+        dvfsEvent_.setCallback([this] {
+            const std::uint32_t occ = maxRingOccupancy();
+            if (occ > cfg_.dvfs.occ_high)
+                freqScale_ = std::min(1.0, freqScale_ + cfg_.dvfs.step);
+            else if (occ < cfg_.dvfs.occ_low)
+                freqScale_ = std::max(cfg_.dvfs.min_scale,
+                                      freqScale_ - cfg_.dvfs.step);
+            eq_.scheduleIn(&dvfsEvent_, cfg_.dvfs.epoch);
+        });
+        eq_.scheduleIn(&dvfsEvent_, cfg_.dvfs.epoch);
+    }
+}
+
+Processor::~Processor()
+{
+    if (dvfsEvent_.scheduled())
+        eq_.deschedule(&dvfsEvent_);
+}
+
+net::PacketSink &
+Processor::input()
+{
+    return accel_ != nullptr ? accel_->input()
+                             : static_cast<net::PacketSink &>(rss_);
+}
+
+std::uint32_t
+Processor::maxRingOccupancy() const
+{
+    if (accel_ != nullptr)
+        return accel_->occupancy();
+    std::uint32_t max_occ = 0;
+    for (const auto &r : rings_)
+        max_occ = std::max(max_occ, r->occupancy());
+    return max_occ;
+}
+
+std::uint64_t
+Processor::processedFrames() const
+{
+    if (accel_ != nullptr)
+        return accel_->processedFrames();
+    std::uint64_t n = 0;
+    for (const auto &c : cores_)
+        n += c->processedFrames();
+    return n;
+}
+
+std::uint64_t
+Processor::processedBytes() const
+{
+    if (accel_ != nullptr)
+        return accel_->processedBytes();
+    std::uint64_t n = 0;
+    for (const auto &c : cores_)
+        n += c->processedBytes();
+    return n;
+}
+
+std::uint64_t
+Processor::drops() const
+{
+    std::uint64_t n = accel_ != nullptr ? accel_->drops() : 0;
+    for (const auto &r : rings_)
+        n += r->drops();
+    return n - statDropBase_;
+}
+
+void
+Processor::resetStats()
+{
+    power_.reset();
+    if (accel_ != nullptr) {
+        accel_->resetStats();
+        statDropBase_ = accel_->drops();
+    } else {
+        statDropBase_ = 0;
+    }
+    for (const auto &c : cores_)
+        c->resetStats();
+    std::uint64_t ring_drops = 0;
+    for (const auto &r : rings_)
+        ring_drops += r->drops();
+    statDropBase_ += ring_drops;
+}
+
+} // namespace halsim::proc

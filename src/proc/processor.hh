@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Processor models: DPDK poll-mode CPU cores, accelerator pipelines,
+ * sleep-state management, and dynamic-power accounting. One Processor
+ * instance stands for "the SNIC processor" or "the host processor" of
+ * the paper: N polling cores fed by RSS-spread descriptor rings, or
+ * an accelerator pipeline for the hardware-accelerated functions,
+ * with per-function service costs from the calibration tables.
+ */
+
+#ifndef HALSIM_PROC_PROCESSOR_HH
+#define HALSIM_PROC_PROCESSOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "coherence/domain.hh"
+#include "funcs/calibration.hh"
+#include "funcs/function.hh"
+#include "net/packet.hh"
+#include "nic/dpdk_ring.hh"
+#include "nic/eswitch.hh"
+#include "sim/event.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace halsim::proc {
+
+/**
+ * DPDK power-management policy (§V-B): cores enter a sleep state
+ * after an idle interval and pay a wake-up penalty on the next
+ * packet. The paper enables this for the host CPU under HAL to stop
+ * busy-waiting from burning power at low rates.
+ */
+struct SleepPolicy
+{
+    bool enabled = false;
+    Tick sleep_after = 20 * kUs;
+    Tick wake_latency = 5 * kUs;
+    /**
+     * Power fraction while waiting between packets with the power
+     * API active (umonitor/umwait pauses the core instead of
+     * spinning); deep sleep after sleep_after drops to zero, at the
+     * cost of wake_latency. Without the policy a polling core burns
+     * full power at all times.
+     */
+    double shallow_idle_frac = 0.25;
+};
+
+/**
+ * Dynamic voltage/frequency scaling policy for the SNIC CPU (§VIII
+ * "Impact of SNIC processor's DVFS on the effectiveness of LBP").
+ * A simple occupancy-driven governor: scale frequency down while the
+ * rings stay near-empty, up when they back up. Service time scales
+ * as 1/f, dynamic power as f^2 (voltage tracks frequency).
+ */
+struct DvfsPolicy
+{
+    bool enabled = false;
+    Tick epoch = 500 * kUs;
+    double min_scale = 0.4;
+    double step = 0.2;
+    std::uint32_t occ_high = 16;   //!< scale up above this occupancy
+    std::uint32_t occ_low = 2;     //!< scale down below this occupancy
+};
+
+/**
+ * Aggregated dynamic-power meter (W) for one processor.
+ */
+class PowerMeter
+{
+  public:
+    explicit PowerMeter(EventQueue &eq) : eq_(eq) {}
+
+    /** Add (or with negative @p dw, remove) a power contribution. */
+    void add(double dw) { tw_.set(tw_.value() + dw, eq_.now()); }
+
+    double currentW() const { return tw_.value(); }
+
+    /** Time-averaged watts since the last reset. */
+    double averageW() const { return tw_.average(eq_.now()); }
+
+    void reset() { tw_.resetAt(eq_.now()); }
+
+  private:
+    EventQueue &eq_;
+    TimeWeighted tw_;
+};
+
+/**
+ * One poll-mode core: services its descriptor ring in FIFO order,
+ * executing the network function for real and charging the
+ * calibrated service time plus any coherent-state latency.
+ */
+class PollCore
+{
+  public:
+    struct Config
+    {
+        funcs::FunctionProfile profile;
+        SleepPolicy sleep;
+        coherence::NodeId node = coherence::NodeId::Snic;
+        net::Processor tag = net::Processor::SnicCpu;
+        net::MacAddr service_mac;
+        net::Ipv4Addr service_ip;
+        /** Shared frequency scale set by the DVFS governor (null =
+         *  fixed nominal frequency). */
+        const double *freq_scale = nullptr;
+    };
+
+    PollCore(EventQueue &eq, Config cfg, nic::DpdkRing &ring,
+             funcs::NetworkFunction &fn,
+             coherence::CoherenceDomain *domain, net::PacketSink &tx,
+             PowerMeter &power);
+    ~PollCore();
+
+    PollCore(const PollCore &) = delete;
+    PollCore &operator=(const PollCore &) = delete;
+
+    /** Ring notification: new packet while the ring was empty. */
+    void onWork();
+
+    std::uint64_t processedFrames() const { return frames_; }
+    std::uint64_t processedBytes() const { return bytes_; }
+    bool sleeping() const { return sleeping_; }
+
+    /** Fraction of time spent actively processing since reset. */
+    double utilization() const;
+
+    void resetStats();
+
+  private:
+    void startNext();
+    void finish(net::Packet *raw);
+    void goIdle();
+    void maybeSleep();
+
+    EventQueue &eq_;
+    Config cfg_;
+    nic::DpdkRing &ring_;
+    funcs::NetworkFunction &fn_;
+    coherence::CoherenceDomain *domain_;
+    net::PacketSink &tx_;
+    PowerMeter &power_;
+
+    CallbackEvent sleepEvent_;
+    bool busy_ = false;
+    bool sleeping_ = false;    //!< deep sleep (wake penalty applies)
+    double powerLevel_ = 0.0;  //!< duty-cycle fraction
+    double currentW_ = 0.0;    //!< absolute watts currently charged
+    std::uint64_t frames_ = 0;
+    std::uint64_t bytes_ = 0;
+    TimeWeighted busyTime_;   //!< 1.0 while processing, for utilization
+
+    void setPowerLevel(double frac);
+    double idleLevel() const;
+    double freqScale() const;
+};
+
+/**
+ * Accelerator pipeline (REM / crypto / compression units, §II-A):
+ * bounded input queue, serialization at the calibrated rate, fixed
+ * pipeline latency. The real function work still executes per packet.
+ */
+class Accelerator
+{
+  public:
+    struct Config
+    {
+        funcs::FunctionProfile profile;
+        std::uint32_t queue_depth = 1024;
+        coherence::NodeId node = coherence::NodeId::Snic;
+        net::Processor tag = net::Processor::SnicAccel;
+        net::MacAddr service_mac;
+        net::Ipv4Addr service_ip;
+        SleepPolicy sleep;      //!< applied to the feeding cores
+        /** Power of the polling cores feeding the accelerator (W). */
+        double feed_power_w = 0.0;
+    };
+
+    Accelerator(EventQueue &eq, Config cfg,
+                funcs::NetworkFunction &fn,
+                coherence::CoherenceDomain *domain, net::PacketSink &tx,
+                PowerMeter &power);
+    ~Accelerator();
+
+    Accelerator(const Accelerator &) = delete;
+    Accelerator &operator=(const Accelerator &) = delete;
+
+    /** Input port. */
+    net::PacketSink &input() { return queue_; }
+
+    std::uint32_t occupancy() const { return queue_.occupancy(); }
+    std::uint64_t drops() const { return queue_.drops(); }
+    std::uint64_t processedFrames() const { return frames_; }
+    std::uint64_t processedBytes() const { return bytes_; }
+
+    void resetStats();
+
+  private:
+    void pump();
+    void finish(net::Packet *raw);
+
+    EventQueue &eq_;
+    Config cfg_;
+    funcs::NetworkFunction &fn_;
+    coherence::CoherenceDomain *domain_;
+    net::PacketSink &tx_;
+    PowerMeter &power_;
+
+    nic::DpdkRing queue_;
+    CallbackEvent sleepEvent_;
+    bool inSlot_ = false;
+    bool busyPipeline_ = false;
+    bool deepSleep_ = false;
+    double powerLevel_ = 0.0;   //!< fraction of (feed + accel) power
+    std::uint64_t frames_ = 0;
+    std::uint64_t bytes_ = 0;
+
+    void setPowerLevel(double frac);
+    double idleLevel() const;
+    double activeBlockW() const;
+};
+
+/**
+ * A complete processor: the unit HAL balances load between.
+ */
+class Processor
+{
+  public:
+    struct Config
+    {
+        funcs::Platform platform = funcs::Platform::SnicBf2;
+        funcs::FunctionProfile profile;
+        unsigned cores = 8;
+        std::uint32_t ring_descriptors = 512;
+        SleepPolicy sleep;
+        DvfsPolicy dvfs;
+        coherence::NodeId node = coherence::NodeId::Snic;
+        net::MacAddr service_mac;
+        net::Ipv4Addr service_ip;
+    };
+
+    Processor(EventQueue &eq, Config cfg, funcs::NetworkFunction &fn,
+              coherence::CoherenceDomain *domain, net::PacketSink &tx);
+    ~Processor();
+
+    /** Where the eSwitch delivers this processor's packets. */
+    net::PacketSink &input();
+
+    /** Max Rx-ring occupancy (the LBP's RxQ_occ signal). */
+    std::uint32_t maxRingOccupancy() const;
+
+    /** Frames/bytes completed (the LBP's SNIC_TP signal). */
+    std::uint64_t processedFrames() const;
+    std::uint64_t processedBytes() const;
+
+    /** Packets tail-dropped at full rings/queues. */
+    std::uint64_t drops() const;
+
+    /** Average dynamic watts since the last reset. */
+    double averageDynamicW() const { return power_.averageW(); }
+
+    double currentDynamicW() const { return power_.currentW(); }
+
+    void resetStats();
+
+    const Config &config() const { return cfg_; }
+
+    bool usesAccel() const { return accel_ != nullptr; }
+
+    /** Current DVFS frequency scale (1.0 when DVFS is off). */
+    double dvfsScale() const { return freqScale_; }
+
+  private:
+    EventQueue &eq_;
+    Config cfg_;
+    PowerMeter power_;
+
+    // CPU mode.
+    std::vector<std::unique_ptr<nic::DpdkRing>> rings_;
+    std::vector<std::unique_ptr<PollCore>> cores_;
+    nic::RssDistributor rss_;
+
+    // Accel mode.
+    std::unique_ptr<Accelerator> accel_;
+
+    // DVFS governor state (CPU mode only).
+    double freqScale_ = 1.0;
+    CallbackEvent dvfsEvent_;
+
+    std::uint64_t statDropBase_ = 0;
+};
+
+} // namespace halsim::proc
+
+#endif // HALSIM_PROC_PROCESSOR_HH

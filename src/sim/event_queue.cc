@@ -1,0 +1,164 @@
+#include "sim/event_queue.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace halsim {
+
+Event::~Event()
+{
+    // A scheduled event must be descheduled before destruction;
+    // otherwise the queue would fire a dangling pointer later.
+    assert(!scheduled_ && "destroying a scheduled Event");
+}
+
+/**
+ * One-shot wrapper used by scheduleFn(); deletes itself after firing.
+ */
+class EventQueue::OneShot : public Event
+{
+  public:
+    explicit OneShot(std::function<void()> fn)
+        : Event("oneshot"), fn_(std::move(fn))
+    {}
+
+    void
+    execute() override
+    {
+        fn_();
+        delete this;
+    }
+
+  private:
+    std::function<void()> fn_;
+};
+
+EventQueue::~EventQueue()
+{
+    // Drop tombstones and orphan any still-scheduled events so their
+    // destructors don't assert; delete owned one-shot wrappers.
+    for (Entry &e : heap_) {
+        if (e.ev != nullptr) {
+            e.ev->scheduled_ = false;
+            if (dynamic_cast<OneShot *>(e.ev) != nullptr)
+                delete e.ev;
+        }
+    }
+}
+
+void
+EventQueue::schedule(Event *ev, Tick when)
+{
+    assert(ev != nullptr);
+    assert(!ev->scheduled_ && "event already scheduled");
+    assert(when >= now_ && "scheduling into the past");
+
+    ev->when_ = when;
+    ev->seq_ = ++seq_;
+    ev->scheduled_ = true;
+    heapPush(Entry{when, ev->seq_, ev});
+    ++live_;
+}
+
+void
+EventQueue::deschedule(Event *ev)
+{
+    assert(ev != nullptr);
+    if (!ev->scheduled_)
+        return;
+    // Lazy removal: find the live entry and tombstone it. The entry
+    // is identified by the (when, seq) stamped on the event.
+    for (Entry &e : heap_) {
+        if (e.ev == ev && e.seq == ev->seq_) {
+            e.ev = nullptr;
+            break;
+        }
+    }
+    ev->scheduled_ = false;
+    --live_;
+}
+
+void
+EventQueue::scheduleFn(std::function<void()> fn, Tick when)
+{
+    schedule(new OneShot(std::move(fn)), when);
+}
+
+Tick
+EventQueue::nextTick() const
+{
+    if (live_ == 0)
+        return kTickNever;
+    // Fast path: the heap root is live and therefore the minimum.
+    if (!heap_.empty() && heap_.front().ev != nullptr)
+        return heap_.front().when;
+    // The root is a tombstone; the heap property only partially
+    // orders the rest, so scan live entries for the true minimum.
+    Tick best = kTickNever;
+    for (const Entry &e : heap_)
+        if (e.ev != nullptr && e.when < best)
+            best = e.when;
+    return best;
+}
+
+bool
+EventQueue::step()
+{
+    while (!heap_.empty()) {
+        Entry top = heapPop();
+        if (top.ev == nullptr)
+            continue;   // tombstone
+        assert(top.when >= now_);
+        now_ = top.when;
+        Event *ev = top.ev;
+        ev->scheduled_ = false;
+        --live_;
+        ++executed_;
+        ev->execute();
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+EventQueue::runUntil(Tick until)
+{
+    std::uint64_t n = 0;
+    while (!heap_.empty()) {
+        // Peek past tombstones.
+        while (!heap_.empty() && heap_.front().ev == nullptr)
+            heapPop();
+        if (heap_.empty())
+            break;
+        if (heap_.front().when > until) {
+            if (until != kTickNever)
+                now_ = until;
+            return n;
+        }
+        if (step())
+            ++n;
+    }
+    if (until != kTickNever && until > now_)
+        now_ = until;
+    return n;
+}
+
+void
+EventQueue::heapPush(Entry e)
+{
+    heap_.push_back(e);
+    std::push_heap(heap_.begin(), heap_.end(),
+                   [](const Entry &a, const Entry &b) { return a > b; });
+}
+
+EventQueue::Entry
+EventQueue::heapPop()
+{
+    std::pop_heap(heap_.begin(), heap_.end(),
+                  [](const Entry &a, const Entry &b) { return a > b; });
+    Entry e = heap_.back();
+    heap_.pop_back();
+    return e;
+}
+
+} // namespace halsim

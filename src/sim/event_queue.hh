@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The discrete-event queue driving all simulated components.
+ */
+
+#ifndef HALSIM_SIM_EVENT_QUEUE_HH
+#define HALSIM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/event.hh"
+#include "sim/types.hh"
+
+namespace halsim {
+
+/**
+ * Binary-heap event queue with deterministic same-tick ordering.
+ *
+ * Events scheduled at the same tick execute in schedule order (FIFO),
+ * which keeps runs bit-reproducible regardless of heap internals.
+ * Descheduling is lazy: a descheduled event stays in the heap but is
+ * skipped on pop, which keeps deschedule O(1) at the cost of a little
+ * heap slack — the right trade for rate-limiter retimers that
+ * reschedule often.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    ~EventQueue();
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule @p ev to execute at absolute tick @p when.
+     * @pre !ev->scheduled() and when >= now().
+     */
+    void schedule(Event *ev, Tick when);
+
+    /** Schedule @p ev @p delta ticks from now. */
+    void
+    scheduleIn(Event *ev, Tick delta)
+    {
+        schedule(ev, now_ + delta);
+    }
+
+    /** Remove a pending event; no-op if not scheduled. */
+    void deschedule(Event *ev);
+
+    /** Deschedule if pending, then schedule at @p when. */
+    void
+    reschedule(Event *ev, Tick when)
+    {
+        if (ev->scheduled())
+            deschedule(ev);
+        schedule(ev, when);
+    }
+
+    /**
+     * Schedule a one-shot callable at absolute tick @p when. The
+     * wrapper event is owned by the queue and freed after it fires.
+     */
+    void scheduleFn(std::function<void()> fn, Tick when);
+
+    /** Schedule a one-shot callable @p delta ticks from now. */
+    void
+    scheduleFnIn(std::function<void()> fn, Tick delta)
+    {
+        scheduleFn(std::move(fn), now_ + delta);
+    }
+
+    /** True when no executable events remain. */
+    bool empty() const { return live_ == 0; }
+
+    /** Number of live (scheduled) events. */
+    std::size_t size() const { return live_; }
+
+    /** Tick of the next live event, or kTickNever when empty. */
+    Tick nextTick() const;
+
+    /**
+     * Execute the single next event, advancing time to it.
+     * @retval true an event was executed
+     * @retval false the queue was empty
+     */
+    bool step();
+
+    /**
+     * Run until the queue drains or simulated time would pass
+     * @p until. Events at exactly @p until still execute; time ends
+     * clamped to @p until when the queue still has later events.
+     * @return number of events executed
+     */
+    std::uint64_t runUntil(Tick until);
+
+    /** Run until the queue is empty. @return events executed. */
+    std::uint64_t run() { return runUntil(kTickNever); }
+
+    /** Total events executed over the queue's lifetime. */
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Event *ev;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    /** One-shot heap-allocated wrapper for scheduleFn(). */
+    class OneShot;
+
+    void heapPush(Entry e);
+    Entry heapPop();
+
+    std::vector<Entry> heap_;
+    Tick now_ = 0;
+    std::uint64_t seq_ = 0;
+    std::size_t live_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace halsim
+
+#endif // HALSIM_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,166 @@
+#include "sim/report.hh"
+
+#include <cassert>
+#include <cstdio>
+#include <iomanip>
+
+namespace halsim {
+
+ReportTable::ReportTable(std::vector<std::string> columns)
+    : columns_(std::move(columns))
+{
+    assert(!columns_.empty());
+}
+
+ReportTable &
+ReportTable::row()
+{
+    assert(cells_.empty() || cells_.back().size() == columns_.size());
+    cells_.emplace_back();
+    cells_.back().reserve(columns_.size());
+    return *this;
+}
+
+ReportTable &
+ReportTable::add(const std::string &v)
+{
+    assert(!cells_.empty() && cells_.back().size() < columns_.size());
+    cells_.back().emplace_back(v);
+    return *this;
+}
+
+ReportTable &
+ReportTable::add(const char *v)
+{
+    return add(std::string(v));
+}
+
+ReportTable &
+ReportTable::add(double v)
+{
+    assert(!cells_.empty() && cells_.back().size() < columns_.size());
+    cells_.back().emplace_back(v);
+    return *this;
+}
+
+ReportTable &
+ReportTable::add(std::int64_t v)
+{
+    assert(!cells_.empty() && cells_.back().size() < columns_.size());
+    cells_.back().emplace_back(v);
+    return *this;
+}
+
+ReportTable &
+ReportTable::add(std::uint64_t v)
+{
+    return add(static_cast<std::int64_t>(v));
+}
+
+const ReportTable::Cell &
+ReportTable::at(std::size_t r, std::size_t c) const
+{
+    return cells_.at(r).at(c);
+}
+
+std::string
+ReportTable::render(const Cell &cell)
+{
+    if (const auto *s = std::get_if<std::string>(&cell))
+        return *s;
+    if (const auto *d = std::get_if<double>(&cell)) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.4g", *d);
+        return buf;
+    }
+    return std::to_string(std::get<std::int64_t>(cell));
+}
+
+void
+ReportTable::writeText(std::ostream &os) const
+{
+    // Column widths from headers and rendered cells.
+    std::vector<std::size_t> width(columns_.size());
+    for (std::size_t c = 0; c < columns_.size(); ++c)
+        width[c] = columns_[c].size();
+    for (const auto &row : cells_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], render(row[c]).size());
+
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+        os << std::setw(static_cast<int>(width[c])) << columns_[c]
+           << (c + 1 < columns_.size() ? "  " : "");
+    }
+    os << '\n';
+    for (const auto &row : cells_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::setw(static_cast<int>(width[c])) << render(row[c])
+               << (c + 1 < row.size() ? "  " : "");
+        }
+        os << '\n';
+    }
+}
+
+std::string
+ReportTable::escapeCsv(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char ch : s) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+void
+ReportTable::writeCsv(std::ostream &os) const
+{
+    for (std::size_t c = 0; c < columns_.size(); ++c)
+        os << escapeCsv(columns_[c]) << (c + 1 < columns_.size() ? "," : "");
+    os << '\n';
+    for (const auto &row : cells_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << escapeCsv(render(row[c]))
+               << (c + 1 < row.size() ? "," : "");
+        os << '\n';
+    }
+}
+
+std::string
+ReportTable::escapeJson(const std::string &s)
+{
+    std::string out;
+    for (char ch : s) {
+        switch (ch) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          default: out += ch;
+        }
+    }
+    return out;
+}
+
+void
+ReportTable::writeJsonLines(std::ostream &os) const
+{
+    for (const auto &row : cells_) {
+        os << '{';
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << '"' << escapeJson(columns_[c]) << "\":";
+            if (const auto *s = std::get_if<std::string>(&row[c]))
+                os << '"' << escapeJson(*s) << '"';
+            else
+                os << render(row[c]);
+            if (c + 1 < row.size())
+                os << ',';
+        }
+        os << "}\n";
+    }
+}
+
+} // namespace halsim

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Tabular result reporting: collect named rows of metrics and render
+ * them as an aligned text table, CSV, or JSON lines. The bench
+ * binaries print paper-style tables; this gives downstream users a
+ * machine-readable path for the same data.
+ */
+
+#ifndef HALSIM_SIM_REPORT_HH
+#define HALSIM_SIM_REPORT_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace halsim {
+
+/**
+ * A rectangular table of metrics with typed cells.
+ */
+class ReportTable
+{
+  public:
+    using Cell = std::variant<std::string, double, std::int64_t>;
+
+    /** @param columns header names, fixed for the table's lifetime */
+    explicit ReportTable(std::vector<std::string> columns);
+
+    /** Begin a new row; subsequent add() calls fill it in order. */
+    ReportTable &row();
+
+    ReportTable &add(const std::string &v);
+    ReportTable &add(const char *v);
+    ReportTable &add(double v);
+    ReportTable &add(std::int64_t v);
+    ReportTable &add(std::uint64_t v);
+
+    std::size_t rows() const { return cells_.size(); }
+    std::size_t columns() const { return columns_.size(); }
+
+    /** Cell accessor for tests (row, column). */
+    const Cell &at(std::size_t r, std::size_t c) const;
+
+    /** Aligned human-readable table. */
+    void writeText(std::ostream &os) const;
+
+    /** RFC 4180-ish CSV with a header row. */
+    void writeCsv(std::ostream &os) const;
+
+    /** One JSON object per row (JSON lines). */
+    void writeJsonLines(std::ostream &os) const;
+
+  private:
+    static std::string render(const Cell &cell);
+    static std::string escapeCsv(const std::string &s);
+    static std::string escapeJson(const std::string &s);
+
+    std::vector<std::string> columns_;
+    std::vector<std::vector<Cell>> cells_;
+};
+
+} // namespace halsim
+
+#endif // HALSIM_SIM_REPORT_HH

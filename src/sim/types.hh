@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Fundamental simulation types: ticks, durations, and rate conversions.
+ *
+ * The simulator counts time in integer picoseconds. At 100 Gbps one
+ * byte serializes in 80 ps, so picosecond resolution keeps per-byte
+ * wire timing exact for every packet size the paper uses (64 B to
+ * 1500 B MTU). A 64-bit tick counter covers ~213 days of simulated
+ * time, far beyond the longest experiment window.
+ */
+
+#ifndef HALSIM_SIM_TYPES_HH
+#define HALSIM_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace halsim {
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** Signed tick difference, for intervals that may be negative. */
+using TickDelta = std::int64_t;
+
+/** Sentinel for "never" / unscheduled. */
+inline constexpr Tick kTickNever = std::numeric_limits<Tick>::max();
+
+/** One nanosecond in ticks. */
+inline constexpr Tick kNs = 1000;
+/** One microsecond in ticks. */
+inline constexpr Tick kUs = 1000 * kNs;
+/** One millisecond in ticks. */
+inline constexpr Tick kMs = 1000 * kUs;
+/** One second in ticks. */
+inline constexpr Tick kSec = 1000 * kMs;
+
+/** Convert ticks to (fractional) seconds. */
+constexpr double
+ticksToSeconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kSec);
+}
+
+/** Convert ticks to (fractional) microseconds. */
+constexpr double
+ticksToUs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kUs);
+}
+
+/** Convert fractional seconds to ticks (rounded to nearest). */
+constexpr Tick
+secondsToTicks(double s)
+{
+    return static_cast<Tick>(s * static_cast<double>(kSec) + 0.5);
+}
+
+/** Convert fractional microseconds to ticks (rounded to nearest). */
+constexpr Tick
+usToTicks(double us)
+{
+    return static_cast<Tick>(us * static_cast<double>(kUs) + 0.5);
+}
+
+/**
+ * Serialization time of @p bytes at @p gbps gigabits per second.
+ *
+ * Used for wire, PCIe, and service-rate conversions throughout the
+ * model. Returns at least 1 tick for any non-zero payload so events
+ * always make forward progress.
+ */
+constexpr Tick
+transferTicks(std::uint64_t bytes, double gbps)
+{
+    if (bytes == 0 || gbps <= 0.0)
+        return 0;
+    // bits / (Gbit/s) = ns; scale to ticks.
+    const double ns = static_cast<double>(bytes * 8) / gbps;
+    const Tick t = static_cast<Tick>(ns * static_cast<double>(kNs) + 0.5);
+    return t > 0 ? t : 1;
+}
+
+/**
+ * Achieved rate in Gbps given @p bytes moved over @p ticks.
+ */
+constexpr double
+gbps(std::uint64_t bytes, Tick ticks)
+{
+    if (ticks == 0)
+        return 0.0;
+    return static_cast<double>(bytes * 8) /
+           static_cast<double>(ticks) * 1000.0;
+}
+
+} // namespace halsim
+
+#endif // HALSIM_SIM_TYPES_HH

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Aho-Corasick automaton: matches vs a naive reference scanner over
+ * random texts and the REM rulesets, overlap handling, and automaton
+ * shape checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "alg/aho_corasick.hh"
+#include "alg/corpus.hh"
+#include "sim/rng.hh"
+
+using halsim::Rng;
+using halsim::alg::AhoCorasick;
+using halsim::alg::Match;
+
+namespace {
+
+std::vector<std::uint8_t>
+bytesOf(const std::string &s)
+{
+    return {s.begin(), s.end()};
+}
+
+/** Naive O(n*m) reference matcher. */
+std::vector<Match>
+naiveFindAll(const std::vector<std::string> &patterns,
+             const std::vector<std::uint8_t> &text)
+{
+    std::vector<Match> out;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        for (std::uint32_t pi = 0; pi < patterns.size(); ++pi) {
+            const std::string &p = patterns[pi];
+            if (p.size() > i + 1)
+                continue;
+            const std::size_t start = i + 1 - p.size();
+            if (std::equal(p.begin(), p.end(), text.begin() + start))
+                out.push_back(Match{pi, i + 1});
+        }
+    }
+    return out;
+}
+
+void
+sortMatches(std::vector<Match> &m)
+{
+    std::sort(m.begin(), m.end(), [](const Match &a, const Match &b) {
+        return a.end != b.end ? a.end < b.end : a.pattern < b.pattern;
+    });
+}
+
+} // namespace
+
+TEST(AhoCorasick, SinglePattern)
+{
+    AhoCorasick ac({"abc"});
+    const auto text = bytesOf("xxabcxxabc");
+    EXPECT_EQ(ac.countMatches(text), 2u);
+    EXPECT_TRUE(ac.contains(text));
+    EXPECT_FALSE(ac.contains(bytesOf("xxabxcx")));
+}
+
+TEST(AhoCorasick, OverlappingPatterns)
+{
+    // "aba" in "ababa" matches at ends 3 and 5.
+    AhoCorasick ac({"aba"});
+    EXPECT_EQ(ac.countMatches(bytesOf("ababa")), 2u);
+}
+
+TEST(AhoCorasick, SuffixPatternsBothReported)
+{
+    // "she" contains "he": both must fire at the same end position.
+    AhoCorasick ac({"she", "he", "hers"});
+    auto matches = ac.findAll(bytesOf("ushers"));
+    sortMatches(matches);
+    ASSERT_EQ(matches.size(), 3u);
+    EXPECT_EQ(matches[0].end, 4u);   // "she"
+    EXPECT_EQ(matches[1].end, 4u);   // "he"
+    EXPECT_EQ(matches[2].end, 6u);   // "hers"
+}
+
+TEST(AhoCorasick, PatternIsPrefixOfAnother)
+{
+    AhoCorasick ac({"ab", "abcd"});
+    EXPECT_EQ(ac.countMatches(bytesOf("abcd")), 2u);
+}
+
+TEST(AhoCorasick, NoMatchesInCleanText)
+{
+    AhoCorasick ac({"needle"});
+    const auto text = halsim::alg::makeSilesiaLike(10000, 1);
+    EXPECT_EQ(ac.countMatches(text),
+              naiveFindAll({"needle"}, text).size());
+}
+
+TEST(AhoCorasick, MatchesAgainstNaiveRandomized)
+{
+    Rng rng(99);
+    for (int trial = 0; trial < 20; ++trial) {
+        // Small alphabet maximizes overlaps and failure transitions.
+        std::vector<std::string> patterns;
+        const std::size_t npat = 1 + rng.uniformInt(8);
+        for (std::size_t i = 0; i < npat; ++i) {
+            std::string p;
+            const std::size_t len = 1 + rng.uniformInt(5);
+            for (std::size_t j = 0; j < len; ++j)
+                p.push_back(static_cast<char>('a' + rng.uniformInt(3)));
+            patterns.push_back(std::move(p));
+        }
+        std::vector<std::uint8_t> text(500);
+        for (auto &c : text)
+            c = static_cast<std::uint8_t>('a' + rng.uniformInt(3));
+
+        AhoCorasick ac(patterns);
+        auto got = ac.findAll(text);
+        auto want = naiveFindAll(patterns, text);
+        sortMatches(got);
+        sortMatches(want);
+        ASSERT_EQ(got, want) << "trial " << trial;
+        EXPECT_EQ(ac.countMatches(text), want.size());
+    }
+}
+
+TEST(AhoCorasick, BinaryPatterns)
+{
+    // Full byte alphabet including NUL.
+    std::vector<std::string> patterns = {std::string("\x00\x01", 2),
+                                         std::string("\xff\xfe\xfd", 3)};
+    AhoCorasick ac(patterns);
+    std::vector<std::uint8_t> text = {0xff, 0xfe, 0xfd, 0x00,
+                                      0x01, 0x00, 0x01};
+    EXPECT_EQ(ac.countMatches(text), 3u);
+}
+
+TEST(AhoCorasick, TeakettleRulesetBuilds)
+{
+    const auto rules =
+        halsim::alg::makeRuleset(halsim::alg::RulesetKind::Teakettle, 2500);
+    ASSERT_EQ(rules.size(), 2500u);
+    AhoCorasick ac(rules);
+    EXPECT_GT(ac.stateCount(), 2500u);
+
+    // A scan stream with planted hits must fire; hit-free must be rare.
+    const auto hot = halsim::alg::makeScanStream(50000, rules, 0.5, 1);
+    EXPECT_GT(ac.countMatches(hot), 0u);
+}
+
+TEST(AhoCorasick, SnortRulesetSelective)
+{
+    const auto rules = halsim::alg::makeRuleset(
+        halsim::alg::RulesetKind::SnortLiterals, 500);
+    AhoCorasick ac(rules);
+    const auto clean = halsim::alg::makeScanStream(50000, rules, 0.0, 2);
+    const auto dirty = halsim::alg::makeScanStream(50000, rules, 0.3, 3);
+    EXPECT_EQ(ac.countMatches(clean), 0u)
+        << "snort-style tokens should not fire on plain text";
+    EXPECT_GT(ac.countMatches(dirty), 50u);
+}
+
+/** Automaton must agree with naive across ruleset sizes. */
+class AhoRulesetSweep : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(AhoRulesetSweep, CountsMatchNaive)
+{
+    const auto rules = halsim::alg::makeRuleset(
+        halsim::alg::RulesetKind::Teakettle, GetParam(), 21);
+    const auto text = halsim::alg::makeScanStream(5000, rules, 0.2, 22);
+    AhoCorasick ac(rules);
+    EXPECT_EQ(ac.countMatches(text), naiveFindAll(rules, text).size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AhoRulesetSweep,
+                         ::testing::Values(1u, 10u, 100u, 500u));

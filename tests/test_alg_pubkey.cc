@@ -1,0 +1,144 @@
+/**
+ * @file
+ * RSA / DSA / DH protocol layer: round trips, signature
+ * verification, tamper detection, and algebraic sanity of the DSA
+ * group parameters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "alg/pubkey.hh"
+
+using namespace halsim;
+using namespace halsim::alg;
+
+namespace {
+
+std::vector<std::uint8_t>
+bytesOf(const std::string &s)
+{
+    return {s.begin(), s.end()};
+}
+
+/** Shared keys: generation is the expensive part, do it once. */
+RsaKey &
+rsa()
+{
+    static RsaKey key = [] {
+        Rng rng(0x25A);
+        return RsaKey::generate(512, rng);
+    }();
+    return key;
+}
+
+DsaKey &
+dsa()
+{
+    static DsaKey key = [] {
+        Rng rng(0xD5A);
+        return DsaKey::generate(512, 160, rng);
+    }();
+    return key;
+}
+
+} // namespace
+
+TEST(Rsa, EncryptDecryptRoundTrip)
+{
+    Rng rng(1);
+    for (int i = 0; i < 5; ++i) {
+        const BigUint m = BigUint::randomBits(200, rng);
+        EXPECT_EQ(rsa().decrypt(rsa().encrypt(m)), m);
+    }
+}
+
+TEST(Rsa, ModulusHasRequestedSize)
+{
+    EXPECT_NEAR(static_cast<double>(rsa().modulus().bitLength()), 512.0,
+                2.0);
+    EXPECT_EQ(rsa().publicExponent().toUint64(), 65537u);
+}
+
+TEST(Rsa, SignVerify)
+{
+    const auto msg = bytesOf("attack at dawn");
+    const BigUint sig = rsa().sign(msg);
+    EXPECT_TRUE(rsa().verify(msg, sig));
+}
+
+TEST(Rsa, TamperedMessageFails)
+{
+    const auto msg = bytesOf("attack at dawn");
+    const BigUint sig = rsa().sign(msg);
+    EXPECT_FALSE(rsa().verify(bytesOf("attack at dusk"), sig));
+    EXPECT_FALSE(rsa().verify(msg, sig + BigUint(1)));
+}
+
+TEST(Dsa, GroupParametersAreConsistent)
+{
+    const DsaKey &key = dsa();
+    // q | p-1.
+    EXPECT_TRUE(((key.p() - BigUint(1)) % key.q()).isZero());
+    // g has order q: g^q == 1 mod p, g != 1.
+    EXPECT_EQ(key.g().modexp(key.q(), key.p()), BigUint(1));
+    EXPECT_NE(key.g(), BigUint(1));
+    EXPECT_GE(key.q().bitLength(), 160u);
+}
+
+TEST(Dsa, SignVerify)
+{
+    Rng rng(2);
+    const auto msg = bytesOf("the quick brown fox");
+    const auto sig = dsa().sign(msg, rng);
+    EXPECT_TRUE(dsa().verify(msg, sig));
+}
+
+TEST(Dsa, SignaturesAreRandomizedButAllVerify)
+{
+    Rng rng(3);
+    const auto msg = bytesOf("same message");
+    const auto s1 = dsa().sign(msg, rng);
+    const auto s2 = dsa().sign(msg, rng);
+    EXPECT_NE(s1.r, s2.r) << "fresh nonce per signature";
+    EXPECT_TRUE(dsa().verify(msg, s1));
+    EXPECT_TRUE(dsa().verify(msg, s2));
+}
+
+TEST(Dsa, TamperedFails)
+{
+    Rng rng(4);
+    const auto msg = bytesOf("original");
+    auto sig = dsa().sign(msg, rng);
+    EXPECT_FALSE(dsa().verify(bytesOf("OriginaL"), sig));
+    sig.s = (sig.s + BigUint(1)) % dsa().q();
+    EXPECT_FALSE(dsa().verify(msg, sig));
+}
+
+TEST(Dsa, RejectsOutOfRangeSignature)
+{
+    const auto msg = bytesOf("msg");
+    DsaKey::Signature bad{BigUint(0), BigUint(1)};
+    EXPECT_FALSE(dsa().verify(msg, bad));
+    bad = {dsa().q(), BigUint(1)};
+    EXPECT_FALSE(dsa().verify(msg, bad));
+}
+
+TEST(Dh, SharedSecretAgrees)
+{
+    Rng rng(5);
+    DhParty alice(rng), bob(rng);
+    EXPECT_EQ(alice.agree(bob.publicValue()),
+              bob.agree(alice.publicValue()));
+    EXPECT_NE(alice.publicValue(), bob.publicValue());
+}
+
+TEST(Dh, RejectsDegeneratePeer)
+{
+    Rng rng(6);
+    DhParty alice(rng);
+    EXPECT_THROW(alice.agree(BigUint(1)), std::invalid_argument);
+    EXPECT_THROW(alice.agree(BigUint(0)), std::invalid_argument);
+}

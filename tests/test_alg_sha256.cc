@@ -1,0 +1,130 @@
+/**
+ * @file
+ * SHA-256 against FIPS 180-4 published vectors plus structural
+ * properties (incremental == one-shot, avalanche).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "alg/sha256.hh"
+
+using halsim::alg::Sha256;
+using halsim::alg::Sha256Digest;
+
+namespace {
+
+Sha256Digest
+hashStr(const std::string &s)
+{
+    return Sha256::hash(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t *>(s.data()), s.size()));
+}
+
+} // namespace
+
+TEST(Sha256, EmptyString)
+{
+    EXPECT_EQ(Sha256::toHex(hashStr("")),
+              "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b"
+              "7852b855");
+}
+
+TEST(Sha256, Abc)
+{
+    EXPECT_EQ(Sha256::toHex(hashStr("abc")),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61"
+              "f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage)
+{
+    EXPECT_EQ(Sha256::toHex(hashStr(
+                  "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnop"
+                  "nopq")),
+              "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd4"
+              "19db06c1");
+}
+
+TEST(Sha256, MillionA)
+{
+    // FIPS 180-4 long vector: one million 'a' bytes.
+    std::vector<std::uint8_t> data(1000000, 'a');
+    EXPECT_EQ(Sha256::toHex(Sha256::hash(data)),
+              "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39cc"
+              "c7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot)
+{
+    std::vector<std::uint8_t> data(100000);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i * 131 + 7);
+
+    const Sha256Digest whole = Sha256::hash(data);
+
+    // Feed in awkward chunk sizes straddling block boundaries.
+    Sha256 ctx;
+    std::size_t off = 0;
+    std::size_t chunk = 1;
+    while (off < data.size()) {
+        const std::size_t take = std::min(chunk, data.size() - off);
+        ctx.update(std::span<const std::uint8_t>(data.data() + off, take));
+        off += take;
+        chunk = (chunk * 3 + 1) % 200 + 1;
+    }
+    EXPECT_EQ(ctx.finish(), whole);
+}
+
+TEST(Sha256, SingleBitFlipChangesDigest)
+{
+    std::vector<std::uint8_t> data(256, 0x5a);
+    const Sha256Digest base = Sha256::hash(data);
+    for (int byte : {0, 63, 64, 255}) {
+        auto mutated = data;
+        mutated[byte] ^= 1;
+        EXPECT_NE(Sha256::hash(mutated), base)
+            << "flip at byte " << byte;
+    }
+}
+
+TEST(Sha256, ResetReusesContext)
+{
+    Sha256 ctx;
+    const std::string a = "first message";
+    ctx.update(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t *>(a.data()), a.size()));
+    (void)ctx.finish();
+
+    ctx.reset();
+    const std::string b = "abc";
+    ctx.update(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t *>(b.data()), b.size()));
+    EXPECT_EQ(Sha256::toHex(ctx.finish()),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61"
+              "f20015ad");
+}
+
+/** Lengths straddling the padding boundary (55/56/57, 63/64/65). */
+class Sha256PaddingTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(Sha256PaddingTest, PaddingBoundaryConsistency)
+{
+    const int len = GetParam();
+    std::vector<std::uint8_t> data(len, 'x');
+    const Sha256Digest whole = Sha256::hash(data);
+
+    Sha256 ctx;
+    for (int i = 0; i < len; ++i)
+        ctx.update(std::span<const std::uint8_t>(&data[i], 1));
+    EXPECT_EQ(ctx.finish(), whole) << "len " << len;
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, Sha256PaddingTest,
+                         ::testing::Values(0, 1, 54, 55, 56, 57, 63, 64,
+                                           65, 119, 120, 121, 127, 128));

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * zlib/gzip framing: checksum vectors (Adler-32, CRC-32 against
+ * published values), container round trips, header validation, and
+ * corruption detection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "alg/corpus.hh"
+#include "alg/zstream.hh"
+
+using namespace halsim::alg;
+
+namespace {
+
+std::vector<std::uint8_t>
+bytesOf(const std::string &s)
+{
+    return {s.begin(), s.end()};
+}
+
+} // namespace
+
+TEST(Adler32, PublishedVectors)
+{
+    // "Wikipedia" is the classic worked example: 0x11E60398.
+    EXPECT_EQ(adler32(bytesOf("Wikipedia")), 0x11E60398u);
+    EXPECT_EQ(adler32({}), 1u) << "empty input keeps the seed";
+    EXPECT_EQ(adler32(bytesOf("a")), 0x00620062u);
+}
+
+TEST(Adler32, DeferredModuloMatchesNaive)
+{
+    // Large input exercises the NMAX chunking; compare with a naive
+    // per-byte implementation.
+    const auto data = makeSilesiaLike(100000, 4);
+    std::uint32_t a = 1, b = 0;
+    for (std::uint8_t byte : data) {
+        a = (a + byte) % 65521;
+        b = (b + a) % 65521;
+    }
+    EXPECT_EQ(adler32(data), (b << 16) | a);
+}
+
+TEST(Crc32, PublishedVectors)
+{
+    // The canonical check value for the IEEE polynomial.
+    EXPECT_EQ(crc32(bytesOf("123456789")), 0xCBF43926u);
+    EXPECT_EQ(crc32({}), 0u);
+    EXPECT_EQ(crc32(bytesOf("The quick brown fox jumps over the lazy "
+                            "dog")),
+              0x414FA339u);
+}
+
+TEST(Crc32, Incremental)
+{
+    const auto whole = bytesOf("hello world");
+    const auto first = bytesOf("hello ");
+    const auto second = bytesOf("world");
+    EXPECT_EQ(crc32(second, crc32(first)), crc32(whole));
+}
+
+TEST(Zlib, RoundTrip)
+{
+    const auto data = makeSilesiaLike(50000, 7);
+    const auto z = zlibCompress(data);
+    EXPECT_LT(z.size(), data.size());
+    EXPECT_EQ(zlibDecompress(z), data);
+}
+
+TEST(Zlib, HeaderIsStandard)
+{
+    const auto z = zlibCompress(bytesOf("abc"));
+    EXPECT_EQ(z[0], 0x78) << "CM=8, 32 KiB window";
+    EXPECT_EQ(((static_cast<std::uint32_t>(z[0]) << 8) | z[1]) % 31, 0u)
+        << "FCHECK";
+}
+
+TEST(Zlib, DetectsCorruption)
+{
+    auto z = zlibCompress(makeSilesiaLike(5000, 8));
+    z[z.size() - 1] ^= 0x01;   // trailer
+    EXPECT_THROW(zlibDecompress(z), std::runtime_error);
+
+    auto z2 = zlibCompress(bytesOf("payload"));
+    z2[0] = 0x79;   // bad CM/CINFO -> header check fails
+    EXPECT_THROW(zlibDecompress(z2), std::runtime_error);
+}
+
+TEST(Gzip, RoundTrip)
+{
+    const auto data = makeSilesiaLike(80000, 9);
+    const auto g = gzipCompress(data);
+    EXPECT_EQ(g[0], 0x1f);
+    EXPECT_EQ(g[1], 0x8b);
+    EXPECT_EQ(gzipDecompress(g), data);
+}
+
+TEST(Gzip, EmptyInput)
+{
+    const auto g = gzipCompress({});
+    EXPECT_EQ(gzipDecompress(g), std::vector<std::uint8_t>{});
+}
+
+TEST(Gzip, DetectsCrcMismatch)
+{
+    auto g = gzipCompress(makeSilesiaLike(3000, 10));
+    g[g.size() - 5] ^= 0x80;   // flip a CRC bit
+    EXPECT_THROW(gzipDecompress(g), std::runtime_error);
+}
+
+TEST(Gzip, DetectsSizeMismatch)
+{
+    auto g = gzipCompress(bytesOf("twelve bytes"));
+    g[g.size() - 1] ^= 0x01;   // ISIZE high byte
+    EXPECT_THROW(gzipDecompress(g), std::runtime_error);
+}
+
+TEST(Gzip, RejectsForeignMagic)
+{
+    EXPECT_THROW(gzipDecompress(bytesOf("PK\x03\x04 not a gzip file....")),
+                 std::runtime_error);
+}

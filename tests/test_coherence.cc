@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Coherence domain: MSI state machine latencies, single-writer
+ * invariant under random access streams, and the StateContext
+ * accounting stateful functions rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "coherence/domain.hh"
+#include "sim/rng.hh"
+
+using namespace halsim;
+using namespace halsim::coherence;
+
+namespace {
+
+CoherenceDomain::Config
+testCfg()
+{
+    CoherenceDomain::Config cfg;
+    cfg.local_hit = 10;
+    cfg.memory_fetch = 100;
+    cfg.remote_transfer = 1000;
+    cfg.line_bytes = 64;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Coherence, ColdReadFetchesFromMemory)
+{
+    CoherenceDomain d(testCfg());
+    EXPECT_EQ(d.access(0x1000, NodeId::Snic, false), 100u);
+    EXPECT_EQ(d.stats().memoryFetches, 1u);
+}
+
+TEST(Coherence, RepeatReadHitsLocally)
+{
+    CoherenceDomain d(testCfg());
+    d.access(0x1000, NodeId::Snic, false);
+    EXPECT_EQ(d.access(0x1000, NodeId::Snic, false), 10u);
+    EXPECT_EQ(d.access(0x1040, NodeId::Snic, false), 100u)
+        << "adjacent line is a separate fetch";
+    EXPECT_EQ(d.access(0x1008, NodeId::Snic, false), 10u)
+        << "same 64-byte line hits";
+}
+
+TEST(Coherence, WriteAfterWriteIsLocal)
+{
+    CoherenceDomain d(testCfg());
+    EXPECT_EQ(d.access(0x2000, NodeId::Host, true), 100u);
+    EXPECT_EQ(d.access(0x2000, NodeId::Host, true), 10u);
+}
+
+TEST(Coherence, RemoteDirtyReadTransfers)
+{
+    CoherenceDomain d(testCfg());
+    d.access(0x3000, NodeId::Snic, true);   // SNIC owns dirty
+    EXPECT_EQ(d.access(0x3000, NodeId::Host, false), 1000u)
+        << "dirty line must cross the UPI/CXL interconnect";
+    // Now shared: both read locally.
+    EXPECT_EQ(d.access(0x3000, NodeId::Host, false), 10u);
+    EXPECT_EQ(d.access(0x3000, NodeId::Snic, false), 10u);
+}
+
+TEST(Coherence, WriteInvalidatesRemoteSharer)
+{
+    CoherenceDomain d(testCfg());
+    d.access(0x4000, NodeId::Snic, false);
+    d.access(0x4000, NodeId::Host, false);
+    EXPECT_EQ(d.access(0x4000, NodeId::Host, true), 1000u)
+        << "upgrading with a remote sharer costs an invalidation";
+    EXPECT_EQ(d.stats().invalidations, 1u);
+    // The SNIC's copy is gone: its next read transfers the dirty line.
+    EXPECT_EQ(d.access(0x4000, NodeId::Snic, false), 1000u);
+}
+
+TEST(Coherence, LocalUpgradeFromSharedIsCheap)
+{
+    CoherenceDomain d(testCfg());
+    d.access(0x5000, NodeId::Snic, false);
+    EXPECT_EQ(d.access(0x5000, NodeId::Snic, true), 10u)
+        << "S->M with no remote sharer is a local operation";
+}
+
+TEST(Coherence, PingPongWritesAlwaysTransfer)
+{
+    // The pathological stateful pattern: both nodes writing the same
+    // counter. Every write after the first must cross the link.
+    CoherenceDomain d(testCfg());
+    d.access(0x6000, NodeId::Snic, true);
+    for (int i = 0; i < 10; ++i) {
+        const NodeId n = i % 2 ? NodeId::Snic : NodeId::Host;
+        EXPECT_EQ(d.access(0x6000, n, true), 1000u) << "round " << i;
+    }
+    EXPECT_EQ(d.stats().remoteTransfers, 10u);
+}
+
+TEST(Coherence, SingleWriterInvariantUnderRandomChurn)
+{
+    CoherenceDomain d(testCfg());
+    Rng rng(42);
+    for (int i = 0; i < 100000; ++i) {
+        const std::uint64_t addr = rng.uniformInt(64) * 64;
+        const NodeId node = rng.chance(0.5) ? NodeId::Snic : NodeId::Host;
+        d.access(addr, node, rng.chance(0.3));
+    }
+    EXPECT_TRUE(d.checkSingleWriterInvariant());
+    EXPECT_EQ(d.stats().accesses, 100000u);
+    EXPECT_EQ(d.stats().localHits + d.stats().memoryFetches +
+                  d.stats().remoteTransfers,
+              100000u)
+        << "every access is exactly one of hit/fetch/transfer";
+}
+
+TEST(StateContext, ExposedLatencyIsMaxPlusResidual)
+{
+    CoherenceDomain d(testCfg());
+    StateContext ctx(&d, NodeId::Snic);
+    ctx.touch(0x100, true);    // memory fetch: 100
+    ctx.touch(0x100, true);    // local: 10
+    // Out-of-order overlap: longest access (100) + 15% of the rest.
+    EXPECT_EQ(ctx.latency(),
+              100u + static_cast<Tick>(0.15 * 10.0));
+    EXPECT_EQ(ctx.accesses(), 2u);
+    EXPECT_TRUE(ctx.coherent());
+}
+
+TEST(StateContext, NullDomainIsFree)
+{
+    StateContext ctx(nullptr, NodeId::Host);
+    for (int i = 0; i < 100; ++i)
+        ctx.touch(static_cast<std::uint64_t>(i), true);
+    EXPECT_EQ(ctx.latency(), 0u);
+    EXPECT_EQ(ctx.accesses(), 100u);
+    EXPECT_FALSE(ctx.coherent());
+}
+
+TEST(Coherence, SkewedSharingIsMostlyLocal)
+{
+    // HAL's common case: the SNIC handles the low-rate steady state,
+    // the host only bursts. With key-partitioned access the remote
+    // traffic should stay a small fraction.
+    CoherenceDomain d(testCfg());
+    Rng rng(7);
+    for (int i = 0; i < 50000; ++i) {
+        // 95% of accesses from the SNIC.
+        const NodeId node =
+            rng.chance(0.95) ? NodeId::Snic : NodeId::Host;
+        const std::uint64_t addr = rng.uniformInt(1024) * 64;
+        d.access(addr, node, true);
+    }
+    const auto &s = d.stats();
+    EXPECT_LT(static_cast<double>(s.remoteTransfers) /
+                  static_cast<double>(s.accesses),
+              0.15);
+}

@@ -1,0 +1,304 @@
+/**
+ * @file
+ * The paper's per-function configurations (Table IV lists two per
+ * function: batch sizes 4/8, NAT 1 K/10 K entries, BM25 2 K/4 K
+ * terms, KNN set sizes 8/16, Bayes 128/256 features, REM tea/lite).
+ * Parameterized sweeps verify each function behaves correctly in
+ * both published configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "coherence/domain.hh"
+#include "funcs/analytics.hh"
+#include "funcs/content.hh"
+#include "funcs/nat.hh"
+#include "funcs/stateful.hh"
+#include "net/bytes.hh"
+#include "sim/rng.hh"
+
+using namespace halsim;
+using namespace halsim::funcs;
+using coherence::StateContext;
+
+namespace {
+
+net::PacketPtr
+blankPacket()
+{
+    return net::makeUdpPacket(net::MacAddr::fromUint(1),
+                              net::MacAddr::fromUint(2),
+                              net::Ipv4Addr(10, 0, 0, 1),
+                              net::Ipv4Addr(10, 0, 0, 2), 40000, 9000,
+                              {}, net::kMtuFrameBytes);
+}
+
+StateContext
+nullState()
+{
+    return StateContext(nullptr, coherence::NodeId::Snic);
+}
+
+} // namespace
+
+// --- Count / EMA batch sizes (Table IV: 4 and 8) ----------------------
+
+class CountBatchTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(CountBatchTest, ConservationHoldsForBatchSize)
+{
+    CountFunction count(CountFunction::Config{GetParam(), 1024});
+    auto st = nullState();
+    Rng rng(GetParam());
+    std::uint64_t keys = 0;
+    for (int i = 0; i < 300; ++i) {
+        auto pkt = blankPacket();
+        count.makeRequest(*pkt, rng);
+        EXPECT_EQ(pkt->payload()[0], GetParam());
+        keys += pkt->payload()[0];
+        count.process(*pkt, st);
+    }
+    EXPECT_EQ(count.totalCounted(), keys);
+    EXPECT_EQ(st.accesses(), keys)
+        << "one coherent access per counted key";
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperBatches, CountBatchTest,
+                         ::testing::Values(4u, 8u));
+
+class EmaBatchTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(EmaBatchTest, ConvergesForBatchSize)
+{
+    EmaFunction ema(EmaFunction::Config{GetParam(), 8, 125});
+    auto st = nullState();
+    // Feed the same key a constant sample through full batches.
+    for (int round = 0; round < 400; ++round) {
+        auto pkt = blankPacket();
+        auto p = pkt->payload();
+        p[0] = static_cast<std::uint8_t>(GetParam());
+        for (unsigned i = 0; i < GetParam(); ++i) {
+            net::store64(p.data() + 1 + 16 * i, 3);
+            net::store64(p.data() + 9 + 16 * i, 777000);
+        }
+        ema.process(*pkt, st);
+    }
+    EXPECT_NEAR(static_cast<double>(ema.emaOf(3)), 777000.0, 7800.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperBatches, EmaBatchTest,
+                         ::testing::Values(4u, 8u));
+
+// --- NAT table sizes (Table IV: 1 K and 10 K entries) -----------------
+
+class NatEntriesTest : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(NatEntriesTest, AllGeneratedFlowsTranslate)
+{
+    NatFunction nat(
+        NatFunction::Config{GetParam(), net::Ipv4Addr(192, 168, 0, 0)});
+    auto st = nullState();
+    Rng rng(GetParam());
+    for (int i = 0; i < 3000; ++i) {
+        auto pkt = blankPacket();
+        nat.makeRequest(*pkt, rng);
+        nat.process(*pkt, st);
+        EXPECT_TRUE(pkt->ip().checksumOk());
+    }
+    EXPECT_EQ(nat.misses(), 0u);
+}
+
+TEST_P(NatEntriesTest, DistinctFlowsGetDistinctMappings)
+{
+    NatFunction nat(
+        NatFunction::Config{GetParam(), net::Ipv4Addr(192, 168, 0, 0)});
+    const auto *a = nat.lookup(net::Ipv4Addr(10, 0, 0, 1).value, 1024);
+    const auto *b = nat.lookup(net::Ipv4Addr(10, 0, 0, 1).value, 1025);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_FALSE(a->ip == b->ip && a->port == b->port);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperTables, NatEntriesTest,
+                         ::testing::Values(1000u, 10000u));
+
+// --- BM25 vocabulary sizes (Table IV: 2 K and 4 K terms) --------------
+
+class Bm25VocabTest : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(Bm25VocabTest, WinnerIsOptimalAmongSampledDocs)
+{
+    Bm25Function::Config cfg;
+    cfg.vocabulary = GetParam();
+    Bm25Function bm25(cfg);
+    auto st = nullState();
+    Rng rng(GetParam());
+    for (int trial = 0; trial < 8; ++trial) {
+        auto pkt = blankPacket();
+        bm25.makeRequest(*pkt, rng);
+        std::vector<std::uint16_t> terms;
+        for (unsigned i = 0; i < pkt->payload()[0]; ++i)
+            terms.push_back(
+                net::load16(pkt->payload().data() + 1 + 2 * i));
+        bm25.process(*pkt, st);
+        const std::uint32_t winner = net::load32(pkt->payload().data());
+        const double best = bm25.score(winner, terms);
+        for (std::uint32_t d = 0; d < 1024; d += 61)
+            EXPECT_LE(bm25.score(d, terms), best + 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperVocabs, Bm25VocabTest,
+                         ::testing::Values(2048u, 4096u));
+
+// --- KNN set sizes (Table IV: 8 and 16) -------------------------------
+
+class KnnSetTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(KnnSetTest, CentroidsClassifyToThemselves)
+{
+    KnnFunction::Config cfg;
+    cfg.set_size = GetParam();
+    KnnFunction knn(cfg);
+    for (unsigned c = 0; c < 4; ++c)
+        EXPECT_EQ(knn.classify(knn.centroid(c)), c)
+            << "set size " << GetParam();
+}
+
+TEST_P(KnnSetTest, NoisyQueriesMostlyRecoverTheirClass)
+{
+    KnnFunction::Config cfg;
+    cfg.set_size = GetParam();
+    KnnFunction knn(cfg);
+    Rng rng(GetParam() * 7);
+    int correct = 0;
+    const int trials = 300;
+    for (int i = 0; i < trials; ++i) {
+        const unsigned c = static_cast<unsigned>(rng.uniformInt(4));
+        std::uint8_t q[KnnFunction::kDims];
+        for (unsigned d = 0; d < KnnFunction::kDims; ++d) {
+            const int v = knn.centroid(c)[d] +
+                          static_cast<int>(rng.normal(0.0, 5.0));
+            q[d] = static_cast<std::uint8_t>(std::clamp(v, 0, 255));
+        }
+        correct += knn.classify(q) == c;
+    }
+    EXPECT_GT(correct, trials * 8 / 10) << "set size " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperSets, KnnSetTest,
+                         ::testing::Values(8u, 16u));
+
+// --- Bayes feature counts (Table IV: 128 and 256) ---------------------
+
+class BayesFeatureTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(BayesFeatureTest, DeterministicAndUsesAllClasses)
+{
+    BayesFunction::Config cfg;
+    cfg.features = GetParam();
+    BayesFunction bayes(cfg);
+    auto st = nullState();
+    Rng rng(GetParam() * 3);
+    std::array<int, 4> hist{};
+    for (int i = 0; i < 300; ++i) {
+        auto pkt = blankPacket();
+        bayes.makeRequest(*pkt, rng);
+        std::uint8_t bits[32];
+        std::memcpy(bits, pkt->payload().data(), (GetParam() + 7) / 8);
+        bayes.process(*pkt, st);
+        EXPECT_EQ(pkt->payload()[0], bayes.classify(bits));
+        ++hist[pkt->payload()[0] % 4];
+    }
+    for (int c = 0; c < 4; ++c)
+        EXPECT_GT(hist[c], 20) << "features " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperFeatures, BayesFeatureTest,
+                         ::testing::Values(128u, 256u));
+
+// --- REM rulesets (Table IV: teakettle / snort_literals) --------------
+
+class RemRulesetTest : public ::testing::TestWithParam<alg::RulesetKind>
+{
+};
+
+TEST_P(RemRulesetTest, CountsMatchStandaloneAutomaton)
+{
+    RemFunction::Config cfg;
+    cfg.ruleset = GetParam();
+    cfg.rules = GetParam() == alg::RulesetKind::Teakettle ? 2500 : 500;
+    cfg.hit_rate = 0.3;
+    RemFunction rem(cfg);
+    auto st = nullState();
+    Rng rng(17);
+    std::uint64_t reported = 0;
+    std::uint64_t recomputed = 0;
+    for (int i = 0; i < 40; ++i) {
+        auto pkt = blankPacket();
+        rem.makeRequest(*pkt, rng);
+        std::vector<std::uint8_t> payload(pkt->payload().begin(),
+                                          pkt->payload().end());
+        rem.process(*pkt, st);
+        reported += net::load64(pkt->payload().data());
+        recomputed += rem.automaton().countMatches(payload);
+    }
+    EXPECT_EQ(reported, recomputed);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRulesets, RemRulesetTest,
+                         ::testing::Values(alg::RulesetKind::Teakettle,
+                                           alg::RulesetKind::SnortLiterals));
+
+// --- KVS operation mix -------------------------------------------------
+
+class KvsMixTest
+    : public ::testing::TestWithParam<std::pair<double, double>>
+{
+};
+
+TEST_P(KvsMixTest, MixObeysConfiguredFractions)
+{
+    KvsFunction::Config cfg;
+    cfg.get_fraction = GetParam().first;
+    cfg.put_fraction = GetParam().second;
+    cfg.key_space = 500;
+    KvsFunction kvs(cfg);
+    auto st = nullState();
+    Rng rng(23);
+    int gets = 0, puts = 0, inserts = 0;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i) {
+        auto pkt = blankPacket();
+        kvs.makeRequest(*pkt, rng);
+        switch (pkt->payload()[0]) {
+          case 0: ++gets; break;
+          case 1: ++puts; break;
+          default: ++inserts; break;
+        }
+        kvs.process(*pkt, st);
+    }
+    EXPECT_NEAR(static_cast<double>(gets) / n, GetParam().first, 0.03);
+    EXPECT_NEAR(static_cast<double>(puts) / n, GetParam().second, 0.03);
+    EXPECT_GT(kvs.storeSize(), 0u);
+    EXPECT_LE(kvs.storeSize(), 500u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixes, KvsMixTest,
+    ::testing::Values(std::pair{0.5, 0.3}, std::pair{0.9, 0.05},
+                      std::pair{0.1, 0.8}));

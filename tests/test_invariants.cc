@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Cross-rate monotonicity and accounting invariants of the full
+ * system — the properties any reviewer would spot-check first:
+ * delivered throughput is monotone in offered load up to saturation
+ * and flat after; power is monotone; the director's counters account
+ * for every packet; HAL never does worse than the better of its two
+ * processors on throughput.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/server.hh"
+
+using namespace halsim;
+using namespace halsim::core;
+
+namespace {
+
+RunResult
+runPoint(Mode mode, funcs::FunctionId fn, double rate)
+{
+    ServerConfig cfg;
+    cfg.mode = mode;
+    cfg.function = fn;
+    EventQueue eq;
+    ServerSystem sys(eq, cfg);
+    return sys.run(std::make_unique<net::ConstantRate>(rate), 10 * kMs,
+                   50 * kMs);
+}
+
+} // namespace
+
+TEST(Invariants, DeliveredMonotoneThenFlatSnicOnly)
+{
+    std::vector<double> delivered;
+    for (double rate : {10.0, 25.0, 40.0, 55.0, 70.0})
+        delivered.push_back(
+            runPoint(Mode::SnicOnly, funcs::FunctionId::Nat, rate)
+                .delivered_gbps);
+    // Monotone non-decreasing within tolerance...
+    for (std::size_t i = 1; i < delivered.size(); ++i)
+        EXPECT_GE(delivered[i], delivered[i - 1] - 0.5) << i;
+    // ...and flat at the 41 Gbps plateau beyond the knee.
+    EXPECT_NEAR(delivered[3], 41.0, 1.5);
+    EXPECT_NEAR(delivered[4], 41.0, 1.5);
+}
+
+TEST(Invariants, HalAtLeastMaxOfBothProcessors)
+{
+    for (double rate : {20.0, 50.0, 90.0}) {
+        const auto host =
+            runPoint(Mode::HostOnly, funcs::FunctionId::Knn, rate);
+        const auto snic =
+            runPoint(Mode::SnicOnly, funcs::FunctionId::Knn, rate);
+        const auto hal = runPoint(Mode::Hal, funcs::FunctionId::Knn, rate);
+        EXPECT_GE(hal.delivered_gbps,
+                  std::max(host.delivered_gbps, snic.delivered_gbps) -
+                      1.0)
+            << "rate " << rate;
+    }
+}
+
+TEST(Invariants, PowerMonotoneInRateUnderHal)
+{
+    double prev = 0.0;
+    for (double rate : {5.0, 30.0, 60.0, 90.0}) {
+        const auto r = runPoint(Mode::Hal, funcs::FunctionId::Nat, rate);
+        EXPECT_GE(r.system_power_w, prev - 1.0) << "rate " << rate;
+        prev = r.system_power_w;
+    }
+}
+
+TEST(Invariants, DirectorAccountsForEveryPacket)
+{
+    ServerConfig cfg;
+    cfg.mode = Mode::Hal;
+    cfg.function = funcs::FunctionId::Nat;
+    EventQueue eq;
+    ServerSystem sys(eq, cfg);
+    const auto r = sys.run(std::make_unique<net::ConstantRate>(70.0),
+                           10 * kMs, 50 * kMs);
+    const auto *dir = sys.director();
+    // Every generated packet passed the director exactly once.
+    EXPECT_NEAR(static_cast<double>(dir->toSnic() + dir->toHost()),
+                static_cast<double>(r.sent), 8.0);
+}
+
+TEST(Invariants, EnergyEfficiencyIsThroughputOverPower)
+{
+    const auto r = runPoint(Mode::Hal, funcs::FunctionId::Count, 40.0);
+    EXPECT_NEAR(r.energy_eff, r.delivered_gbps / r.system_power_w,
+                1e-12);
+    EXPECT_NEAR(r.system_power_w,
+                funcs::kServerBasePowerW + r.dynamic_power_w, 1e-9);
+}
+
+TEST(Invariants, ResponsesNeverExceedRequests)
+{
+    for (Mode m : {Mode::HostOnly, Mode::SnicOnly, Mode::Hal, Mode::Slb}) {
+        const auto r = runPoint(m, funcs::FunctionId::Nat, 60.0);
+        // At most one response per request. The slack covers packets
+        // that were in flight (queued in rings) across the
+        // warmup/measure boundary — bounded by the ring capacities.
+        EXPECT_LE(r.responses, r.sent + 8 * 512) << modeName(m);
+    }
+}
+
+TEST(Invariants, FrameSizeSweepPreservesConservation)
+{
+    for (std::size_t frame : {64u, 256u, 512u, 1500u}) {
+        ServerConfig cfg;
+        cfg.mode = Mode::Hal;
+        cfg.function = funcs::FunctionId::DpdkFwd;
+        cfg.frame_bytes = frame;
+        EventQueue eq;
+        ServerSystem sys(eq, cfg);
+        const auto r = sys.run(std::make_unique<net::ConstantRate>(20.0),
+                               10 * kMs, 30 * kMs);
+        EXPECT_NEAR(static_cast<double>(r.responses + r.drops) /
+                        static_cast<double>(r.sent),
+                    1.0, 0.02)
+            << "frame " << frame;
+    }
+}

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Parameterized property sweeps over the network substrate: link
+ * timing across rates and frame sizes, generator rate accuracy, and
+ * histogram quantile accuracy across bin densities.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "net/link.hh"
+#include "net/traffic.hh"
+#include "sim/stats.hh"
+
+using namespace halsim;
+using namespace halsim::net;
+
+namespace {
+
+struct CountSink : PacketSink
+{
+    explicit CountSink(EventQueue &eq) : eq(eq) {}
+
+    void
+    accept(PacketPtr pkt) override
+    {
+        ++frames;
+        bytes += pkt->size();
+        last_arrival = eq.now();
+    }
+
+    EventQueue &eq;
+    std::uint64_t frames = 0;
+    std::uint64_t bytes = 0;
+    Tick last_arrival = 0;
+};
+
+} // namespace
+
+/** Link serialization must equal bytes/rate for any (rate, size). */
+class LinkTimingSweep
+    : public ::testing::TestWithParam<std::tuple<double, int>>
+{
+};
+
+TEST_P(LinkTimingSweep, SerializationExact)
+{
+    const auto [rate, size] = GetParam();
+    EventQueue eq;
+    CountSink sink(eq);
+    Link link(eq, {.rate_gbps = rate, .propagation = 0, .max_queue = 64,
+                   .name = "t"},
+              sink);
+    link.send(makeUdpPacket(MacAddr::fromUint(1), MacAddr::fromUint(2),
+                            Ipv4Addr(1, 1, 1, 1), Ipv4Addr(2, 2, 2, 2),
+                            1, 2, {}, static_cast<std::size_t>(size)));
+    eq.run();
+    ASSERT_EQ(sink.frames, 1u);
+    EXPECT_EQ(sink.last_arrival,
+              transferTicks(static_cast<std::uint64_t>(size), rate));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RatesAndSizes, LinkTimingSweep,
+    ::testing::Combine(::testing::Values(1.0, 10.0, 25.0, 100.0, 200.0),
+                       ::testing::Values(64, 256, 1500)));
+
+/** The generator must hit its configured rate within 1%. */
+class GeneratorRateSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(GeneratorRateSweep, OfferedRateAccurate)
+{
+    const double rate = GetParam();
+    EventQueue eq;
+    CountSink sink(eq);
+    TrafficGenerator::Config cfg;
+    TrafficGenerator gen(eq, cfg, std::make_unique<ConstantRate>(rate),
+                         sink);
+    const Tick dur = 20 * kMs;
+    gen.start(dur);
+    eq.run();
+    EXPECT_NEAR(gbps(sink.bytes, dur), rate, rate * 0.01 + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, GeneratorRateSweep,
+                         ::testing::Values(0.5, 2.0, 10.0, 41.0, 99.0));
+
+/** Quantile error must shrink with bin density. */
+class HistogramDensitySweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(HistogramDensitySweep, P99WithinBinResolution)
+{
+    const unsigned bins = GetParam();
+    Histogram h(1.0, 1e9, bins);
+    Rng rng(bins);
+    std::vector<double> all;
+    for (int i = 0; i < 20000; ++i) {
+        const double v = std::exp(rng.normal(8.0, 2.0));
+        h.sample(v);
+        all.push_back(v);
+    }
+    std::sort(all.begin(), all.end());
+    const double exact = all[static_cast<std::size_t>(0.99 * 19999)];
+    // One bin spans a factor of 10^(1/bins); allow two bins of error.
+    const double tolerance = std::pow(10.0, 2.0 / bins);
+    EXPECT_LT(h.p99() / exact, tolerance);
+    EXPECT_GT(h.p99() / exact, 1.0 / tolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, HistogramDensitySweep,
+                         ::testing::Values(16u, 32u, 64u, 128u));
+
+/** Trace processes never exceed the line rate after truncation. */
+class TraceCapSweep : public ::testing::TestWithParam<TraceKind>
+{
+};
+
+TEST_P(TraceCapSweep, SamplesRespectLineRate)
+{
+    auto proc = makeTrace(GetParam(), 100.0);
+    Rng rng(5);
+    for (int i = 0; i < 50000; ++i) {
+        const double r = proc->sample(rng);
+        EXPECT_GE(r, 0.0);
+        EXPECT_LE(r, 100.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTraces, TraceCapSweep,
+                         ::testing::Values(TraceKind::Web,
+                                           TraceKind::Cache,
+                                           TraceKind::Hadoop));

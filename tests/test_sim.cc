@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Event queue ordering/determinism, statistics primitives, and RNG
+ * distribution sanity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+using namespace halsim;
+
+TEST(Types, TransferTicks)
+{
+    // 1500 B at 100 Gbps = 120 ns.
+    EXPECT_EQ(transferTicks(1500, 100.0), 120 * kNs);
+    // 64 B at 100 Gbps = 5.12 ns = 5120 ps.
+    EXPECT_EQ(transferTicks(64, 100.0), 5120u);
+    EXPECT_EQ(transferTicks(0, 100.0), 0u);
+    // Sub-tick transfers round up to 1 so time advances.
+    EXPECT_GE(transferTicks(1, 1e9), 1u);
+}
+
+TEST(Types, GbpsInverse)
+{
+    const Tick t = transferTicks(123456, 73.5);
+    EXPECT_NEAR(gbps(123456, t), 73.5, 0.01);
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleFn([&] { order.push_back(3); }, 300);
+    eq.scheduleFn([&] { order.push_back(1); }, 100);
+    eq.scheduleFn([&] { order.push_back(2); }, 200);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 300u);
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.scheduleFn([&order, i] { order.push_back(i); }, 500);
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, RunUntilStopsAndClampsTime)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.scheduleFn([&] { ++fired; }, 100);
+    eq.scheduleFn([&] { ++fired; }, 900);
+    const auto n = eq.runUntil(500);
+    EXPECT_EQ(n, 1u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 500u);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> recurse = [&] {
+        if (++depth < 5)
+            eq.scheduleFnIn(recurse, 10);
+    };
+    eq.scheduleFn(recurse, 0);
+    eq.run();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(eq.now(), 40u);
+}
+
+TEST(EventQueue, DescheduleCancels)
+{
+    EventQueue eq;
+    bool fired = false;
+    CallbackEvent ev([&] { fired = true; });
+    eq.schedule(&ev, 100);
+    EXPECT_TRUE(ev.scheduled());
+    eq.deschedule(&ev);
+    EXPECT_FALSE(ev.scheduled());
+    eq.run();
+    EXPECT_FALSE(fired);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, RescheduleMoves)
+{
+    EventQueue eq;
+    Tick firedAt = 0;
+    CallbackEvent ev([&] { firedAt = eq.now(); });
+    eq.schedule(&ev, 100);
+    eq.reschedule(&ev, 250);
+    eq.run();
+    EXPECT_EQ(firedAt, 250u);
+}
+
+TEST(EventQueue, RecurringEventReschedulesItself)
+{
+    EventQueue eq;
+    int count = 0;
+    CallbackEvent tick;
+    tick.setCallback([&] {
+        if (++count < 4)
+            eq.scheduleIn(&tick, 1000);
+    });
+    eq.scheduleIn(&tick, 1000);
+    eq.run();
+    EXPECT_EQ(count, 4);
+    EXPECT_EQ(eq.now(), 4000u);
+}
+
+TEST(EventQueue, NextTickSeesThroughTombstones)
+{
+    EventQueue eq;
+    CallbackEvent a([] {});
+    eq.schedule(&a, 10);
+    eq.scheduleFn([] {}, 20);
+    eq.deschedule(&a);
+    EXPECT_EQ(eq.nextTick(), 20u);
+}
+
+TEST(Accumulator, Moments)
+{
+    Accumulator acc;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        acc.sample(v);
+    EXPECT_EQ(acc.count(), 8u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+    EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Accumulator, MergeEqualsCombined)
+{
+    Rng rng(1);
+    Accumulator a, b, whole;
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.normal(10.0, 3.0);
+        whole.sample(v);
+        (i % 2 ? a : b).sample(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), whole.count());
+    EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), whole.variance(), 1e-6);
+}
+
+TEST(Histogram, QuantileAgainstExactSort)
+{
+    Rng rng(2);
+    Histogram h;
+    std::vector<double> all;
+    for (int i = 0; i < 50000; ++i) {
+        // Latency-like heavy-tail values between 1 us and ~10 ms.
+        const double v = static_cast<double>(kUs) *
+                         std::exp(rng.normal(1.0, 1.2));
+        h.sample(v);
+        all.push_back(v);
+    }
+    std::sort(all.begin(), all.end());
+    for (double q : {0.5, 0.9, 0.99, 0.999}) {
+        const double exact = all[static_cast<std::size_t>(
+            q * static_cast<double>(all.size() - 1))];
+        const double est = h.quantile(q);
+        // Geometric bins (64/decade) bound relative error to a few %.
+        EXPECT_NEAR(est / exact, 1.0, 0.05)
+            << "q=" << q << " exact=" << exact << " est=" << est;
+    }
+}
+
+TEST(Histogram, EdgeCases)
+{
+    Histogram h;
+    EXPECT_EQ(h.quantile(0.99), 0.0);
+    h.sample(5.0 * static_cast<double>(kUs));
+    EXPECT_DOUBLE_EQ(h.p99(), 5.0 * static_cast<double>(kUs));
+    EXPECT_EQ(h.count(), 1u);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(Histogram, ClampsOutOfRange)
+{
+    Histogram h(1e3, 1e6, 16);
+    h.sample(1.0);      // below range
+    h.sample(1e9);      // above range
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_GT(h.quantile(0.99), 0.0);
+}
+
+TEST(TimeWeighted, IntegratesPiecewiseConstant)
+{
+    TimeWeighted tw(100.0);
+    tw.set(200.0, 10);          // 100 for [0,10)
+    tw.set(50.0, 30);           // 200 for [10,30)
+    // Integral to 40: 100*10 + 200*20 + 50*10 = 5500.
+    EXPECT_DOUBLE_EQ(tw.integral(40), 5500.0);
+    EXPECT_DOUBLE_EQ(tw.average(40), 137.5);
+}
+
+TEST(TimeWeighted, ResetStartsNewWindow)
+{
+    TimeWeighted tw(10.0);
+    tw.set(20.0, 100);
+    tw.resetAt(100);
+    EXPECT_DOUBLE_EQ(tw.average(200), 20.0);
+}
+
+TEST(RateMeter, ReportsGbps)
+{
+    RateMeter m;
+    m.resetAt(0);
+    m.add(1500);
+    // 1500 B over 120 ns = 100 Gbps.
+    EXPECT_NEAR(m.gbpsAt(120 * kNs), 100.0, 1e-9);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(1234), b(1234);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformBounds)
+{
+    Rng rng(5);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        EXPECT_LT(rng.uniformInt(7), 7u);
+    }
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(6);
+    Accumulator acc;
+    for (int i = 0; i < 200000; ++i)
+        acc.sample(rng.normal(3.0, 2.0));
+    EXPECT_NEAR(acc.mean(), 3.0, 0.02);
+    EXPECT_NEAR(acc.stddev(), 2.0, 0.02);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(7);
+    Accumulator acc;
+    for (int i = 0; i < 200000; ++i)
+        acc.sample(rng.exponential(5.0));
+    EXPECT_NEAR(acc.mean(), 5.0, 0.1);
+}
+
+TEST(Rng, LognormalMedian)
+{
+    // Median of lognormal(mu, sigma) is exp(mu).
+    Rng rng(8);
+    std::vector<double> v;
+    for (int i = 0; i < 100001; ++i)
+        v.push_back(rng.lognormal(1.5, 0.8));
+    std::nth_element(v.begin(), v.begin() + 50000, v.end());
+    EXPECT_NEAR(v[50000], std::exp(1.5), 0.1);
+}
+
+TEST(Rng, ForkDiverges)
+{
+    Rng a(9);
+    Rng b = a.fork();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
