@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_director.dir/bench_ablation_director.cc.o"
+  "CMakeFiles/bench_ablation_director.dir/bench_ablation_director.cc.o.d"
+  "bench_ablation_director"
+  "bench_ablation_director.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_director.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lbp.dir/bench_ablation_lbp.cc.o"
+  "CMakeFiles/bench_ablation_lbp.dir/bench_ablation_lbp.cc.o.d"
+  "bench_ablation_lbp"
+  "bench_ablation_lbp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lbp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_slb.dir/bench_fig5_slb.cc.o"
+  "CMakeFiles/bench_fig5_slb.dir/bench_fig5_slb.cc.o.d"
+  "bench_fig5_slb"
+  "bench_fig5_slb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_slb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

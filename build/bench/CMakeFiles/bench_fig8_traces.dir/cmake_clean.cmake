@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_traces.dir/bench_fig8_traces.cc.o"
+  "CMakeFiles/bench_fig8_traces.dir/bench_fig8_traces.cc.o.d"
+  "bench_fig8_traces"
+  "bench_fig8_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hlb_costs.dir/bench_hlb_costs.cc.o"
+  "CMakeFiles/bench_hlb_costs.dir/bench_hlb_costs.cc.o.d"
+  "bench_hlb_costs"
+  "bench_hlb_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hlb_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

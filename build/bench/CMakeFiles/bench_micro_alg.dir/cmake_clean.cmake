@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_alg.dir/bench_micro_alg.cc.o"
+  "CMakeFiles/bench_micro_alg.dir/bench_micro_alg.cc.o.d"
+  "bench_micro_alg"
+  "bench_micro_alg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_alg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_slo.dir/bench_table2_slo.cc.o"
+  "CMakeFiles/bench_table2_slo.dir/bench_table2_slo.cc.o.d"
+  "bench_table2_slo"
+  "bench_table2_slo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_slo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capacity_report.dir/capacity_report.cpp.o"
+  "CMakeFiles/capacity_report.dir/capacity_report.cpp.o.d"
+  "capacity_report"
+  "capacity_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capacity_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

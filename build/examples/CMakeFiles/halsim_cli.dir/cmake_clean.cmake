@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halsim_cli.dir/halsim_cli.cpp.o"
+  "CMakeFiles/halsim_cli.dir/halsim_cli.cpp.o.d"
+  "halsim_cli"
+  "halsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

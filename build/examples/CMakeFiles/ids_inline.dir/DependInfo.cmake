@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/ids_inline.cpp" "examples/CMakeFiles/ids_inline.dir/ids_inline.cpp.o" "gcc" "examples/CMakeFiles/ids_inline.dir/ids_inline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/halsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/proc/CMakeFiles/halsim_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/funcs/CMakeFiles/halsim_funcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/halsim_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/alg/CMakeFiles/halsim_alg.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/halsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/halsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

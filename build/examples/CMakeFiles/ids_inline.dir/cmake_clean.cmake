@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ids_inline.dir/ids_inline.cpp.o"
+  "CMakeFiles/ids_inline.dir/ids_inline.cpp.o.d"
+  "ids_inline"
+  "ids_inline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ids_inline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nat_gateway.dir/nat_gateway.cpp.o"
+  "CMakeFiles/nat_gateway.dir/nat_gateway.cpp.o.d"
+  "nat_gateway"
+  "nat_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nat_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_pipeline.dir/telemetry_pipeline.cpp.o"
+  "CMakeFiles/telemetry_pipeline.dir/telemetry_pipeline.cpp.o.d"
+  "telemetry_pipeline"
+  "telemetry_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alg/aho_corasick.cc" "src/alg/CMakeFiles/halsim_alg.dir/aho_corasick.cc.o" "gcc" "src/alg/CMakeFiles/halsim_alg.dir/aho_corasick.cc.o.d"
+  "/root/repo/src/alg/bignum.cc" "src/alg/CMakeFiles/halsim_alg.dir/bignum.cc.o" "gcc" "src/alg/CMakeFiles/halsim_alg.dir/bignum.cc.o.d"
+  "/root/repo/src/alg/corpus.cc" "src/alg/CMakeFiles/halsim_alg.dir/corpus.cc.o" "gcc" "src/alg/CMakeFiles/halsim_alg.dir/corpus.cc.o.d"
+  "/root/repo/src/alg/deflate.cc" "src/alg/CMakeFiles/halsim_alg.dir/deflate.cc.o" "gcc" "src/alg/CMakeFiles/halsim_alg.dir/deflate.cc.o.d"
+  "/root/repo/src/alg/prefilter.cc" "src/alg/CMakeFiles/halsim_alg.dir/prefilter.cc.o" "gcc" "src/alg/CMakeFiles/halsim_alg.dir/prefilter.cc.o.d"
+  "/root/repo/src/alg/pubkey.cc" "src/alg/CMakeFiles/halsim_alg.dir/pubkey.cc.o" "gcc" "src/alg/CMakeFiles/halsim_alg.dir/pubkey.cc.o.d"
+  "/root/repo/src/alg/sha256.cc" "src/alg/CMakeFiles/halsim_alg.dir/sha256.cc.o" "gcc" "src/alg/CMakeFiles/halsim_alg.dir/sha256.cc.o.d"
+  "/root/repo/src/alg/zstream.cc" "src/alg/CMakeFiles/halsim_alg.dir/zstream.cc.o" "gcc" "src/alg/CMakeFiles/halsim_alg.dir/zstream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/halsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halsim_alg.dir/aho_corasick.cc.o"
+  "CMakeFiles/halsim_alg.dir/aho_corasick.cc.o.d"
+  "CMakeFiles/halsim_alg.dir/bignum.cc.o"
+  "CMakeFiles/halsim_alg.dir/bignum.cc.o.d"
+  "CMakeFiles/halsim_alg.dir/corpus.cc.o"
+  "CMakeFiles/halsim_alg.dir/corpus.cc.o.d"
+  "CMakeFiles/halsim_alg.dir/deflate.cc.o"
+  "CMakeFiles/halsim_alg.dir/deflate.cc.o.d"
+  "CMakeFiles/halsim_alg.dir/prefilter.cc.o"
+  "CMakeFiles/halsim_alg.dir/prefilter.cc.o.d"
+  "CMakeFiles/halsim_alg.dir/pubkey.cc.o"
+  "CMakeFiles/halsim_alg.dir/pubkey.cc.o.d"
+  "CMakeFiles/halsim_alg.dir/sha256.cc.o"
+  "CMakeFiles/halsim_alg.dir/sha256.cc.o.d"
+  "CMakeFiles/halsim_alg.dir/zstream.cc.o"
+  "CMakeFiles/halsim_alg.dir/zstream.cc.o.d"
+  "libhalsim_alg.a"
+  "libhalsim_alg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halsim_alg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halsim_coherence.dir/domain.cc.o"
+  "CMakeFiles/halsim_coherence.dir/domain.cc.o.d"
+  "libhalsim_coherence.a"
+  "libhalsim_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halsim_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/hlb.cc" "src/core/CMakeFiles/halsim_core.dir/hlb.cc.o" "gcc" "src/core/CMakeFiles/halsim_core.dir/hlb.cc.o.d"
+  "/root/repo/src/core/lbp.cc" "src/core/CMakeFiles/halsim_core.dir/lbp.cc.o" "gcc" "src/core/CMakeFiles/halsim_core.dir/lbp.cc.o.d"
+  "/root/repo/src/core/server.cc" "src/core/CMakeFiles/halsim_core.dir/server.cc.o" "gcc" "src/core/CMakeFiles/halsim_core.dir/server.cc.o.d"
+  "/root/repo/src/core/slb.cc" "src/core/CMakeFiles/halsim_core.dir/slb.cc.o" "gcc" "src/core/CMakeFiles/halsim_core.dir/slb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/halsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/halsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/alg/CMakeFiles/halsim_alg.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/halsim_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/funcs/CMakeFiles/halsim_funcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/proc/CMakeFiles/halsim_proc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halsim_core.dir/hlb.cc.o"
+  "CMakeFiles/halsim_core.dir/hlb.cc.o.d"
+  "CMakeFiles/halsim_core.dir/lbp.cc.o"
+  "CMakeFiles/halsim_core.dir/lbp.cc.o.d"
+  "CMakeFiles/halsim_core.dir/server.cc.o"
+  "CMakeFiles/halsim_core.dir/server.cc.o.d"
+  "CMakeFiles/halsim_core.dir/slb.cc.o"
+  "CMakeFiles/halsim_core.dir/slb.cc.o.d"
+  "libhalsim_core.a"
+  "libhalsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

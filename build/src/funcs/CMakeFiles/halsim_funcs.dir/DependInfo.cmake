@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/funcs/analytics.cc" "src/funcs/CMakeFiles/halsim_funcs.dir/analytics.cc.o" "gcc" "src/funcs/CMakeFiles/halsim_funcs.dir/analytics.cc.o.d"
+  "/root/repo/src/funcs/calibration.cc" "src/funcs/CMakeFiles/halsim_funcs.dir/calibration.cc.o" "gcc" "src/funcs/CMakeFiles/halsim_funcs.dir/calibration.cc.o.d"
+  "/root/repo/src/funcs/content.cc" "src/funcs/CMakeFiles/halsim_funcs.dir/content.cc.o" "gcc" "src/funcs/CMakeFiles/halsim_funcs.dir/content.cc.o.d"
+  "/root/repo/src/funcs/nat.cc" "src/funcs/CMakeFiles/halsim_funcs.dir/nat.cc.o" "gcc" "src/funcs/CMakeFiles/halsim_funcs.dir/nat.cc.o.d"
+  "/root/repo/src/funcs/registry.cc" "src/funcs/CMakeFiles/halsim_funcs.dir/registry.cc.o" "gcc" "src/funcs/CMakeFiles/halsim_funcs.dir/registry.cc.o.d"
+  "/root/repo/src/funcs/stateful.cc" "src/funcs/CMakeFiles/halsim_funcs.dir/stateful.cc.o" "gcc" "src/funcs/CMakeFiles/halsim_funcs.dir/stateful.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/halsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/halsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/alg/CMakeFiles/halsim_alg.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/halsim_coherence.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halsim_funcs.dir/analytics.cc.o"
+  "CMakeFiles/halsim_funcs.dir/analytics.cc.o.d"
+  "CMakeFiles/halsim_funcs.dir/calibration.cc.o"
+  "CMakeFiles/halsim_funcs.dir/calibration.cc.o.d"
+  "CMakeFiles/halsim_funcs.dir/content.cc.o"
+  "CMakeFiles/halsim_funcs.dir/content.cc.o.d"
+  "CMakeFiles/halsim_funcs.dir/nat.cc.o"
+  "CMakeFiles/halsim_funcs.dir/nat.cc.o.d"
+  "CMakeFiles/halsim_funcs.dir/registry.cc.o"
+  "CMakeFiles/halsim_funcs.dir/registry.cc.o.d"
+  "CMakeFiles/halsim_funcs.dir/stateful.cc.o"
+  "CMakeFiles/halsim_funcs.dir/stateful.cc.o.d"
+  "libhalsim_funcs.a"
+  "libhalsim_funcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halsim_funcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

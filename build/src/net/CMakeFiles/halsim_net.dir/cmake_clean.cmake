@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halsim_net.dir/addr.cc.o"
+  "CMakeFiles/halsim_net.dir/addr.cc.o.d"
+  "CMakeFiles/halsim_net.dir/checksum.cc.o"
+  "CMakeFiles/halsim_net.dir/checksum.cc.o.d"
+  "CMakeFiles/halsim_net.dir/link.cc.o"
+  "CMakeFiles/halsim_net.dir/link.cc.o.d"
+  "CMakeFiles/halsim_net.dir/packet.cc.o"
+  "CMakeFiles/halsim_net.dir/packet.cc.o.d"
+  "CMakeFiles/halsim_net.dir/pcap.cc.o"
+  "CMakeFiles/halsim_net.dir/pcap.cc.o.d"
+  "CMakeFiles/halsim_net.dir/traffic.cc.o"
+  "CMakeFiles/halsim_net.dir/traffic.cc.o.d"
+  "libhalsim_net.a"
+  "libhalsim_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halsim_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halsim_proc.dir/processor.cc.o"
+  "CMakeFiles/halsim_proc.dir/processor.cc.o.d"
+  "libhalsim_proc.a"
+  "libhalsim_proc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halsim_proc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

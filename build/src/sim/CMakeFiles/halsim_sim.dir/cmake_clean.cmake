@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halsim_sim.dir/event_queue.cc.o"
+  "CMakeFiles/halsim_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/halsim_sim.dir/report.cc.o"
+  "CMakeFiles/halsim_sim.dir/report.cc.o.d"
+  "CMakeFiles/halsim_sim.dir/rng.cc.o"
+  "CMakeFiles/halsim_sim.dir/rng.cc.o.d"
+  "CMakeFiles/halsim_sim.dir/stats.cc.o"
+  "CMakeFiles/halsim_sim.dir/stats.cc.o.d"
+  "libhalsim_sim.a"
+  "libhalsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhalsim_sim.a"
+)

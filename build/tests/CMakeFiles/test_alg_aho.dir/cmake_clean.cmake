@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alg_aho.dir/test_alg_aho.cc.o"
+  "CMakeFiles/test_alg_aho.dir/test_alg_aho.cc.o.d"
+  "test_alg_aho"
+  "test_alg_aho.pdb"
+  "test_alg_aho[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alg_aho.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_alg_aho.
+# This may be replaced when dependencies are built.

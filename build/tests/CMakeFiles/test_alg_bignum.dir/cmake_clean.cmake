@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alg_bignum.dir/test_alg_bignum.cc.o"
+  "CMakeFiles/test_alg_bignum.dir/test_alg_bignum.cc.o.d"
+  "test_alg_bignum"
+  "test_alg_bignum.pdb"
+  "test_alg_bignum[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alg_bignum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

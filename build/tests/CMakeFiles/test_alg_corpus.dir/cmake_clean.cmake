@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alg_corpus.dir/test_alg_corpus.cc.o"
+  "CMakeFiles/test_alg_corpus.dir/test_alg_corpus.cc.o.d"
+  "test_alg_corpus"
+  "test_alg_corpus.pdb"
+  "test_alg_corpus[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alg_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

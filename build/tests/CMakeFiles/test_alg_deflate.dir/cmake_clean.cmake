@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alg_deflate.dir/test_alg_deflate.cc.o"
+  "CMakeFiles/test_alg_deflate.dir/test_alg_deflate.cc.o.d"
+  "test_alg_deflate"
+  "test_alg_deflate.pdb"
+  "test_alg_deflate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alg_deflate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alg_fixed_map.dir/test_alg_fixed_map.cc.o"
+  "CMakeFiles/test_alg_fixed_map.dir/test_alg_fixed_map.cc.o.d"
+  "test_alg_fixed_map"
+  "test_alg_fixed_map.pdb"
+  "test_alg_fixed_map[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alg_fixed_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

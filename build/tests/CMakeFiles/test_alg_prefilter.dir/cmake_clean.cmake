@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alg_prefilter.dir/test_alg_prefilter.cc.o"
+  "CMakeFiles/test_alg_prefilter.dir/test_alg_prefilter.cc.o.d"
+  "test_alg_prefilter"
+  "test_alg_prefilter.pdb"
+  "test_alg_prefilter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alg_prefilter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alg_pubkey.dir/test_alg_pubkey.cc.o"
+  "CMakeFiles/test_alg_pubkey.dir/test_alg_pubkey.cc.o.d"
+  "test_alg_pubkey"
+  "test_alg_pubkey.pdb"
+  "test_alg_pubkey[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alg_pubkey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alg_sha256.dir/test_alg_sha256.cc.o"
+  "CMakeFiles/test_alg_sha256.dir/test_alg_sha256.cc.o.d"
+  "test_alg_sha256"
+  "test_alg_sha256.pdb"
+  "test_alg_sha256[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alg_sha256.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alg_zstream.dir/test_alg_zstream.cc.o"
+  "CMakeFiles/test_alg_zstream.dir/test_alg_zstream.cc.o.d"
+  "test_alg_zstream"
+  "test_alg_zstream.pdb"
+  "test_alg_zstream[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alg_zstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

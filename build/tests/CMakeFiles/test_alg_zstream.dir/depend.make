@@ -1,0 +1,2 @@
+# Empty dependencies file for test_alg_zstream.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_funcs_configs.dir/test_funcs_configs.cc.o"
+  "CMakeFiles/test_funcs_configs.dir/test_funcs_configs.cc.o.d"
+  "test_funcs_configs"
+  "test_funcs_configs.pdb"
+  "test_funcs_configs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_funcs_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

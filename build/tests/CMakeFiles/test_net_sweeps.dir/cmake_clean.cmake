@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_sweeps.dir/test_net_sweeps.cc.o"
+  "CMakeFiles/test_net_sweeps.dir/test_net_sweeps.cc.o.d"
+  "test_net_sweeps"
+  "test_net_sweeps.pdb"
+  "test_net_sweeps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

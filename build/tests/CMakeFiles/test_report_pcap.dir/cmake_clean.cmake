@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_report_pcap.dir/test_report_pcap.cc.o"
+  "CMakeFiles/test_report_pcap.dir/test_report_pcap.cc.o.d"
+  "test_report_pcap"
+  "test_report_pcap.pdb"
+  "test_report_pcap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_report_pcap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

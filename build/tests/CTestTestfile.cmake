@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_funcs[1]_include.cmake")
+include("/root/repo/build/tests/test_coherence[1]_include.cmake")
+include("/root/repo/build/tests/test_proc[1]_include.cmake")
+include("/root/repo/build/tests/test_hal[1]_include.cmake")
+include("/root/repo/build/tests/test_system[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_alg_sha256[1]_include.cmake")
+include("/root/repo/build/tests/test_alg_bignum[1]_include.cmake")
+include("/root/repo/build/tests/test_alg_deflate[1]_include.cmake")
+include("/root/repo/build/tests/test_alg_aho[1]_include.cmake")
+include("/root/repo/build/tests/test_alg_fixed_map[1]_include.cmake")
+include("/root/repo/build/tests/test_alg_corpus[1]_include.cmake")
+include("/root/repo/build/tests/test_alg_prefilter[1]_include.cmake")
+include("/root/repo/build/tests/test_alg_pubkey[1]_include.cmake")
+include("/root/repo/build/tests/test_alg_zstream[1]_include.cmake")
+include("/root/repo/build/tests/test_funcs_configs[1]_include.cmake")
+include("/root/repo/build/tests/test_report_pcap[1]_include.cmake")
+include("/root/repo/build/tests/test_net_sweeps[1]_include.cmake")
+include("/root/repo/build/tests/test_invariants[1]_include.cmake")
+include("/root/repo/build/tests/test_platforms[1]_include.cmake")
