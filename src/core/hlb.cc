@@ -1,6 +1,7 @@
 #include "core/hlb.hh"
 
 #include <algorithm>
+#include <cmath>
 
 namespace halsim::core {
 
@@ -52,7 +53,8 @@ TrafficDirector::TrafficDirector(EventQueue &eq, Config cfg,
                                  TrafficMonitor &monitor,
                                  net::PacketSink &out)
     : eq_(eq), cfg_(cfg), monitor_(monitor), out_(out),
-      fwdTh_(cfg.initial_fwd_th_gbps)
+      fwdTh_(std::clamp(cfg.initial_fwd_th_gbps, 0.0, kMaxFwdThGbps)),
+      lastLbpTh_(fwdTh_)
 {
     // Start with a full bucket so traffic below Fwd_Th never diverts,
     // including the very first packet.
@@ -62,7 +64,35 @@ TrafficDirector::TrafficDirector(EventQueue &eq, Config cfg,
 void
 TrafficDirector::setFwdTh(double gbps_th)
 {
-    fwdTh_ = std::max(0.0, gbps_th);
+    if (!std::isfinite(gbps_th))
+        return;
+    const double th = std::clamp(gbps_th, 0.0, kMaxFwdThGbps);
+    lastLbpTh_ = th;
+    lastUpdate_ = eq_.now();
+    if (!failover_)
+        fwdTh_ = th;
+}
+
+void
+TrafficDirector::heartbeat()
+{
+    lastUpdate_ = eq_.now();
+}
+
+void
+TrafficDirector::enterFailover(double gbps)
+{
+    failover_ = true;
+    fwdTh_ = std::clamp(gbps, 0.0, kMaxFwdThGbps);
+}
+
+void
+TrafficDirector::exitFailover()
+{
+    if (!failover_)
+        return;
+    failover_ = false;
+    fwdTh_ = lastLbpTh_;
 }
 
 void

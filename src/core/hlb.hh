@@ -29,6 +29,13 @@ namespace halsim::core {
 /** HLB power draw reported by Vivado (§VII-C). */
 inline constexpr double kHlbPowerW = 0.1;
 
+/**
+ * Upper clamp the director enforces on any threshold it is handed —
+ * the device boundary's sanity range, well above any link rate the
+ * model supports, guarding against a buggy or compromised LBP.
+ */
+inline constexpr double kMaxFwdThGbps = 400.0;
+
 /** How the director picks the packets to divert (§V-A / DESIGN.md). */
 enum class SplitMode : std::uint8_t
 {
@@ -112,11 +119,35 @@ class TrafficDirector : public net::PacketSink
 
     void accept(net::PacketPtr pkt) override;
 
-    /** LBP-visible threshold (Gbps). */
+    /** Threshold currently applied to traffic (Gbps). */
     double fwdThGbps() const { return fwdTh_; }
 
-    /** Set by the LBP (after its comms latency). */
+    /**
+     * Set by the LBP (after its comms latency). Clamped to
+     * [0, kMaxFwdThGbps] at the device boundary; non-finite values
+     * are rejected outright. While a failover override is active the
+     * update is recorded as last-known-good but not applied.
+     */
     void setFwdTh(double gbps);
+
+    /**
+     * Control-channel liveness signal: the LBP pings the FPGA every
+     * epoch even when the threshold is unchanged, so the watchdog can
+     * distinguish "LBP silent/dead" from "threshold converged".
+     */
+    void heartbeat();
+
+    /** Tick of the last LBP update or heartbeat that arrived. */
+    Tick lastUpdateTick() const { return lastUpdate_; }
+
+    /**
+     * Degraded-mode override (watchdog): pin the applied threshold,
+     * ignoring LBP updates until exitFailover() restores the
+     * last-known-good LBP value.
+     */
+    void enterFailover(double gbps);
+    void exitFailover();
+    bool inFailover() const { return failover_; }
 
     std::uint64_t toSnic() const { return toSnic_; }
     std::uint64_t toHost() const { return toHost_; }
@@ -138,6 +169,9 @@ class TrafficDirector : public net::PacketSink
     net::PacketSink &out_;
 
     double fwdTh_;
+    double lastLbpTh_;        //!< last-known-good LBP threshold
+    Tick lastUpdate_ = 0;     //!< control-channel liveness timestamp
+    bool failover_ = false;   //!< watchdog override active
     // Token-bucket state (bytes).
     double tokens_ = 0.0;
     Tick lastRefill_ = 0;

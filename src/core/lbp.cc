@@ -1,6 +1,9 @@
 #include "core/lbp.hh"
 
 #include <algorithm>
+#include <utility>
+
+#include "sim/rng.hh"
 
 namespace halsim::core {
 
@@ -35,9 +38,59 @@ LoadBalancingPolicy::stop()
 }
 
 void
+LoadBalancingPolicy::setControlImpairment(double loss_prob,
+                                          Tick extra_delay, Rng *rng)
+{
+    ctrlLoss_ = loss_prob;
+    ctrlExtraDelay_ = extra_delay;
+    ctrlRng_ = rng;
+}
+
+void
+LoadBalancingPolicy::clearControlImpairment()
+{
+    ctrlLoss_ = 0.0;
+    ctrlExtraDelay_ = 0;
+    ctrlRng_ = nullptr;
+}
+
+void
+LoadBalancingPolicy::setStalled(bool stalled)
+{
+    if (stalled_ == stalled)
+        return;
+    stalled_ = stalled;
+    if (stalled) {
+        if (tickEvent_.scheduled())
+            eq_.deschedule(&tickEvent_);
+    } else {
+        // Resume with a fresh throughput baseline so the first epoch
+        // after the hang doesn't read the whole outage as one burst.
+        lastBytes_ = snic_.processedBytes();
+        if (!tickEvent_.scheduled())
+            eq_.scheduleIn(&tickEvent_, cfg_.epoch);
+    }
+}
+
+bool
+LoadBalancingPolicy::sendCtrl(std::function<void()> fn)
+{
+    if (ctrlRng_ != nullptr && ctrlLoss_ > 0.0 &&
+        ctrlRng_->chance(ctrlLoss_)) {
+        ++updatesDropped_;
+        return false;
+    }
+    eq_.scheduleFnIn(std::move(fn), cfg_.comms_latency + ctrlExtraDelay_);
+    return true;
+}
+
+void
 LoadBalancingPolicy::tick()
 {
+    if (stalled_)
+        return;
     ++epochs_;
+    bool update_sent = false;
     // SNIC_TP: accumulated rx_burst returns over the epoch.
     const std::uint64_t bytes = snic_.processedBytes();
     snicTp_ = gbps(bytes - lastBytes_, cfg_.epoch);
@@ -68,13 +121,18 @@ LoadBalancingPolicy::tick()
         else if (fwdTh_ < before)
             ++downs_;
         if (fwdTh_ != before) {
-            // The decision travels to the FPGA over Ethernet.
+            // The decision travels to the FPGA over Ethernet (and may
+            // be lost or delayed on an impaired channel).
             const double decided = fwdTh_;
-            eq_.scheduleFnIn(
-                [this, decided] { director_.setFwdTh(decided); },
-                cfg_.comms_latency);
+            update_sent = sendCtrl(
+                [this, decided] { director_.setFwdTh(decided); });
         }
     }
+    // Keep-alive toward the FPGA when no update went out this epoch,
+    // so the watchdog's staleness bound measures channel/LBP health
+    // rather than threshold convergence.
+    if (!update_sent && sendCtrl([this] { director_.heartbeat(); }))
+        ++heartbeats_;
     eq_.scheduleIn(&tickEvent_, cfg_.epoch);
 }
 

@@ -15,11 +15,16 @@
 #define HALSIM_CORE_LBP_HH
 
 #include <cstdint>
+#include <functional>
 
 #include "core/hlb.hh"
 #include "proc/processor.hh"
 #include "sim/event.hh"
 #include "sim/event_queue.hh"
+
+namespace halsim {
+class Rng;
+}
 
 namespace halsim::core {
 
@@ -63,8 +68,35 @@ class LoadBalancingPolicy
     std::uint64_t adjustmentsDown() const { return downs_; }
     std::uint64_t epochs() const { return epochs_; }
 
+    // --- fault hooks --------------------------------------------------
+
+    /**
+     * Impair the LBP->FPGA Ethernet hop: each outgoing update or
+     * heartbeat is dropped with @p loss_prob and delayed by an extra
+     * @p extra_delay. @p rng (may be null when loss_prob is 0) must
+     * outlive the impairment.
+     */
+    void setControlImpairment(double loss_prob, Tick extra_delay,
+                              Rng *rng);
+
+    /** Restore the control channel to nominal. */
+    void clearControlImpairment();
+
+    /** Hang (true) or resume (false) the LBP core: while stalled no
+     *  epochs run, so no updates and no heartbeats are sent. */
+    void setStalled(bool stalled);
+
+    bool stalled() const { return stalled_; }
+
+    /** Updates/heartbeats lost on the impaired control channel. */
+    std::uint64_t updatesDropped() const { return updatesDropped_; }
+
+    /** Heartbeats successfully sent to the FPGA. */
+    std::uint64_t heartbeats() const { return heartbeats_; }
+
   private:
     void tick();
+    bool sendCtrl(std::function<void()> fn);
 
     EventQueue &eq_;
     Config cfg_;
@@ -78,6 +110,14 @@ class LoadBalancingPolicy
     std::uint64_t ups_ = 0;
     std::uint64_t downs_ = 0;
     std::uint64_t epochs_ = 0;
+
+    // Fault state.
+    bool stalled_ = false;
+    double ctrlLoss_ = 0.0;
+    Tick ctrlExtraDelay_ = 0;
+    Rng *ctrlRng_ = nullptr;
+    std::uint64_t updatesDropped_ = 0;
+    std::uint64_t heartbeats_ = 0;
 };
 
 } // namespace halsim::core

@@ -2,8 +2,67 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace halsim::core {
+
+namespace {
+
+/**
+ * Reject configurations that would silently misbehave (a zero-core
+ * processor never polls; a non-power-of-two ring breaks the DPDK
+ * model; watermarks above the ring size can never trip). Throws
+ * std::invalid_argument with a message naming the offending field.
+ */
+void
+validateConfig(const ServerConfig &cfg)
+{
+    auto fail = [](const std::string &msg) {
+        throw std::invalid_argument("ServerConfig: " + msg);
+    };
+
+    const bool wants_host = cfg.mode != Mode::SnicOnly;
+    const bool wants_snic = cfg.mode != Mode::HostOnly;
+    if (wants_host && cfg.host_cores == 0)
+        fail("host_cores must be > 0 in mode " +
+             std::string(modeName(cfg.mode)));
+    if (wants_snic && cfg.snic_cores == 0)
+        fail("snic_cores must be > 0 in mode " +
+             std::string(modeName(cfg.mode)));
+
+    const std::uint32_t rd = cfg.ring_descriptors;
+    if (rd == 0 || (rd & (rd - 1)) != 0)
+        fail("ring_descriptors must be a power of two, got " +
+             std::to_string(rd));
+    if (rd < cfg.lbp.wm_high)
+        fail("ring_descriptors (" + std::to_string(rd) +
+             ") must be >= lbp.wm_high (" +
+             std::to_string(cfg.lbp.wm_high) + ")");
+    if (cfg.lbp.wm_low > cfg.lbp.wm_high)
+        fail("lbp.wm_low (" + std::to_string(cfg.lbp.wm_low) +
+             ") must be <= lbp.wm_high (" +
+             std::to_string(cfg.lbp.wm_high) + ")");
+
+    if (!(cfg.lbp.min_fwd_gbps <= cfg.lbp.initial_fwd_gbps &&
+          cfg.lbp.initial_fwd_gbps <= cfg.lbp.max_fwd_gbps)) {
+        fail("lbp thresholds must satisfy min_fwd (" +
+             std::to_string(cfg.lbp.min_fwd_gbps) + ") <= initial (" +
+             std::to_string(cfg.lbp.initial_fwd_gbps) + ") <= max_fwd (" +
+             std::to_string(cfg.lbp.max_fwd_gbps) + ")");
+    }
+
+    if (cfg.lbp.epoch <= 0)
+        fail("lbp.epoch must be positive");
+    if (cfg.watchdog.epoch <= 0)
+        fail("watchdog.epoch must be positive");
+    if (cfg.watchdog.lbp_staleness_bound <= 0)
+        fail("watchdog.lbp_staleness_bound must be positive");
+    if (cfg.frame_bytes == 0)
+        fail("frame_bytes must be > 0");
+}
+
+} // namespace
 
 const char *
 modeName(Mode m)
@@ -26,6 +85,8 @@ ServerSystem::ServerSystem(EventQueue &eq, ServerConfig cfg)
       clientIp_(10, 0, 0, 1), snicIp_(10, 0, 0, 2), hostIp_(10, 0, 0, 3),
       client_(eq), extraPower_(eq)
 {
+    validateConfig(cfg_);
+
     const auto &paths = funcs::pathLatencies();
 
     // --- Function (single or two-stage pipeline) ---------------------
@@ -178,6 +239,27 @@ ServerSystem::ServerSystem(EventQueue &eq, ServerConfig cfg)
             eq_, funcs::pathLatencies().hlb_per_direction, *director_);
         lbp_ = std::make_unique<LoadBalancingPolicy>(eq_, cfg_.lbp,
                                                      *snic_, *director_);
+        if (cfg_.watchdog.enabled) {
+            HealthWatchdog::Config wc = cfg_.watchdog;
+            if (wc.lbp_failsafe_gbps <= 0.0)
+                wc.lbp_failsafe_gbps = cfg_.lbp.initial_fwd_gbps;
+            watchdog_ = std::make_unique<HealthWatchdog>(
+                eq_, wc, snic_.get(), host_.get(), director_.get(),
+                lbp_.get(), [this] {
+                    std::uint64_t d = 0;
+                    if (snic_ != nullptr)
+                        d += snic_->drops();
+                    if (host_ != nullptr)
+                        d += host_->drops();
+                    if (clientLink_ != nullptr)
+                        d += clientLink_->drops() +
+                             clientLink_->faultDrops();
+                    if (returnLink_ != nullptr)
+                        d += returnLink_->drops() +
+                             returnLink_->faultDrops();
+                    return d;
+                });
+        }
         // The LBP occupies one SNIC core; the HLB burns its FPGA
         // power (§VII-C).
         extraPower_.add(
@@ -282,6 +364,37 @@ ServerSystem::run(std::unique_ptr<net::RateProcess> rate, Tick warmup,
         monitor_->start();
     if (lbp_ != nullptr)
         lbp_->start();
+    if (watchdog_ != nullptr) {
+        watchdog_->resetStats();
+        watchdog_->start();
+    }
+    if (!cfg_.faults.empty()) {
+        fault::FaultHooks fh;
+        fh.snic = snic_.get();
+        fh.host = host_.get();
+        fh.client_link = clientLink_.get();
+        fh.return_link = returnLink_.get();
+        if (eswitch_ != nullptr) {
+            fh.switch_port = [this](fault::FaultTarget t, bool up) {
+                eswitch_->setPortEnabled(
+                    t == fault::FaultTarget::Host ? hostIp_ : snicIp_,
+                    up);
+            };
+        }
+        if (lbp_ != nullptr) {
+            fh.control_impair = [this](double loss, Tick extra,
+                                       Rng *rng) {
+                lbp_->setControlImpairment(loss, extra, rng);
+            };
+            fh.control_restore = [this] {
+                lbp_->clearControlImpairment();
+            };
+            fh.lbp_stalled = [this](bool s) { lbp_->setStalled(s); };
+        }
+        injector_ = std::make_unique<fault::FaultInjector>(
+            eq_, cfg_.faults, std::move(fh));
+        injector_->start(eq_.now());
+    }
 
     const Tick start = eq_.now();
     const Tick measure_start = start + warmup;
@@ -364,8 +477,33 @@ ServerSystem::run(std::unique_ptr<net::RateProcess> rate, Tick warmup,
     r.drops = (snic_ != nullptr ? snic_->drops() : 0) +
               (host_ != nullptr ? host_->drops() : 0) +
               (slb_ != nullptr ? slb_->drops() : 0) +
-              clientLink_->drops();
+              clientLink_->drops() + clientLink_->faultDrops() +
+              returnLink_->faultDrops();
     r.final_fwd_th_gbps = lbp_ != nullptr ? lbp_->fwdTh() : 0.0;
+
+    if (watchdog_ != nullptr) {
+        watchdog_->stop();
+        const auto &ws = watchdog_->stats();
+        r.failovers = ws.failovers;
+        r.recoveries = ws.recoveries;
+        r.degraded_us =
+            static_cast<double>(ws.degraded) / static_cast<double>(kUs);
+        r.time_to_recover_us =
+            static_cast<double>(ws.last_recovery_latency) /
+            static_cast<double>(kUs);
+        r.failover_drops = ws.degraded_drops;
+    }
+    if (injector_ != nullptr) {
+        r.faults_injected = injector_->injected();
+        r.faults_reverted = injector_->reverted();
+        // Cancel remaining timers and heal any still-active fault so
+        // back-to-back runs on one system start from health (and no
+        // Link keeps a pointer into the injector's RNG).
+        injector_->stop();
+        injector_.reset();
+    }
+    if (lbp_ != nullptr)
+        r.ctrl_updates_dropped = lbp_->updatesDropped();
 
     if (monitor_ != nullptr)
         monitor_->stop();

@@ -29,6 +29,8 @@
 #include "core/hlb.hh"
 #include "core/lbp.hh"
 #include "core/slb.hh"
+#include "core/watchdog.hh"
+#include "fault/fault.hh"
 #include "funcs/calibration.hh"
 #include "funcs/registry.hh"
 #include "net/client.hh"
@@ -96,6 +98,12 @@ struct ServerConfig
 
     std::size_t frame_bytes = net::kMtuFrameBytes;
     std::uint64_t seed = 1;
+
+    /** Scheduled fault events, times relative to run() start. */
+    fault::FaultPlan faults;
+
+    /** Degraded-mode watchdog (active in Mode::Hal only). */
+    HealthWatchdog::Config watchdog;
 };
 
 /** The paper's metrics for one operating point. */
@@ -115,6 +123,16 @@ struct RunResult
     std::uint64_t snic_frames = 0;   //!< responses from the SNIC side
     std::uint64_t host_frames = 0;   //!< responses from the host side
     double final_fwd_th_gbps = 0.0;
+
+    // --- fault / degradation accounting ------------------------------
+    std::uint64_t faults_injected = 0;   //!< fault events applied
+    std::uint64_t faults_reverted = 0;   //!< transient faults healed
+    std::uint64_t failovers = 0;         //!< watchdog left Normal
+    std::uint64_t recoveries = 0;        //!< watchdog returned to Normal
+    double degraded_us = 0.0;            //!< time outside Normal
+    double time_to_recover_us = 0.0;     //!< last detect->recover span
+    std::uint64_t failover_drops = 0;    //!< drops while degraded
+    std::uint64_t ctrl_updates_dropped = 0; //!< lost LBP->FPGA messages
 
     /** Loss fraction over the measurement window (clamped: packets
      *  in flight across window boundaries can make the raw ratio
@@ -162,6 +180,10 @@ class ServerSystem
     TrafficMerger *merger() { return merger_.get(); }
     LoadBalancingPolicy *lbp() { return lbp_.get(); }
     SoftwareLoadBalancer *slb() { return slb_.get(); }
+    HealthWatchdog *watchdog() { return watchdog_.get(); }
+    nic::ESwitch *eswitch() { return eswitch_.get(); }
+    net::Link *clientLink() { return clientLink_.get(); }
+    net::Link *returnLink() { return returnLink_.get(); }
     coherence::CoherenceDomain *domain() { return domain_.get(); }
     net::Client &client() { return client_; }
 
@@ -203,6 +225,10 @@ class ServerSystem
     std::unique_ptr<LoadBalancingPolicy> lbp_;
     std::unique_ptr<SoftwareLoadBalancer> slb_;
     std::unique_ptr<net::Link> clientLink_;
+
+    // Fault-tolerance machinery.
+    std::unique_ptr<HealthWatchdog> watchdog_;
+    std::unique_ptr<fault::FaultInjector> injector_;
 
     /** SLB balancer cores, the LBP core, and the HLB itself. */
     proc::PowerMeter extraPower_;

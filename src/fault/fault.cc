@@ -1,0 +1,339 @@
+#include "fault/fault.hh"
+
+namespace halsim::fault {
+
+const char *
+faultKindName(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::CoreStall: return "core-stall";
+      case FaultKind::CoreSlowdown: return "core-slowdown";
+      case FaultKind::ProcessorFailure: return "processor-failure";
+      case FaultKind::AccelFailure: return "accel-failure";
+      case FaultKind::LinkLossBurst: return "link-loss";
+      case FaultKind::LinkCorruption: return "link-corruption";
+      case FaultKind::ControlLoss: return "control-loss";
+      case FaultKind::ControlDelay: return "control-delay";
+      case FaultKind::LbpStall: return "lbp-stall";
+      case FaultKind::SwitchPortDown: return "switch-port-down";
+    }
+    return "?";
+}
+
+FaultPlan &
+FaultPlan::processorFailure(FaultTarget t, Tick at, Tick duration)
+{
+    FaultEvent ev;
+    ev.kind = FaultKind::ProcessorFailure;
+    ev.target = t;
+    ev.at = at;
+    ev.duration = duration;
+    return add(ev);
+}
+
+FaultPlan &
+FaultPlan::coreStall(FaultTarget t, unsigned core, Tick at, Tick duration)
+{
+    FaultEvent ev;
+    ev.kind = FaultKind::CoreStall;
+    ev.target = t;
+    ev.index = core;
+    ev.at = at;
+    ev.duration = duration;
+    return add(ev);
+}
+
+FaultPlan &
+FaultPlan::coreSlowdown(FaultTarget t, double speed_factor, Tick at,
+                        Tick duration)
+{
+    FaultEvent ev;
+    ev.kind = FaultKind::CoreSlowdown;
+    ev.target = t;
+    ev.magnitude = speed_factor;
+    ev.at = at;
+    ev.duration = duration;
+    return add(ev);
+}
+
+FaultPlan &
+FaultPlan::accelFailure(FaultTarget t, Tick at, Tick duration)
+{
+    FaultEvent ev;
+    ev.kind = FaultKind::AccelFailure;
+    ev.target = t;
+    ev.at = at;
+    ev.duration = duration;
+    return add(ev);
+}
+
+FaultPlan &
+FaultPlan::linkLossBurst(FaultTarget link, double drop_prob, Tick at,
+                         Tick duration)
+{
+    FaultEvent ev;
+    ev.kind = FaultKind::LinkLossBurst;
+    ev.target = link;
+    ev.magnitude = drop_prob;
+    ev.at = at;
+    ev.duration = duration;
+    return add(ev);
+}
+
+FaultPlan &
+FaultPlan::linkCorruption(FaultTarget link, double corrupt_prob, Tick at,
+                          Tick duration)
+{
+    FaultEvent ev;
+    ev.kind = FaultKind::LinkCorruption;
+    ev.target = link;
+    ev.magnitude = corrupt_prob;
+    ev.at = at;
+    ev.duration = duration;
+    return add(ev);
+}
+
+FaultPlan &
+FaultPlan::controlLoss(double drop_prob, Tick at, Tick duration)
+{
+    FaultEvent ev;
+    ev.kind = FaultKind::ControlLoss;
+    ev.magnitude = drop_prob;
+    ev.at = at;
+    ev.duration = duration;
+    return add(ev);
+}
+
+FaultPlan &
+FaultPlan::controlDelay(Tick extra, Tick at, Tick duration)
+{
+    FaultEvent ev;
+    ev.kind = FaultKind::ControlDelay;
+    ev.extra = extra;
+    ev.at = at;
+    ev.duration = duration;
+    return add(ev);
+}
+
+FaultPlan &
+FaultPlan::lbpStall(Tick at, Tick duration)
+{
+    FaultEvent ev;
+    ev.kind = FaultKind::LbpStall;
+    ev.at = at;
+    ev.duration = duration;
+    return add(ev);
+}
+
+FaultPlan &
+FaultPlan::switchPortDown(FaultTarget t, Tick at, Tick duration)
+{
+    FaultEvent ev;
+    ev.kind = FaultKind::SwitchPortDown;
+    ev.target = t;
+    ev.at = at;
+    ev.duration = duration;
+    return add(ev);
+}
+
+FaultInjector::FaultInjector(EventQueue &eq, const FaultPlan &plan,
+                             FaultHooks hooks)
+    : eq_(eq), hooks_(std::move(hooks)),
+      rng_(plan.seed() ^ 0xFA017FA017ull)
+{
+    sched_.reserve(plan.size());
+    for (const FaultEvent &ev : plan.events()) {
+        auto s = std::make_unique<Scheduled>();
+        s->ev = ev;
+        Scheduled *sp = s.get();
+        s->apply.setCallback([this, sp] { fire(*sp); });
+        s->revert.setCallback([this, sp] { unfire(*sp); });
+        sched_.push_back(std::move(s));
+    }
+}
+
+FaultInjector::~FaultInjector()
+{
+    stop();
+}
+
+void
+FaultInjector::start(Tick base)
+{
+    for (auto &s : sched_) {
+        eq_.schedule(&s->apply, base + s->ev.at);
+        if (s->ev.duration > 0)
+            eq_.schedule(&s->revert, base + s->ev.at + s->ev.duration);
+    }
+}
+
+void
+FaultInjector::stop()
+{
+    for (auto &s : sched_) {
+        if (s->apply.scheduled())
+            eq_.deschedule(&s->apply);
+        if (s->revert.scheduled())
+            eq_.deschedule(&s->revert);
+        unfire(*s);
+    }
+}
+
+void
+FaultInjector::fire(Scheduled &s)
+{
+    if (applyFault(s.ev)) {
+        s.applied = true;
+        ++injected_;
+        ++active_;
+    } else {
+        ++skipped_;
+    }
+}
+
+void
+FaultInjector::unfire(Scheduled &s)
+{
+    if (!s.applied || s.reverted)
+        return;
+    revertFault(s.ev);
+    s.reverted = true;
+    ++reverted_;
+    --active_;
+}
+
+proc::Processor *
+FaultInjector::processorFor(FaultTarget t) const
+{
+    switch (t) {
+      case FaultTarget::Snic: return hooks_.snic;
+      case FaultTarget::Host: return hooks_.host;
+      default: return nullptr;
+    }
+}
+
+net::Link *
+FaultInjector::linkFor(FaultTarget t) const
+{
+    switch (t) {
+      case FaultTarget::ClientLink: return hooks_.client_link;
+      case FaultTarget::ReturnLink: return hooks_.return_link;
+      default: return nullptr;
+    }
+}
+
+bool
+FaultInjector::applyFault(const FaultEvent &ev)
+{
+    proc::Processor *proc = processorFor(ev.target);
+    net::Link *link = linkFor(ev.target);
+
+    switch (ev.kind) {
+      case FaultKind::CoreStall:
+        if (proc == nullptr)
+            return false;
+        // A hung core busy-waits: full power, no progress.
+        if (ev.index == kAllCores)
+            proc->stallAll(true, 1.0);
+        else
+            proc->setCoreStalled(ev.index, true, 1.0);
+        return true;
+
+      case FaultKind::CoreSlowdown:
+        if (proc == nullptr)
+            return false;
+        proc->setSpeedFactor(ev.magnitude);
+        return true;
+
+      case FaultKind::ProcessorFailure:
+        if (proc == nullptr)
+            return false;
+        proc->fail();
+        return true;
+
+      case FaultKind::AccelFailure:
+        if (proc == nullptr || !proc->usesAccel())
+            return false;
+        proc->failAccelerator();
+        return true;
+
+      case FaultKind::LinkLossBurst:
+        if (link == nullptr)
+            return false;
+        link->setImpairment(ev.magnitude, 0.0, &rng_);
+        return true;
+
+      case FaultKind::LinkCorruption:
+        if (link == nullptr)
+            return false;
+        link->setImpairment(0.0, ev.magnitude, &rng_);
+        return true;
+
+      case FaultKind::ControlLoss:
+        if (!hooks_.control_impair)
+            return false;
+        hooks_.control_impair(ev.magnitude, 0, &rng_);
+        return true;
+
+      case FaultKind::ControlDelay:
+        if (!hooks_.control_impair)
+            return false;
+        hooks_.control_impair(0.0, ev.extra, nullptr);
+        return true;
+
+      case FaultKind::LbpStall:
+        if (!hooks_.lbp_stalled)
+            return false;
+        hooks_.lbp_stalled(true);
+        return true;
+
+      case FaultKind::SwitchPortDown:
+        if (!hooks_.switch_port)
+            return false;
+        hooks_.switch_port(ev.target, false);
+        return true;
+    }
+    return false;
+}
+
+void
+FaultInjector::revertFault(const FaultEvent &ev)
+{
+    proc::Processor *proc = processorFor(ev.target);
+    net::Link *link = linkFor(ev.target);
+
+    switch (ev.kind) {
+      case FaultKind::CoreStall:
+        if (ev.index == kAllCores)
+            proc->stallAll(false);
+        else
+            proc->setCoreStalled(ev.index, false);
+        break;
+      case FaultKind::CoreSlowdown:
+        proc->setSpeedFactor(1.0);
+        break;
+      case FaultKind::ProcessorFailure:
+        proc->restore();
+        break;
+      case FaultKind::AccelFailure:
+        proc->repairAccelerator();
+        break;
+      case FaultKind::LinkLossBurst:
+      case FaultKind::LinkCorruption:
+        link->clearImpairment();
+        break;
+      case FaultKind::ControlLoss:
+      case FaultKind::ControlDelay:
+        if (hooks_.control_restore)
+            hooks_.control_restore();
+        break;
+      case FaultKind::LbpStall:
+        hooks_.lbp_stalled(false);
+        break;
+      case FaultKind::SwitchPortDown:
+        hooks_.switch_port(ev.target, true);
+        break;
+    }
+}
+
+} // namespace halsim::fault

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Deterministic fault injection for the simulated server.
+ *
+ * A FaultPlan is a seed-reproducible schedule of fault events (core
+ * stalls, processor fail-stops, accelerator failures, link loss or
+ * corruption bursts, LBP control-channel loss/delay) expressed
+ * relative to the start of a ServerSystem::run(). The FaultInjector
+ * replays the plan through the discrete-event queue, applying each
+ * fault at its scheduled tick and reverting it when its duration
+ * elapses, so drops, failover latency, and post-recovery throughput
+ * emerge from the same queueing models the healthy-path figures use.
+ *
+ * The injector owns its own RNG (seeded from the plan) so loss
+ * randomness never perturbs the traffic generator's stream: the same
+ * seed and plan reproduce bit-identical RunResult counters.
+ */
+
+#ifndef HALSIM_FAULT_FAULT_HH
+#define HALSIM_FAULT_FAULT_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/link.hh"
+#include "proc/processor.hh"
+#include "sim/event.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+
+namespace halsim::fault {
+
+/** All cores of the targeted processor. */
+inline constexpr unsigned kAllCores = ~0u;
+
+/** What breaks. */
+enum class FaultKind : std::uint8_t
+{
+    /** A polling core hangs (busy-wait at full power); its ring backs
+     *  up and tail-drops. */
+    CoreStall,
+    /** All cores run at a fraction of nominal speed (thermal
+     *  throttling, noisy neighbour). */
+    CoreSlowdown,
+    /** Fail-stop crash of the whole processor: every core stops and
+     *  draws nothing; packets in its rings are stranded. */
+    ProcessorFailure,
+    /** The accelerator pipeline dies; the feeding cores take over in
+     *  software at a fraction of the accelerated rate. */
+    AccelFailure,
+    /** The link drops each frame with probability `magnitude`. */
+    LinkLossBurst,
+    /** The link corrupts each frame with probability `magnitude`;
+     *  corrupted frames fail CRC at the receiver and are lost. */
+    LinkCorruption,
+    /** LBP->FPGA threshold updates and heartbeats are dropped with
+     *  probability `magnitude`. */
+    ControlLoss,
+    /** LBP->FPGA updates arrive `extra` ticks late (stale). */
+    ControlDelay,
+    /** The LBP core hangs: no epochs, no updates, no heartbeats. */
+    LbpStall,
+    /** The eSwitch port toward the target processor blackholes. */
+    SwitchPortDown,
+};
+
+const char *faultKindName(FaultKind k);
+
+/** Which component a fault event targets. */
+enum class FaultTarget : std::uint8_t
+{
+    Snic,
+    Host,
+    ClientLink,  //!< client -> server ingress link
+    ReturnLink,  //!< server -> client egress link
+};
+
+/** One scheduled fault. Times are relative to the run start. */
+struct FaultEvent
+{
+    Tick at = 0;
+    /** How long the fault lasts; 0 = permanent (rest of the run). */
+    Tick duration = 0;
+    FaultKind kind = FaultKind::CoreStall;
+    FaultTarget target = FaultTarget::Snic;
+    /** Probability (loss/corruption/control loss) or speed factor
+     *  (slowdown). */
+    double magnitude = 1.0;
+    /** Extra control-channel delay (ControlDelay). */
+    Tick extra = 0;
+    /** Core index for CoreStall, or kAllCores. */
+    unsigned index = kAllCores;
+};
+
+/**
+ * An ordered, reproducible schedule of fault events plus the seed for
+ * any loss randomness. Plain data: copyable, comparable by content,
+ * safe to embed in ServerConfig.
+ */
+class FaultPlan
+{
+  public:
+    FaultPlan &
+    add(FaultEvent ev)
+    {
+        events_.push_back(ev);
+        return *this;
+    }
+
+    // --- convenience builders ---------------------------------------
+    FaultPlan &processorFailure(FaultTarget t, Tick at, Tick duration = 0);
+    FaultPlan &coreStall(FaultTarget t, unsigned core, Tick at,
+                         Tick duration = 0);
+    FaultPlan &coreSlowdown(FaultTarget t, double speed_factor, Tick at,
+                            Tick duration = 0);
+    FaultPlan &accelFailure(FaultTarget t, Tick at, Tick duration = 0);
+    FaultPlan &linkLossBurst(FaultTarget link, double drop_prob, Tick at,
+                             Tick duration);
+    FaultPlan &linkCorruption(FaultTarget link, double corrupt_prob,
+                              Tick at, Tick duration);
+    FaultPlan &controlLoss(double drop_prob, Tick at, Tick duration);
+    FaultPlan &controlDelay(Tick extra, Tick at, Tick duration);
+    FaultPlan &lbpStall(Tick at, Tick duration);
+    FaultPlan &switchPortDown(FaultTarget t, Tick at, Tick duration);
+
+    FaultPlan &
+    setSeed(std::uint64_t seed)
+    {
+        seed_ = seed;
+        return *this;
+    }
+
+    bool empty() const { return events_.empty(); }
+    std::size_t size() const { return events_.size(); }
+    const std::vector<FaultEvent> &events() const { return events_; }
+    std::uint64_t seed() const { return seed_; }
+
+  private:
+    std::vector<FaultEvent> events_;
+    std::uint64_t seed_ = 1;
+};
+
+/**
+ * The component handles the injector needs. Raw pointers may be null
+ * (e.g. no host processor in SNIC-only mode); callbacks may be empty.
+ * Faults whose target is absent are counted as skipped, not errors,
+ * so one plan can run across modes.
+ */
+struct FaultHooks
+{
+    proc::Processor *snic = nullptr;
+    proc::Processor *host = nullptr;
+    net::Link *client_link = nullptr;
+    net::Link *return_link = nullptr;
+    /** Bring the eSwitch port toward a processor up/down. */
+    std::function<void(FaultTarget, bool)> switch_port;
+    /** Impair the LBP->FPGA channel: (loss prob, extra delay, rng). */
+    std::function<void(double, Tick, Rng *)> control_impair;
+    /** Restore the control channel to nominal. */
+    std::function<void()> control_restore;
+    /** Hang / resume the LBP core. */
+    std::function<void(bool)> lbp_stalled;
+};
+
+/**
+ * Replays a FaultPlan through the event queue. Owns the timer events
+ * (so stop() can cancel cleanly) and the loss RNG (so injection never
+ * perturbs the traffic stream's randomness). stop() force-reverts any
+ * still-active fault, returning the system to health — permanent
+ * faults last "the rest of the run", not beyond it.
+ */
+class FaultInjector
+{
+  public:
+    FaultInjector(EventQueue &eq, const FaultPlan &plan, FaultHooks hooks);
+    ~FaultInjector();
+
+    FaultInjector(const FaultInjector &) = delete;
+    FaultInjector &operator=(const FaultInjector &) = delete;
+
+    /** Schedule every event at @p base + event.at. */
+    void start(Tick base);
+
+    /** Cancel pending timers and revert all active faults. */
+    void stop();
+
+    /** Faults actually applied. */
+    std::uint64_t injected() const { return injected_; }
+    /** Faults reverted (duration elapsed or stop()). */
+    std::uint64_t reverted() const { return reverted_; }
+    /** Faults whose target was absent in this configuration. */
+    std::uint64_t skipped() const { return skipped_; }
+    /** Currently-active faults. */
+    unsigned active() const { return active_; }
+
+  private:
+    struct Scheduled
+    {
+        FaultEvent ev;
+        CallbackEvent apply;
+        CallbackEvent revert;
+        bool applied = false;
+        bool reverted = false;
+    };
+
+    void fire(Scheduled &s);
+    void unfire(Scheduled &s);
+    bool applyFault(const FaultEvent &ev);
+    void revertFault(const FaultEvent &ev);
+    proc::Processor *processorFor(FaultTarget t) const;
+    net::Link *linkFor(FaultTarget t) const;
+
+    EventQueue &eq_;
+    FaultHooks hooks_;
+    Rng rng_;
+    std::vector<std::unique_ptr<Scheduled>> sched_;
+    std::uint64_t injected_ = 0;
+    std::uint64_t reverted_ = 0;
+    std::uint64_t skipped_ = 0;
+    unsigned active_ = 0;
+};
+
+} // namespace halsim::fault
+
+#endif // HALSIM_FAULT_FAULT_HH

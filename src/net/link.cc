@@ -3,12 +3,28 @@
 #include <algorithm>
 #include <utility>
 
+#include "sim/rng.hh"
+
 namespace halsim::net {
 
 void
 Link::send(PacketPtr pkt)
 {
     const Tick now = eq_.now();
+    if (faultRng_ != nullptr) {
+        // Injected impairment: the frame enters the wire but never
+        // reaches the far end (burst loss) or arrives mangled and is
+        // discarded by the receiver's CRC check. Either way the
+        // sender's Tx FIFO accounting is untouched.
+        if (lossProb_ > 0.0 && faultRng_->chance(lossProb_)) {
+            ++faultLost_;
+            return;
+        }
+        if (corruptProb_ > 0.0 && faultRng_->chance(corruptProb_)) {
+            ++corrupted_;
+            return;
+        }
+    }
     if (queued_ >= cfg_.max_queue) {
         ++drops_;
         return;

@@ -18,6 +18,10 @@
 #include "sim/event_queue.hh"
 #include "sim/types.hh"
 
+namespace halsim {
+class Rng;
+}
+
 namespace halsim::net {
 
 /**
@@ -50,6 +54,38 @@ class Link : public PacketSink
     /** Packets dropped at the Tx FIFO. */
     std::uint64_t drops() const { return drops_; }
 
+    /**
+     * Fault injection: until cleared, each offered frame is lost with
+     * probability @p loss_prob or corrupted with probability
+     * @p corrupt_prob (corrupted frames fail CRC at the receiver and
+     * never reach the sink). @p rng must outlive the impairment.
+     */
+    void
+    setImpairment(double loss_prob, double corrupt_prob, Rng *rng)
+    {
+        lossProb_ = loss_prob;
+        corruptProb_ = corrupt_prob;
+        faultRng_ = rng;
+    }
+
+    /** Restore the link to nominal behaviour. */
+    void
+    clearImpairment()
+    {
+        lossProb_ = 0.0;
+        corruptProb_ = 0.0;
+        faultRng_ = nullptr;
+    }
+
+    /** Frames lost to an injected loss burst. */
+    std::uint64_t faultLost() const { return faultLost_; }
+
+    /** Frames corrupted in flight (dropped by the receiver's CRC). */
+    std::uint64_t corrupted() const { return corrupted_; }
+
+    /** All impairment-induced losses (lost + corrupted). */
+    std::uint64_t faultDrops() const { return faultLost_ + corrupted_; }
+
     /** Bytes successfully delivered to the far end. */
     std::uint64_t deliveredBytes() const { return deliveredBytes_; }
 
@@ -67,6 +103,13 @@ class Link : public PacketSink
     std::uint64_t drops_ = 0;
     std::uint64_t deliveredBytes_ = 0;
     std::uint64_t deliveredFrames_ = 0;
+
+    // Fault-injection state.
+    double lossProb_ = 0.0;
+    double corruptProb_ = 0.0;
+    Rng *faultRng_ = nullptr;
+    std::uint64_t faultLost_ = 0;
+    std::uint64_t corrupted_ = 0;
 };
 
 } // namespace halsim::net

@@ -42,8 +42,9 @@ makeUdpPacket(const MacAddr &src_mac, const MacAddr &dst_mac,
     assert(frame_bytes == 0 || frame_bytes >= kFrameHeaderLen);
 
     std::vector<std::uint8_t> frame(total, 0);
-    std::memcpy(frame.data() + kFrameHeaderLen, payload.data(),
-                payload.size());
+    if (!payload.empty())
+        std::memcpy(frame.data() + kFrameHeaderLen, payload.data(),
+                    payload.size());
 
     auto pkt = std::make_unique<Packet>(std::move(frame));
 

@@ -36,7 +36,7 @@ class DpdkRing : public net::PacketSink
     void
     accept(net::PacketPtr pkt) override
     {
-        if (q_.size() >= capacity_) {
+        if (disabled_ || q_.size() >= capacity_) {
             ++drops_;
             return;
         }
@@ -69,12 +69,22 @@ class DpdkRing : public net::PacketSink
     std::uint64_t drops() const { return drops_; }
     std::uint64_t bytesIn() const { return bytesIn_; }
 
+    /**
+     * Fault hook: a disabled ring models a dead receive queue (DMA
+     * stopped, descriptors never replenished) — every arrival is
+     * dropped and counted. Already-queued packets stay dequeueable.
+     */
+    void setDisabled(bool disabled) { disabled_ = disabled; }
+
+    bool disabled() const { return disabled_; }
+
   private:
     std::uint32_t capacity_;
     std::deque<net::PacketPtr> q_;
     std::function<void()> notify_;
     std::uint64_t drops_ = 0;
     std::uint64_t bytesIn_ = 0;
+    bool disabled_ = false;
 };
 
 } // namespace halsim::nic

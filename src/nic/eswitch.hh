@@ -34,24 +34,42 @@ class ESwitch : public net::PacketSink
     addRule(net::Ipv4Addr dst_ip, net::PacketSink *port)
     {
         for (auto &r : rules_) {
-            if (r.first == dst_ip) {
-                r.second = port;
+            if (r.ip == dst_ip) {
+                r.port = port;
+                r.enabled = true;
                 return;
             }
         }
-        rules_.emplace_back(dst_ip, port);
+        rules_.push_back(Rule{dst_ip, port, true});
     }
 
     void setDefault(net::PacketSink *port) { default_ = port; }
+
+    /**
+     * Fault hook: a downed port keeps its rule but blackholes the
+     * frames that match it (the PF/VF behind the eSwitch went away).
+     */
+    void
+    setPortEnabled(net::Ipv4Addr dst_ip, bool enabled)
+    {
+        for (auto &r : rules_) {
+            if (r.ip == dst_ip)
+                r.enabled = enabled;
+        }
+    }
 
     void
     accept(net::PacketPtr pkt) override
     {
         const net::Ipv4Addr dst = pkt->ip().dst();
         for (const auto &r : rules_) {
-            if (r.first == dst) {
+            if (r.ip == dst) {
+                if (!r.enabled) {
+                    ++blackholed_;
+                    return;
+                }
                 ++matched_;
-                r.second->accept(std::move(pkt));
+                r.port->accept(std::move(pkt));
                 return;
             }
         }
@@ -65,12 +83,23 @@ class ESwitch : public net::PacketSink
     std::uint64_t matched() const { return matched_; }
     std::uint64_t unrouted() const { return unrouted_; }
 
+    /** Frames dropped at a downed port. */
+    std::uint64_t blackholed() const { return blackholed_; }
+
   private:
+    struct Rule
+    {
+        net::Ipv4Addr ip;
+        net::PacketSink *port;
+        bool enabled;
+    };
+
     /** Tiny rule count (2-3); linear scan beats a map. */
-    std::vector<std::pair<net::Ipv4Addr, net::PacketSink *>> rules_;
+    std::vector<Rule> rules_;
     net::PacketSink *default_ = nullptr;
     std::uint64_t matched_ = 0;
     std::uint64_t unrouted_ = 0;
+    std::uint64_t blackholed_ = 0;
 };
 
 /**

@@ -86,8 +86,53 @@ PollCore::~PollCore()
 void
 PollCore::onWork()
 {
-    if (!busy_)
+    if (!busy_ && !stalled_)
         startNext();
+}
+
+void
+PollCore::setStalled(bool stalled, double power_frac)
+{
+    if (stalled_ == stalled)
+        return;
+    stalled_ = stalled;
+    stallFrac_ = power_frac;
+    if (stalled) {
+        if (sleepEvent_.scheduled())
+            eq_.deschedule(&sleepEvent_);
+        sleeping_ = false;
+        // An in-flight packet still completes; finish() then parks
+        // the core at the stall power level.
+        if (!busy_)
+            setPowerLevel(power_frac);
+    } else {
+        if (busy_) {
+            setPowerLevel(1.0);
+            return;
+        }
+        setPowerLevel(idleLevel());
+        if (!ring_.empty())
+            startNext();
+        else
+            goIdle();
+    }
+}
+
+void
+PollCore::forceWake()
+{
+    if (stalled_ || busy_)
+        return;
+    if (sleepEvent_.scheduled())
+        eq_.deschedule(&sleepEvent_);
+    if (sleeping_) {
+        sleeping_ = false;
+        setPowerLevel(idleLevel());
+    }
+    if (!ring_.empty())
+        startNext();
+    else
+        goIdle();
 }
 
 void
@@ -118,22 +163,27 @@ PollCore::startNext()
     const Tick service =
         static_cast<Tick>(
             static_cast<double>(cfg_.profile.serviceTicks(pkt->size())) /
-            freqScale()) +
+            (freqScale() * speedFactor_)) +
         ctx.latency() + extra;
-    net::Packet *raw = pkt.release();
-    eq_.scheduleFnIn([this, raw] { finish(raw); }, service);
+    eq_.scheduleFnIn(
+        [this, p = std::move(pkt)]() mutable { finish(std::move(p)); },
+        service);
 }
 
 void
-PollCore::finish(net::Packet *raw)
+PollCore::finish(net::PacketPtr pkt)
 {
     ++frames_;
-    bytes_ += raw->size();
-    makeResponse(*raw, cfg_.service_mac, cfg_.service_ip, cfg_.tag);
-    tx_.accept(net::PacketPtr(raw));
+    bytes_ += pkt->size();
+    makeResponse(*pkt, cfg_.service_mac, cfg_.service_ip, cfg_.tag);
+    tx_.accept(std::move(pkt));
 
     busy_ = false;
     busyTime_.set(0.0, eq_.now());
+    if (stalled_) {
+        setPowerLevel(stallFrac_);
+        return;
+    }
     if (!ring_.empty()) {
         startNext();
     } else {
@@ -152,7 +202,7 @@ PollCore::goIdle()
 void
 PollCore::maybeSleep()
 {
-    if (!busy_ && ring_.empty() && !sleeping_) {
+    if (!busy_ && !stalled_ && ring_.empty() && !sleeping_) {
         sleeping_ = true;
         setPowerLevel(0.0);
     }
@@ -201,15 +251,30 @@ double
 Accelerator::activeBlockW() const
 {
     // Feeding cores + the accelerator itself, treated as one block
-    // whose duty cycle follows the pipeline.
-    return cfg_.feed_power_w + cfg_.profile.accel_w;
+    // whose duty cycle follows the pipeline. A failed accelerator
+    // draws nothing while the software fallback keeps the cores hot.
+    return cfg_.feed_power_w + (failed_ ? 0.0 : cfg_.profile.accel_w);
 }
 
 void
 Accelerator::setPowerLevel(double frac)
 {
-    power_.add((frac - powerLevel_) * activeBlockW());
+    // Absolute-watt accounting: the block's base power changes when
+    // the accelerator fails, so deltas must be taken against the
+    // currently-charged watts, not the previous fraction.
+    const double watts = frac * activeBlockW();
+    power_.add(watts - currentW_);
+    currentW_ = watts;
     powerLevel_ = frac;
+}
+
+void
+Accelerator::setFailed(bool failed)
+{
+    if (failed_ == failed)
+        return;
+    failed_ = failed;
+    setPowerLevel(powerLevel_);   // rebase watts onto the new block power
 }
 
 double
@@ -249,18 +314,24 @@ Accelerator::pump()
     coherence::StateContext ctx(domain_, cfg_.node);
     fn_.process(*pkt, ctx);
 
-    const double rate = cfg_.profile.max_tp_gbps;
+    // Software fallback after a failure serializes at a fraction of
+    // the accelerated rate on the feeding cores.
+    const double rate = failed_
+                            ? cfg_.profile.max_tp_gbps * cfg_.fallback_frac
+                            : cfg_.profile.max_tp_gbps;
     const Tick ser =
         transferTicks(pkt->size(), rate) + ctx.latency() + extra;
-    net::Packet *raw = pkt.release();
     eq_.scheduleFnIn(
-        [this, raw] {
+        [this, p = std::move(pkt)]() mutable {
             // Serialization slot free: the next packet can enter
-            // while this one traverses the fixed pipeline latency.
+            // while this one traverses the fixed pipeline latency
+            // (software fallback has no hardware pipeline to cross).
             inSlot_ = false;
-            net::Packet *p = raw;
-            eq_.scheduleFnIn([this, p] { finish(p); },
-                             cfg_.profile.accel_latency);
+            eq_.scheduleFnIn(
+                [this, q = std::move(p)]() mutable {
+                    finish(std::move(q));
+                },
+                failed_ ? 0 : cfg_.profile.accel_latency);
             if (!queue_.empty()) {
                 pump();
             } else {
@@ -274,12 +345,12 @@ Accelerator::pump()
 }
 
 void
-Accelerator::finish(net::Packet *raw)
+Accelerator::finish(net::PacketPtr pkt)
 {
-    net::PacketPtr pkt(raw);
     ++frames_;
     bytes_ += pkt->size();
-    makeResponse(*pkt, cfg_.service_mac, cfg_.service_ip, cfg_.tag);
+    makeResponse(*pkt, cfg_.service_mac, cfg_.service_ip,
+                 failed_ ? cfg_.fallback_tag : cfg_.tag);
     tx_.accept(std::move(pkt));
 }
 
@@ -306,6 +377,10 @@ Processor::Processor(EventQueue &eq, Config cfg,
         ac.service_mac = cfg_.service_mac;
         ac.service_ip = cfg_.service_ip;
         ac.sleep = cfg_.sleep;
+        ac.fallback_frac = cfg_.accel_fallback_frac;
+        ac.fallback_tag = cfg_.node == coherence::NodeId::Snic
+                              ? net::Processor::SnicCpu
+                              : net::Processor::HostCpu;
         // The polling cores that feed the accelerator burn power with
         // the same duty cycle as the pipeline.
         ac.feed_power_w = cfg_.profile.core_active_w * cfg_.cores;
@@ -404,6 +479,94 @@ Processor::drops() const
     for (const auto &r : rings_)
         n += r->drops();
     return n - statDropBase_;
+}
+
+void
+Processor::setCoreStalled(unsigned idx, bool stalled, double power_frac)
+{
+    if (idx < cores_.size())
+        cores_[idx]->setStalled(stalled, power_frac);
+}
+
+void
+Processor::stallAll(bool stalled, double power_frac)
+{
+    for (const auto &c : cores_)
+        c->setStalled(stalled, power_frac);
+}
+
+void
+Processor::fail()
+{
+    failed_ = true;
+    if (accel_ != nullptr)
+        accel_->setDead(true);
+    else
+        stallAll(true, 0.0);
+}
+
+void
+Processor::restore()
+{
+    failed_ = false;
+    if (accel_ != nullptr)
+        accel_->setDead(false);
+    else
+        stallAll(false);
+}
+
+unsigned
+Processor::aliveCores() const
+{
+    if (accel_ != nullptr)
+        return failed_ ? 0 : cfg_.cores;
+    unsigned n = 0;
+    for (const auto &c : cores_)
+        if (!c->stalled())
+            ++n;
+    return n;
+}
+
+bool
+Processor::alive() const
+{
+    if (accel_ != nullptr)
+        return !failed_;
+    return aliveCores() > 0;
+}
+
+void
+Processor::setSpeedFactor(double f)
+{
+    for (const auto &c : cores_)
+        c->setSpeedFactor(f);
+}
+
+void
+Processor::forceWakeAll()
+{
+    for (const auto &c : cores_)
+        c->forceWake();
+}
+
+void
+Processor::failAccelerator()
+{
+    if (accel_ != nullptr)
+        accel_->setFailed(true);
+}
+
+void
+Processor::repairAccelerator()
+{
+    if (accel_ != nullptr)
+        accel_->setFailed(false);
+}
+
+bool
+Processor::accelDegraded() const
+{
+    return accel_ != nullptr && accel_->accelFailed();
 }
 
 void

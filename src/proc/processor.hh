@@ -121,6 +121,31 @@ class PollCore
     /** Ring notification: new packet while the ring was empty. */
     void onWork();
 
+    /**
+     * Fault hook: a stalled core stops servicing its ring (the ring
+     * backs up and tail-drops) while drawing @p power_frac of active
+     * power — 1.0 models a busy-wait hang, 0.0 a fail-stop crash. An
+     * in-flight packet still completes. Unstalling resumes from the
+     * ring backlog.
+     */
+    void setStalled(bool stalled, double power_frac = 1.0);
+
+    bool stalled() const { return stalled_; }
+
+    /** Fault hook: run at @p f of nominal speed (0 < f; 1 = nominal). */
+    void
+    setSpeedFactor(double f)
+    {
+        speedFactor_ = f > 0.0 ? f : 1.0;
+    }
+
+    /**
+     * Recovery hook: wake a sleeping core immediately, without the
+     * per-packet wake penalty — the watchdog uses this when failover
+     * redirects the full load at a processor whose cores sleep.
+     */
+    void forceWake();
+
     std::uint64_t processedFrames() const { return frames_; }
     std::uint64_t processedBytes() const { return bytes_; }
     bool sleeping() const { return sleeping_; }
@@ -132,7 +157,7 @@ class PollCore
 
   private:
     void startNext();
-    void finish(net::Packet *raw);
+    void finish(net::PacketPtr pkt);
     void goIdle();
     void maybeSleep();
 
@@ -147,6 +172,9 @@ class PollCore
     CallbackEvent sleepEvent_;
     bool busy_ = false;
     bool sleeping_ = false;    //!< deep sleep (wake penalty applies)
+    bool stalled_ = false;     //!< fault-injected hang/crash
+    double stallFrac_ = 1.0;   //!< power fraction while stalled
+    double speedFactor_ = 1.0; //!< fault-injected slowdown (1 = nominal)
     double powerLevel_ = 0.0;  //!< duty-cycle fraction
     double currentW_ = 0.0;    //!< absolute watts currently charged
     std::uint64_t frames_ = 0;
@@ -177,6 +205,11 @@ class Accelerator
         SleepPolicy sleep;      //!< applied to the feeding cores
         /** Power of the polling cores feeding the accelerator (W). */
         double feed_power_w = 0.0;
+        /** Throughput fraction the feeding cores sustain in software
+         *  when the accelerator fails (§ fault model). */
+        double fallback_frac = 0.15;
+        /** Response attribution while running the software fallback. */
+        net::Processor fallback_tag = net::Processor::SnicCpu;
     };
 
     Accelerator(EventQueue &eq, Config cfg,
@@ -196,11 +229,26 @@ class Accelerator
     std::uint64_t processedFrames() const { return frames_; }
     std::uint64_t processedBytes() const { return bytes_; }
 
+    /**
+     * Fault hook: the accelerator pipeline dies and the feeding cores
+     * take over in software at fallback_frac of the accelerated rate
+     * (no fixed pipeline latency, responses tagged as CPU-processed,
+     * the dead unit draws nothing while the cores stay hot).
+     */
+    void setFailed(bool failed);
+
+    bool accelFailed() const { return failed_; }
+
+    /** Fault hook: fail-stop — the input queue drops every arrival. */
+    void setDead(bool dead) { queue_.setDisabled(dead); }
+
+    bool dead() const { return queue_.disabled(); }
+
     void resetStats();
 
   private:
     void pump();
-    void finish(net::Packet *raw);
+    void finish(net::PacketPtr pkt);
 
     EventQueue &eq_;
     Config cfg_;
@@ -214,7 +262,9 @@ class Accelerator
     bool inSlot_ = false;
     bool busyPipeline_ = false;
     bool deepSleep_ = false;
+    bool failed_ = false;       //!< software fallback active
     double powerLevel_ = 0.0;   //!< fraction of (feed + accel) power
+    double currentW_ = 0.0;     //!< absolute watts currently charged
     std::uint64_t frames_ = 0;
     std::uint64_t bytes_ = 0;
 
@@ -240,6 +290,8 @@ class Processor
         coherence::NodeId node = coherence::NodeId::Snic;
         net::MacAddr service_mac;
         net::Ipv4Addr service_ip;
+        /** Software-fallback rate fraction after accelerator failure. */
+        double accel_fallback_frac = 0.15;
     };
 
     Processor(EventQueue &eq, Config cfg, funcs::NetworkFunction &fn,
@@ -273,6 +325,53 @@ class Processor
     /** Current DVFS frequency scale (1.0 when DVFS is off). */
     double dvfsScale() const { return freqScale_; }
 
+    // --- fault / recovery hooks --------------------------------------
+
+    /** Stall or resume one core (no-op for out-of-range @p idx). */
+    void setCoreStalled(unsigned idx, bool stalled,
+                        double power_frac = 1.0);
+
+    /** Stall or resume every core at @p power_frac of active power. */
+    void stallAll(bool stalled, double power_frac = 1.0);
+
+    /**
+     * Fail-stop crash: every core stops and draws nothing (accel
+     * mode: the input queue drops all arrivals). Packets already in
+     * the rings are stranded until restore().
+     */
+    void fail();
+
+    /** Undo fail(): cores resume from their ring backlog. */
+    void restore();
+
+    /** True after fail() until restore(). */
+    bool failed() const { return failed_; }
+
+    /** Cores not currently stalled (accel mode: 0 or cfg.cores). */
+    unsigned aliveCores() const;
+
+    /**
+     * Liveness as the watchdog sees it: can this processor make
+     * forward progress? A degraded accelerator (software fallback)
+     * is still alive; a fail-stopped one is not.
+     */
+    bool alive() const;
+
+    /** Fault hook: all cores run at @p f of nominal speed. */
+    void setSpeedFactor(double f);
+
+    /** Wake every sleeping core immediately (failover fast path). */
+    void forceWakeAll();
+
+    /** Accelerator dies; feeding cores fall back to software. */
+    void failAccelerator();
+
+    /** Accelerator restored to the calibrated rate. */
+    void repairAccelerator();
+
+    /** True while the software fallback is serving. */
+    bool accelDegraded() const;
+
   private:
     EventQueue &eq_;
     Config cfg_;
@@ -290,6 +389,7 @@ class Processor
     double freqScale_ = 1.0;
     CallbackEvent dvfsEvent_;
 
+    bool failed_ = false;   //!< fail-stop state
     std::uint64_t statDropBase_ = 0;
 };
 

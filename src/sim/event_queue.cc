@@ -18,8 +18,7 @@ Event::~Event()
 class EventQueue::OneShot : public Event
 {
   public:
-    explicit OneShot(std::function<void()> fn)
-        : Event("oneshot"), fn_(std::move(fn))
+    explicit OneShot(UniqueFn fn) : Event("oneshot"), fn_(std::move(fn))
     {}
 
     void
@@ -30,7 +29,7 @@ class EventQueue::OneShot : public Event
     }
 
   private:
-    std::function<void()> fn_;
+    UniqueFn fn_;
 };
 
 EventQueue::~EventQueue()
@@ -79,7 +78,7 @@ EventQueue::deschedule(Event *ev)
 }
 
 void
-EventQueue::scheduleFn(std::function<void()> fn, Tick when)
+EventQueue::scheduleFn(UniqueFn fn, Tick when)
 {
     schedule(new OneShot(std::move(fn)), when);
 }

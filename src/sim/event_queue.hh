@@ -17,6 +17,43 @@
 namespace halsim {
 
 /**
+ * Move-only type-erased callable for one-shot events. Unlike
+ * std::function it accepts non-copyable captures (PacketPtr,
+ * unique_ptr state), so a pending event owns what it captured and
+ * queue teardown releases it — nothing in flight can leak.
+ */
+class UniqueFn
+{
+  public:
+    UniqueFn() = default;
+
+    template <typename F>
+    UniqueFn(F fn) : impl_(std::make_unique<Impl<F>>(std::move(fn)))
+    {}
+
+    void operator()() { impl_->call(); }
+
+    explicit operator bool() const { return impl_ != nullptr; }
+
+  private:
+    struct Base
+    {
+        virtual ~Base() = default;
+        virtual void call() = 0;
+    };
+
+    template <typename F>
+    struct Impl : Base
+    {
+        explicit Impl(F f) : fn(std::move(f)) {}
+        void call() override { fn(); }
+        F fn;
+    };
+
+    std::unique_ptr<Base> impl_;
+};
+
+/**
  * Binary-heap event queue with deterministic same-tick ordering.
  *
  * Events scheduled at the same tick execute in schedule order (FIFO),
@@ -65,13 +102,14 @@ class EventQueue
 
     /**
      * Schedule a one-shot callable at absolute tick @p when. The
-     * wrapper event is owned by the queue and freed after it fires.
+     * wrapper event is owned by the queue and freed after it fires
+     * (or at queue teardown, releasing anything it captured).
      */
-    void scheduleFn(std::function<void()> fn, Tick when);
+    void scheduleFn(UniqueFn fn, Tick when);
 
     /** Schedule a one-shot callable @p delta ticks from now. */
     void
-    scheduleFnIn(std::function<void()> fn, Tick delta)
+    scheduleFnIn(UniqueFn fn, Tick delta)
     {
         scheduleFn(std::move(fn), now_ + delta);
     }

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * The simulator's loss paths in isolation: link tail-drop accounting
+ * and fault impairments, DPDK ring overflow and disabled-queue
+ * behaviour, eSwitch port blackholing, and the traffic merger's
+ * pass-through of non-host frames.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/hlb.hh"
+#include "net/link.hh"
+#include "nic/dpdk_ring.hh"
+#include "nic/eswitch.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+
+using namespace halsim;
+using namespace halsim::core;
+
+namespace {
+
+const net::Ipv4Addr kClientIp(10, 0, 0, 1);
+const net::Ipv4Addr kSnicIp(10, 0, 0, 2);
+const net::Ipv4Addr kHostIp(10, 0, 0, 3);
+const net::MacAddr kSnicMac = net::MacAddr::fromUint(0x5A1C);
+
+struct Capture : net::PacketSink
+{
+    void
+    accept(net::PacketPtr pkt) override
+    {
+        ++frames;
+        bytes += pkt->size();
+        last = std::move(pkt);
+    }
+
+    std::uint64_t frames = 0;
+    std::uint64_t bytes = 0;
+    net::PacketPtr last;
+};
+
+net::PacketPtr
+packetTo(net::Ipv4Addr dst, net::Ipv4Addr src = kClientIp)
+{
+    return net::makeUdpPacket(net::MacAddr::fromUint(1), kSnicMac, src,
+                              dst, 40000, 9000, {},
+                              net::kMtuFrameBytes);
+}
+
+} // namespace
+
+// --- Link ------------------------------------------------------------
+
+TEST(LossPaths, LinkTailDropsBeyondQueueBudget)
+{
+    EventQueue eq;
+    Capture sink;
+    // 10 Gbps, 8-deep Tx FIFO: of a 20-packet burst at one instant
+    // the FIFO holds 8 (the serializing head counts against the
+    // budget); the rest must tail-drop.
+    net::Link link(eq, {10.0, 1 * kUs, 8, "test"}, sink);
+    for (int i = 0; i < 20; ++i)
+        link.send(packetTo(kSnicIp));
+    eq.run();
+
+    EXPECT_EQ(link.drops(), 20u - 8u);
+    EXPECT_EQ(sink.frames, 8u);
+    EXPECT_EQ(link.deliveredFrames(), sink.frames);
+    EXPECT_EQ(link.deliveredBytes(), sink.bytes);
+    EXPECT_EQ(link.faultDrops(), 0u) << "tail drops are not fault drops";
+}
+
+TEST(LossPaths, LinkImpairmentLosesAndCorruptsSeparately)
+{
+    EventQueue eq;
+    Capture sink;
+    net::Link link(eq, {100.0, 1 * kUs, 4096, "test"}, sink);
+    Rng rng(42);
+
+    link.setImpairment(1.0, 0.0, &rng); // lose everything
+    for (int i = 0; i < 50; ++i)
+        link.send(packetTo(kSnicIp));
+    EXPECT_EQ(link.faultLost(), 50u);
+    EXPECT_EQ(link.corrupted(), 0u);
+
+    link.setImpairment(0.0, 1.0, &rng); // corrupt everything
+    for (int i = 0; i < 30; ++i)
+        link.send(packetTo(kSnicIp));
+    EXPECT_EQ(link.corrupted(), 30u);
+    EXPECT_EQ(link.faultDrops(), 80u);
+
+    link.clearImpairment();
+    for (int i = 0; i < 5; ++i)
+        link.send(packetTo(kSnicIp));
+    eq.run();
+    EXPECT_EQ(sink.frames, 5u);
+    EXPECT_EQ(link.faultDrops(), 80u) << "healthy frames pass untouched";
+    EXPECT_EQ(link.drops(), 0u);
+}
+
+// --- DpdkRing ---------------------------------------------------------
+
+TEST(LossPaths, RingOverflowTailDropsAndKeepsFifoOrder)
+{
+    nic::DpdkRing ring(4);
+    for (int i = 0; i < 10; ++i) {
+        auto pkt = packetTo(kSnicIp);
+        pkt->udp().setSrcPort(static_cast<std::uint16_t>(1000 + i));
+        ring.accept(std::move(pkt));
+    }
+    EXPECT_EQ(ring.occupancy(), 4u);
+    EXPECT_EQ(ring.drops(), 6u);
+
+    // Survivors are the first four, in arrival order.
+    for (int i = 0; i < 4; ++i) {
+        auto pkt = ring.dequeue();
+        ASSERT_NE(pkt, nullptr);
+        EXPECT_EQ(pkt->udp().srcPort(), 1000 + i);
+    }
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(LossPaths, DisabledRingDropsArrivalsButDrainsBacklog)
+{
+    nic::DpdkRing ring(8);
+    ring.accept(packetTo(kSnicIp));
+    ring.accept(packetTo(kSnicIp));
+    ring.setDisabled(true);
+    ring.accept(packetTo(kSnicIp));
+    EXPECT_EQ(ring.drops(), 1u);
+    EXPECT_EQ(ring.occupancy(), 2u) << "backlog stays dequeueable";
+    EXPECT_NE(ring.dequeue(), nullptr);
+    ring.setDisabled(false);
+    ring.accept(packetTo(kSnicIp));
+    EXPECT_EQ(ring.occupancy(), 2u);
+    EXPECT_EQ(ring.drops(), 1u);
+}
+
+// --- eSwitch ----------------------------------------------------------
+
+TEST(LossPaths, ESwitchBlackholesDisabledPort)
+{
+    nic::ESwitch sw;
+    Capture snic, host;
+    sw.addRule(kSnicIp, &snic);
+    sw.addRule(kHostIp, &host);
+
+    sw.accept(packetTo(kSnicIp));
+    sw.accept(packetTo(kHostIp));
+    EXPECT_EQ(snic.frames, 1u);
+    EXPECT_EQ(host.frames, 1u);
+
+    sw.setPortEnabled(kHostIp, false);
+    sw.accept(packetTo(kHostIp));
+    sw.accept(packetTo(kSnicIp));
+    EXPECT_EQ(host.frames, 1u);
+    EXPECT_EQ(snic.frames, 2u);
+    EXPECT_EQ(sw.blackholed(), 1u);
+
+    sw.setPortEnabled(kHostIp, true);
+    sw.accept(packetTo(kHostIp));
+    EXPECT_EQ(host.frames, 2u);
+    EXPECT_EQ(sw.blackholed(), 1u);
+}
+
+// --- TrafficMerger ----------------------------------------------------
+
+TEST(LossPaths, MergerPassesNonHostFramesUnmodified)
+{
+    Capture sink;
+    TrafficMerger merger({kSnicIp, kHostIp, kSnicMac}, sink);
+
+    // SNIC-sourced response: must pass through untouched.
+    merger.accept(packetTo(kClientIp, kSnicIp));
+    ASSERT_NE(sink.last, nullptr);
+    EXPECT_EQ(sink.last->ip().src(), kSnicIp);
+    EXPECT_TRUE(sink.last->ip().checksumOk());
+
+    // Host-sourced response: rewritten to the service identity.
+    merger.accept(packetTo(kClientIp, kHostIp));
+    EXPECT_EQ(sink.last->ip().src(), kSnicIp);
+    EXPECT_TRUE(sink.last->ip().checksumOk());
+
+    EXPECT_EQ(merger.total(), 2u);
+    EXPECT_EQ(merger.merged(), 1u);
+    EXPECT_LT(merger.merged(), merger.total());
+    EXPECT_EQ(sink.frames, 2u) << "the merger never drops";
+}
