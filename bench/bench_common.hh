@@ -1,7 +1,13 @@
 /**
  * @file
  * Shared helpers for the figure/table reproduction binaries: run a
- * ServerSystem operating point and print paper-style rows.
+ * ServerSystem operating point (or a parallel sweep of them) and
+ * print paper-style rows.
+ *
+ * Sweep-style benches accept `--threads N` (0 = all cores; also the
+ * HALSIM_THREADS env var) and `--json PATH` via
+ * core::parseSweepArgs(); points run concurrently but results are
+ * always reported in input order and are identical to a serial run.
  */
 
 #ifndef HALSIM_BENCH_COMMON_HH
@@ -10,8 +16,10 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/server.hh"
+#include "core/sweep.hh"
 
 namespace halsim::bench {
 
@@ -48,6 +56,20 @@ inline core::RunResult
 runSaturated(core::ServerConfig cfg, double line_rate = 100.0)
 {
     return runPoint(std::move(cfg), line_rate);
+}
+
+/** Build a constant-rate sweep point with bench-default windows. */
+inline core::SweepPoint
+point(core::ServerConfig cfg, double rate_gbps, Tick warmup = kWarmup,
+      Tick measure = kMeasure, std::string label = {})
+{
+    core::SweepPoint p;
+    p.cfg = std::move(cfg);
+    p.rate_gbps = rate_gbps;
+    p.warmup = warmup;
+    p.measure = measure;
+    p.label = std::move(label);
+    return p;
 }
 
 /** Section banner. */

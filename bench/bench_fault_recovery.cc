@@ -9,6 +9,9 @@
  * The healthy row is the reference: graceful degradation means every
  * faulted row still delivers its surviving capacity, and transient
  * rows recover within a few watchdog epochs.
+ *
+ * Every drill is an independent operating point, so the whole matrix
+ * runs through the parallel sweep harness (`--threads`, `--json`).
  */
 
 #include <cstdio>
@@ -32,15 +35,21 @@ struct Scenario
     std::function<void(ServerConfig &)> plan;
 };
 
-void
-row(const Scenario &s)
+SweepPoint
+toPoint(const Scenario &s)
 {
     ServerConfig cfg;
     cfg.mode = s.mode;
     cfg.function = funcs::FunctionId::Nat;
     if (s.plan)
         s.plan(cfg);
-    const auto r = bench::runPoint(cfg, s.rate_gbps);
+    return bench::point(cfg, s.rate_gbps, bench::kWarmup,
+                        bench::kMeasure, s.name);
+}
+
+void
+row(const Scenario &s, const RunResult &r)
+{
     std::printf("%-14s %8.1f %10.1f %9.1f %7.2f%% %6llu %6llu %10.1f "
                 "%9.1f\n",
                 s.name.c_str(), s.rate_gbps, r.delivered_gbps, r.p99_us,
@@ -53,13 +62,10 @@ row(const Scenario &s)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::banner("Fault injection / graceful degradation drills "
-                  "(NAT, 100 ms measure)");
-    std::printf("%-14s %8s %10s %9s %8s %6s %6s %10s %9s\n", "scenario",
-                "offered", "delivered", "p99us", "loss", "fails", "recov",
-                "degr_ms", "ttr_ms");
+    const SweepOptions opts =
+        parseSweepArgs(argc, argv, "fault_recovery");
 
     const std::vector<Scenario> scenarios = {
         {"healthy", Mode::Hal, 60.0, nullptr},
@@ -98,24 +104,43 @@ main()
                                 50 * kMs, 10 * kMs);
          }},
     };
-    for (const auto &s : scenarios)
-        row(s);
 
-    bench::banner("Accelerator failure -> software fallback "
-                  "(Compress, SNIC-only)");
-    std::printf("%-14s %8s %10s %9s %8s\n", "scenario", "offered",
-                "delivered", "p99us", "loss");
+    // The accelerator-fallback pair rides in the same sweep after the
+    // drill matrix.
+    std::vector<SweepPoint> points;
+    points.reserve(scenarios.size() + 2);
+    for (const auto &s : scenarios)
+        points.push_back(toPoint(s));
     for (const bool faulty : {false, true}) {
         ServerConfig cfg;
         cfg.mode = Mode::SnicOnly;
         cfg.function = funcs::FunctionId::Compress;
         if (faulty)
             cfg.faults.accelFailure(FaultTarget::Snic, 40 * kMs);
-        const auto r = bench::runPoint(cfg, 30.0);
+        points.push_back(bench::point(cfg, 30.0, bench::kWarmup,
+                                      bench::kMeasure,
+                                      faulty ? "accel-dead" : "accel-ok"));
+    }
+
+    const std::vector<RunResult> results = runSweep(points, opts);
+
+    bench::banner("Fault injection / graceful degradation drills "
+                  "(NAT, 100 ms measure)");
+    std::printf("%-14s %8s %10s %9s %8s %6s %6s %10s %9s\n", "scenario",
+                "offered", "delivered", "p99us", "loss", "fails", "recov",
+                "degr_ms", "ttr_ms");
+    for (std::size_t i = 0; i < scenarios.size(); ++i)
+        row(scenarios[i], results[i]);
+
+    bench::banner("Accelerator failure -> software fallback "
+                  "(Compress, SNIC-only)");
+    std::printf("%-14s %8s %10s %9s %8s\n", "scenario", "offered",
+                "delivered", "p99us", "loss");
+    for (std::size_t i = scenarios.size(); i < points.size(); ++i) {
+        const RunResult &r = results[i];
         std::printf("%-14s %8.1f %10.1f %9.1f %7.2f%%\n",
-                    faulty ? "accel-dead" : "accel-ok", 30.0,
-                    r.delivered_gbps, r.p99_us,
-                    100.0 * r.lossFraction());
+                    points[i].label.c_str(), 30.0, r.delivered_gbps,
+                    r.p99_us, 100.0 * r.lossFraction());
     }
     return 0;
 }

@@ -8,9 +8,14 @@
  * ~30 Gbps (REM) / ~41 Gbps (NAT) without hurting p99; above, it
  * drops packets and its tail explodes (REM's accelerator tail stays
  * flat because only surviving packets are measured).
+ *
+ * All (function, rate, processor) points are independent, so they run
+ * through the parallel sweep harness: `--threads 0` uses every core,
+ * `--json PATH` writes the machine-readable artifact.
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.hh"
 
@@ -18,24 +23,52 @@ using namespace halsim;
 using namespace halsim::bench;
 using namespace halsim::core;
 
+namespace {
+
+constexpr double kRates[] = {5.0,  10.0, 20.0, 30.0, 40.0, 50.0,
+                             60.0, 70.0, 80.0, 90.0, 100.0};
+constexpr funcs::FunctionId kFns[] = {funcs::FunctionId::Rem,
+                                      funcs::FunctionId::Nat};
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
-    for (funcs::FunctionId fn :
-         {funcs::FunctionId::Rem, funcs::FunctionId::Nat}) {
+    const SweepOptions opts =
+        parseSweepArgs(argc, argv, "fig4_rate_sweep");
+
+    // Host and SNIC points interleave per rate: index 2k is the host
+    // run, 2k+1 the SNIC run, in function-major order.
+    std::vector<SweepPoint> points;
+    for (funcs::FunctionId fn : kFns) {
+        for (double rate : kRates) {
+            ServerConfig host_cfg, snic_cfg;
+            host_cfg.mode = Mode::HostOnly;
+            snic_cfg.mode = Mode::SnicOnly;
+            host_cfg.function = snic_cfg.function = fn;
+            const std::string tag =
+                std::string(funcs::functionName(fn)) + "@" +
+                std::to_string(static_cast<int>(rate));
+            points.push_back(point(host_cfg, rate, 10 * kMs, 60 * kMs,
+                                   "host:" + tag));
+            points.push_back(point(snic_cfg, rate, 10 * kMs, 60 * kMs,
+                                   "snic:" + tag));
+        }
+    }
+
+    const std::vector<RunResult> results = runSweep(points, opts);
+
+    std::size_t i = 0;
+    for (funcs::FunctionId fn : kFns) {
         banner(std::string("Fig. 4: rate sweep for ") +
                funcs::functionName(fn));
         std::printf("%5s | %8s %9s %8s %8s | %8s %9s %8s %8s\n", "Gbps",
                     "hostTP", "hostP99us", "hostW", "hostEE", "snicTP",
                     "snicP99us", "snicW", "snicEE");
-        for (double rate : {5.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0,
-                            70.0, 80.0, 90.0, 100.0}) {
-            ServerConfig host_cfg, snic_cfg;
-            host_cfg.mode = Mode::HostOnly;
-            snic_cfg.mode = Mode::SnicOnly;
-            host_cfg.function = snic_cfg.function = fn;
-            const auto h = runPoint(host_cfg, rate, 10 * kMs, 60 * kMs);
-            const auto s = runPoint(snic_cfg, rate, 10 * kMs, 60 * kMs);
+        for (double rate : kRates) {
+            const RunResult &h = results[i++];
+            const RunResult &s = results[i++];
             std::printf(
                 "%5.0f | %8.1f %9.1f %8.1f %8.4f | %8.1f %9.1f %8.1f "
                 "%8.4f%s\n",

@@ -10,9 +10,13 @@
  * it; HAL's power sits 11-27% below host-only at high rates. Power
  * here is dynamic (above the 194 W server base), matching the
  * paper's 32-139 W host-CPU numbers.
+ *
+ * All 66 (function, rate, mode) points run through the parallel
+ * sweep harness (`--threads`, `--json`).
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.hh"
 
@@ -20,11 +24,41 @@ using namespace halsim;
 using namespace halsim::bench;
 using namespace halsim::core;
 
+namespace {
+
+constexpr double kRates[] = {5.0,  10.0, 20.0, 30.0, 40.0, 50.0,
+                             60.0, 70.0, 80.0, 90.0, 100.0};
+constexpr funcs::FunctionId kFns[] = {funcs::FunctionId::Nat,
+                                      funcs::FunctionId::Rem};
+constexpr Mode kModes[] = {Mode::HostOnly, Mode::SnicOnly, Mode::Hal};
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
-    for (funcs::FunctionId fn :
-         {funcs::FunctionId::Nat, funcs::FunctionId::Rem}) {
+    const SweepOptions opts = parseSweepArgs(argc, argv, "fig9_hal_sweep");
+
+    std::vector<SweepPoint> points;
+    for (funcs::FunctionId fn : kFns) {
+        for (double rate : kRates) {
+            for (Mode mode : kModes) {
+                ServerConfig cfg;
+                cfg.mode = mode;
+                cfg.function = fn;
+                points.push_back(point(
+                    cfg, rate, 15 * kMs, 80 * kMs,
+                    std::string(modeName(mode)) + ":" +
+                        funcs::functionName(fn) + "@" +
+                        std::to_string(static_cast<int>(rate))));
+            }
+        }
+    }
+
+    const std::vector<RunResult> results = runSweep(points, opts);
+
+    std::size_t i = 0;
+    for (funcs::FunctionId fn : kFns) {
         banner(std::string("Fig. 9: ") + funcs::functionName(fn) +
                " under host / snic / hal");
         std::printf("%5s |", "Gbps");
@@ -32,14 +66,10 @@ main()
             std::printf("  %s: %7s %9s %7s |", m, "tp", "p99us", "dynW");
         std::printf("\n");
 
-        for (double rate : {5.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0,
-                            70.0, 80.0, 90.0, 100.0}) {
+        for (double rate : kRates) {
             std::printf("%5.0f |", rate);
-            for (Mode mode : {Mode::HostOnly, Mode::SnicOnly, Mode::Hal}) {
-                ServerConfig cfg;
-                cfg.mode = mode;
-                cfg.function = fn;
-                const auto r = runPoint(cfg, rate, 15 * kMs, 80 * kMs);
+            for (std::size_t m = 0; m < std::size(kModes); ++m) {
+                const RunResult &r = results[i++];
                 std::printf("  %13.1f %9.1f %7.1f |", r.delivered_gbps,
                             r.p99_us, r.dynamic_power_w);
             }

@@ -1,0 +1,111 @@
+#include "core/sweep.hh"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "funcs/registry.hh"
+#include "sim/parallel.hh"
+
+namespace halsim::core {
+
+std::vector<RunResult>
+runSweep(const std::vector<SweepPoint> &points, const SweepOptions &opts)
+{
+    std::vector<RunResult> results(points.size());
+    const auto t0 = std::chrono::steady_clock::now();
+    parallelFor(points.size(), opts.threads, [&](std::size_t i) {
+        const SweepPoint &p = points[i];
+        EventQueue eq;
+        ServerSystem sys(eq, p.cfg);
+        auto rate = p.trace
+                        ? net::makeTrace(*p.trace)
+                        : std::make_unique<net::ConstantRate>(p.rate_gbps);
+        results[i] =
+            sys.run(std::move(rate), p.warmup, p.measure, p.resample);
+    });
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    if (!opts.json_path.empty())
+        writeSweepJson(opts.json_path, opts.bench_name, points, results,
+                       wall, opts.threads);
+    return results;
+}
+
+SweepOptions
+parseSweepArgs(int argc, char **argv, std::string bench_name)
+{
+    SweepOptions opts;
+    opts.bench_name = std::move(bench_name);
+    if (const char *env = std::getenv("HALSIM_THREADS"))
+        opts.threads = static_cast<unsigned>(std::atoi(env));
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+            opts.threads = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            opts.json_path = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--threads N] [--json PATH]\n"
+                         "  --threads 0 uses all hardware threads\n",
+                         argv[0]);
+            std::exit(2);
+        }
+    }
+    return opts;
+}
+
+void
+writeSweepJson(const std::string &path, const std::string &bench_name,
+               const std::vector<SweepPoint> &points,
+               const std::vector<RunResult> &results,
+               double wall_seconds, unsigned threads)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "sweep: cannot write %s\n", path.c_str());
+        return;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"%s\",\n"
+                 "  \"threads\": %u,\n"
+                 "  \"wall_seconds\": %.3f,\n"
+                 "  \"points\": [\n",
+                 bench_name.c_str(), threads, wall_seconds);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const SweepPoint &p = points[i];
+        const RunResult &r = results[i];
+        std::fprintf(
+            f,
+            "    {\"label\": \"%s\", \"mode\": \"%s\", "
+            "\"function\": \"%s\", \"rate_gbps\": %.3f, "
+            "\"offered_gbps\": %.4f, \"delivered_gbps\": %.4f, "
+            "\"max_window_gbps\": %.4f, \"p99_us\": %.4f, "
+            "\"mean_us\": %.4f, \"system_power_w\": %.4f, "
+            "\"dynamic_power_w\": %.4f, \"energy_eff\": %.6f, "
+            "\"sent\": %" PRIu64 ", \"responses\": %" PRIu64 ", "
+            "\"drops\": %" PRIu64 ", \"snic_frames\": %" PRIu64 ", "
+            "\"host_frames\": %" PRIu64 ", "
+            "\"final_fwd_th_gbps\": %.4f, "
+            "\"faults_injected\": %" PRIu64 ", "
+            "\"failovers\": %" PRIu64 ", "
+            "\"recoveries\": %" PRIu64 "}%s\n",
+            p.label.c_str(), modeName(p.cfg.mode),
+            funcs::functionName(p.cfg.function),
+            p.trace ? 0.0 : p.rate_gbps, r.offered_gbps,
+            r.delivered_gbps, r.max_window_gbps, r.p99_us, r.mean_us,
+            r.system_power_w, r.dynamic_power_w, r.energy_eff, r.sent,
+            r.responses, r.drops, r.snic_frames, r.host_frames,
+            r.final_fwd_th_gbps, r.faults_injected, r.failovers,
+            r.recoveries, i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+}
+
+} // namespace halsim::core

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Parallel sweep harness: run independent (ServerConfig, rate)
+ * operating points across cores.
+ *
+ * Every paper figure is a sweep of independent points; each point
+ * owns a private EventQueue and ServerSystem, so points parallelize
+ * perfectly. Results are returned in input order and are bit-identical
+ * to a serial run regardless of thread count (test_determinism holds
+ * this property). The harness also standardizes the bench CLI
+ * (`--threads N`, `--json PATH`) and writes the machine-readable
+ * BENCH_*.json perf artifacts CI tracks.
+ */
+
+#ifndef HALSIM_CORE_SWEEP_HH
+#define HALSIM_CORE_SWEEP_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/server.hh"
+#include "net/traffic.hh"
+
+namespace halsim::core {
+
+/** One operating point of a sweep. */
+struct SweepPoint
+{
+    ServerConfig cfg;
+    /** Constant offered rate; ignored when @ref trace is set. */
+    double rate_gbps = 0.0;
+    /** Datacenter-trace workload instead of a constant rate. */
+    std::optional<net::TraceKind> trace;
+    Tick warmup = 20 * kMs;
+    Tick measure = 100 * kMs;
+    Tick resample = 1 * kMs;
+    /** Row label carried into reports and JSON. */
+    std::string label;
+};
+
+/** Harness knobs, usually parsed from the bench command line. */
+struct SweepOptions
+{
+    /** Worker threads; 0 means all hardware threads. */
+    unsigned threads = 1;
+    /** When non-empty, write the results artifact here. */
+    std::string json_path;
+    /** Bench name recorded in the artifact. */
+    std::string bench_name = "sweep";
+};
+
+/**
+ * Run every point (possibly in parallel) and return results in input
+ * order. Writes the JSON artifact when opts.json_path is set.
+ */
+std::vector<RunResult> runSweep(const std::vector<SweepPoint> &points,
+                                const SweepOptions &opts = {});
+
+/**
+ * Parse the standard bench flags: `--threads N` (0 = all cores) and
+ * `--json PATH`. The HALSIM_THREADS environment variable supplies the
+ * default thread count when the flag is absent. Exits with usage on
+ * unknown arguments.
+ */
+SweepOptions parseSweepArgs(int argc, char **argv,
+                            std::string bench_name);
+
+/**
+ * Write a sweep artifact: per-point config echo plus the full
+ * RunResult, wall-clock seconds, and thread count.
+ */
+void writeSweepJson(const std::string &path,
+                    const std::string &bench_name,
+                    const std::vector<SweepPoint> &points,
+                    const std::vector<RunResult> &results,
+                    double wall_seconds, unsigned threads);
+
+} // namespace halsim::core
+
+#endif // HALSIM_CORE_SWEEP_HH

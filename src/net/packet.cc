@@ -3,7 +3,14 @@
 #include <cassert>
 #include <cstring>
 
+#include "net/packet_pool.hh"
+
 namespace halsim::net {
+
+Packet::~Packet()
+{
+    PacketPool::local().release(std::move(data_));
+}
 
 const char *
 processorName(Processor p)
@@ -41,7 +48,9 @@ makeUdpPacket(const MacAddr &src_mac, const MacAddr &dst_mac,
         total = frame_bytes;          // zero-pad to the wire size
     assert(frame_bytes == 0 || frame_bytes >= kFrameHeaderLen);
 
-    std::vector<std::uint8_t> frame(total, 0);
+    // Exact final size up front — a recycled buffer with enough
+    // capacity makes this allocation-free.
+    std::vector<std::uint8_t> frame = PacketPool::local().acquire(total);
     if (!payload.empty())
         std::memcpy(frame.data() + kFrameHeaderLen, payload.data(),
                     payload.size());

@@ -201,6 +201,12 @@ class Packet
         : data_(std::move(frame))
     {}
 
+    /** Teardown retires the frame buffer to this thread's pool. */
+    ~Packet();
+
+    Packet(const Packet &) = delete;
+    Packet &operator=(const Packet &) = delete;
+
     std::size_t size() const { return data_.size(); }
     std::uint8_t *data() { return data_.data(); }
     const std::uint8_t *data() const { return data_.data(); }

@@ -57,6 +57,7 @@ class Event
     std::string name_;
     Tick when_ = kTickNever;
     std::uint64_t seq_ = 0;   //!< tie-break for same-tick ordering
+    std::size_t heapIndex_ = 0;   //!< position in the owning queue's heap
     bool scheduled_ = false;
 };
 

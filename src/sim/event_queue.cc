@@ -13,22 +13,31 @@ Event::~Event()
 }
 
 /**
- * One-shot wrapper used by scheduleFn(); deletes itself after firing.
+ * One-shot wrapper used by scheduleFn(). Fired wrappers return to the
+ * queue's freelist, so steady-state one-shot scheduling allocates
+ * nothing: the wrapper is recycled and small captures live in the
+ * UniqueFn's inline storage.
  */
 class EventQueue::OneShot : public Event
 {
   public:
-    explicit OneShot(UniqueFn fn) : Event("oneshot"), fn_(std::move(fn))
-    {}
+    explicit OneShot(EventQueue &q) : Event("oneshot"), q_(q) {}
+
+    void arm(UniqueFn fn) { fn_ = std::move(fn); }
 
     void
     execute() override
     {
-        fn_();
-        delete this;
+        // Release the wrapper before running the callable so a
+        // nested scheduleFn can reuse it immediately; the callable
+        // itself is already safe on the stack.
+        UniqueFn fn = std::move(fn_);
+        q_.releaseOneShot(this);
+        fn();
     }
 
   private:
+    EventQueue &q_;
     UniqueFn fn_;
 };
 
@@ -43,6 +52,8 @@ EventQueue::~EventQueue()
                 delete e.ev;
         }
     }
+    for (OneShot *os : pool_)
+        delete os;
 }
 
 void
@@ -65,22 +76,73 @@ EventQueue::deschedule(Event *ev)
     assert(ev != nullptr);
     if (!ev->scheduled_)
         return;
-    // Lazy removal: find the live entry and tombstone it. The entry
-    // is identified by the (when, seq) stamped on the event.
-    for (Entry &e : heap_) {
-        if (e.ev == ev && e.seq == ev->seq_) {
-            e.ev = nullptr;
-            break;
-        }
-    }
+    // Lazy removal in O(1): the event knows its heap slot, so
+    // tombstone it in place and let pops (or compaction) reclaim it.
+    const std::size_t idx = ev->heapIndex_;
+    assert(idx < heap_.size() && heap_[idx].ev == ev &&
+           heap_[idx].seq == ev->seq_ && "heap index out of sync");
+    heap_[idx].ev = nullptr;
     ev->scheduled_ = false;
     --live_;
+    ++dead_;
+    maybeCompact();
+}
+
+void
+EventQueue::maybeCompact()
+{
+    // Rebuilding costs O(n); triggering only when tombstones exceed
+    // live entries keeps the amortized cost per deschedule constant
+    // and the heap within 2x of its live size.
+    constexpr std::size_t kMinSlots = 64;
+    if (dead_ <= live_ || heap_.size() < kMinSlots)
+        return;
+    heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                               [](const Entry &e) {
+                                   return e.ev == nullptr;
+                               }),
+                heap_.end());
+    // Pop order is fully determined by the (when, seq) total order,
+    // so rebuilding the heap cannot change execution order.
+    std::make_heap(heap_.begin(), heap_.end(),
+                   [](const Entry &a, const Entry &b) { return a > b; });
+    for (std::size_t i = 0; i < heap_.size(); ++i)
+        setIndex(i);
+    dead_ = 0;
+}
+
+void
+EventQueue::setPoolingEnabled(bool on)
+{
+    pooling_ = on;
+    if (!pooling_) {
+        for (OneShot *os : pool_)
+            delete os;
+        pool_.clear();
+    }
+}
+
+void
+EventQueue::releaseOneShot(OneShot *os)
+{
+    if (pooling_)
+        pool_.push_back(os);
+    else
+        delete os;
 }
 
 void
 EventQueue::scheduleFn(UniqueFn fn, Tick when)
 {
-    schedule(new OneShot(std::move(fn)), when);
+    OneShot *os;
+    if (!pool_.empty()) {
+        os = pool_.back();
+        pool_.pop_back();
+    } else {
+        os = new OneShot(*this);
+    }
+    os->arm(std::move(fn));
+    schedule(os, when);
 }
 
 Tick
@@ -105,8 +167,10 @@ EventQueue::step()
 {
     while (!heap_.empty()) {
         Entry top = heapPop();
-        if (top.ev == nullptr)
+        if (top.ev == nullptr) {
+            --dead_;
             continue;   // tombstone
+        }
         assert(top.when >= now_);
         now_ = top.when;
         Event *ev = top.ev;
@@ -125,8 +189,10 @@ EventQueue::runUntil(Tick until)
     std::uint64_t n = 0;
     while (!heap_.empty()) {
         // Peek past tombstones.
-        while (!heap_.empty() && heap_.front().ev == nullptr)
+        while (!heap_.empty() && heap_.front().ev == nullptr) {
             heapPop();
+            --dead_;
+        }
         if (heap_.empty())
             break;
         if (heap_.front().when > until) {
@@ -146,18 +212,58 @@ void
 EventQueue::heapPush(Entry e)
 {
     heap_.push_back(e);
-    std::push_heap(heap_.begin(), heap_.end(),
-                   [](const Entry &a, const Entry &b) { return a > b; });
+    siftUp(heap_.size() - 1);
 }
 
 EventQueue::Entry
 EventQueue::heapPop()
 {
-    std::pop_heap(heap_.begin(), heap_.end(),
-                  [](const Entry &a, const Entry &b) { return a > b; });
-    Entry e = heap_.back();
+    Entry top = heap_.front();
+    Entry last = heap_.back();
     heap_.pop_back();
-    return e;
+    if (!heap_.empty()) {
+        heap_[0] = last;
+        setIndex(0);
+        siftDown(0);
+    }
+    return top;
+}
+
+void
+EventQueue::siftUp(std::size_t i)
+{
+    Entry e = heap_[i];
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / 2;
+        if (!(heap_[parent] > e))
+            break;
+        heap_[i] = heap_[parent];
+        setIndex(i);
+        i = parent;
+    }
+    heap_[i] = e;
+    setIndex(i);
+}
+
+void
+EventQueue::siftDown(std::size_t i)
+{
+    const std::size_t n = heap_.size();
+    Entry e = heap_[i];
+    for (;;) {
+        std::size_t c = 2 * i + 1;
+        if (c >= n)
+            break;
+        if (c + 1 < n && heap_[c] > heap_[c + 1])
+            ++c;   // right child is earlier
+        if (!(e > heap_[c]))
+            break;
+        heap_[i] = heap_[c];
+        setIndex(i);
+        i = c;
+    }
+    heap_[i] = e;
+    setIndex(i);
 }
 
 } // namespace halsim

@@ -6,9 +6,14 @@
 #ifndef HALSIM_SIM_EVENT_QUEUE_HH
 #define HALSIM_SIM_EVENT_QUEUE_HH
 
+#include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/event.hh"
@@ -21,36 +26,149 @@ namespace halsim {
  * std::function it accepts non-copyable captures (PacketPtr,
  * unique_ptr state), so a pending event owns what it captured and
  * queue teardown releases it — nothing in flight can leak.
+ *
+ * Small captures live in inline storage: every one-shot on the
+ * simulator fast path (a packet pointer plus a component pointer or
+ * two) fits in the buffer, so scheduling it never heap-allocates.
+ * Larger or over-aligned callables fall back to the heap
+ * transparently.
  */
 class UniqueFn
 {
   public:
+    /** Inline capture capacity; sized for the datapath lambdas. */
+    static constexpr std::size_t kInlineSize = 48;
+    static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
+
+    /** True when callable type @p F runs from inline storage. */
+    template <typename F>
+    static constexpr bool
+    inlined()
+    {
+        return sizeof(F) <= kInlineSize && alignof(F) <= kInlineAlign &&
+               std::is_nothrow_move_constructible_v<F>;
+    }
+
     UniqueFn() = default;
 
-    template <typename F>
-    UniqueFn(F fn) : impl_(std::make_unique<Impl<F>>(std::move(fn)))
-    {}
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::remove_cvref_t<F>, UniqueFn>>>
+    UniqueFn(F fn)
+    {
+        using Fn = std::remove_cvref_t<F>;
+        if constexpr (inlined<Fn>()) {
+            ::new (storage_) Fn(std::move(fn));
+            vt_ = &Ops<Fn, true>::vt;
+        } else {
+            Fn *p = new Fn(std::move(fn));
+            std::memcpy(storage_, &p, sizeof(p));
+            vt_ = &Ops<Fn, false>::vt;
+        }
+    }
 
-    void operator()() { impl_->call(); }
+    UniqueFn(UniqueFn &&o) noexcept : vt_(o.vt_)
+    {
+        if (vt_ != nullptr) {
+            vt_->relocate(o.storage_, storage_);
+            o.vt_ = nullptr;
+        }
+    }
 
-    explicit operator bool() const { return impl_ != nullptr; }
+    UniqueFn &
+    operator=(UniqueFn &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            vt_ = o.vt_;
+            if (vt_ != nullptr) {
+                vt_->relocate(o.storage_, storage_);
+                o.vt_ = nullptr;
+            }
+        }
+        return *this;
+    }
+
+    UniqueFn(const UniqueFn &) = delete;
+    UniqueFn &operator=(const UniqueFn &) = delete;
+
+    ~UniqueFn() { reset(); }
+
+    void operator()() { vt_->call(storage_); }
+
+    explicit operator bool() const { return vt_ != nullptr; }
+
+    /** Destroy the held callable (and any captures), if any. */
+    void
+    reset()
+    {
+        if (vt_ != nullptr) {
+            vt_->destroy(storage_);
+            vt_ = nullptr;
+        }
+    }
 
   private:
-    struct Base
+    struct VTable
     {
-        virtual ~Base() = default;
-        virtual void call() = 0;
+        void (*call)(void *storage);
+        /** Move into @p dst's storage and destroy the source. */
+        void (*relocate)(void *src, void *dst) noexcept;
+        void (*destroy)(void *storage) noexcept;
+    };
+
+    template <typename F, bool Inline>
+    struct Ops;
+
+    template <typename F>
+    struct Ops<F, true>
+    {
+        static F *
+        get(void *s)
+        {
+            return std::launder(reinterpret_cast<F *>(s));
+        }
+
+        static void call(void *s) { (*get(s))(); }
+
+        static void
+        relocate(void *src, void *dst) noexcept
+        {
+            ::new (dst) F(std::move(*get(src)));
+            get(src)->~F();
+        }
+
+        static void destroy(void *s) noexcept { get(s)->~F(); }
+
+        static constexpr VTable vt{&call, &relocate, &destroy};
     };
 
     template <typename F>
-    struct Impl : Base
+    struct Ops<F, false>
     {
-        explicit Impl(F f) : fn(std::move(f)) {}
-        void call() override { fn(); }
-        F fn;
+        static F *
+        get(void *s)
+        {
+            F *p;
+            std::memcpy(&p, s, sizeof(p));
+            return p;
+        }
+
+        static void call(void *s) { (*get(s))(); }
+
+        static void
+        relocate(void *src, void *dst) noexcept
+        {
+            std::memcpy(dst, src, sizeof(F *));
+        }
+
+        static void destroy(void *s) noexcept { delete get(s); }
+
+        static constexpr VTable vt{&call, &relocate, &destroy};
     };
 
-    std::unique_ptr<Base> impl_;
+    alignas(kInlineAlign) unsigned char storage_[kInlineSize];
+    const VTable *vt_ = nullptr;
 };
 
 /**
@@ -144,6 +262,23 @@ class EventQueue
     /** Total events executed over the queue's lifetime. */
     std::uint64_t executed() const { return executed_; }
 
+    // --- pooling / compaction controls (perf + A/B testing) ----------
+
+    /**
+     * Toggle recycling of one-shot wrapper events. Disabling reverts
+     * scheduleFn to plain new/delete; simulation results must be
+     * identical either way (see test_determinism).
+     */
+    void setPoolingEnabled(bool on);
+
+    bool poolingEnabled() const { return pooling_; }
+
+    /** Idle one-shot wrappers currently held for reuse. */
+    std::size_t poolSize() const { return pool_.size(); }
+
+    /** Heap slots including tombstones (for compaction tests). */
+    std::size_t heapSlots() const { return heap_.size(); }
+
   private:
     struct Entry
     {
@@ -158,17 +293,42 @@ class EventQueue
         }
     };
 
-    /** One-shot heap-allocated wrapper for scheduleFn(). */
+    /** One-shot wrapper for scheduleFn(), recycled via pool_. */
     class OneShot;
+    friend class OneShot;
 
     void heapPush(Entry e);
     Entry heapPop();
+    void siftUp(std::size_t i);
+    void siftDown(std::size_t i);
+
+    /** Record entry @p i's position in its event (tombstones skip). */
+    void
+    setIndex(std::size_t i)
+    {
+        if (heap_[i].ev != nullptr)
+            heap_[i].ev->heapIndex_ = i;
+    }
+
+    /** Return a fired wrapper to the pool (or free it). */
+    void releaseOneShot(OneShot *os);
+
+    /**
+     * Rebuild the heap without tombstones once dead entries outnumber
+     * live ones; amortized O(1) per deschedule, and it bounds heap
+     * growth under retimer churn that would otherwise accumulate
+     * tombstones without limit.
+     */
+    void maybeCompact();
 
     std::vector<Entry> heap_;
     Tick now_ = 0;
     std::uint64_t seq_ = 0;
     std::size_t live_ = 0;
+    std::size_t dead_ = 0;   //!< tombstones still in heap_
     std::uint64_t executed_ = 0;
+    bool pooling_ = true;
+    std::vector<OneShot *> pool_;
 };
 
 } // namespace halsim

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Minimal work-stealing-free parallel-for over an index range.
+ *
+ * The simulator is single-threaded by design — determinism comes from
+ * one event queue executing a totally ordered stream — but paper
+ * figures are sweeps of *independent* operating points, each with its
+ * own queue. parallelFor runs those points wide: workers pull indices
+ * from a shared atomic counter, every invocation touches only its own
+ * point's state, and results land in caller-owned slots indexed by
+ * point, so the output is deterministic regardless of thread count or
+ * scheduling.
+ */
+
+#ifndef HALSIM_SIM_PARALLEL_HH
+#define HALSIM_SIM_PARALLEL_HH
+
+#include <cstddef>
+#include <functional>
+
+namespace halsim {
+
+/**
+ * Invoke @p fn(i) for every i in [0, n), using up to @p threads
+ * worker threads (1 or 0 workers, or n <= 1, degrades to a plain
+ * serial loop on the calling thread). @p fn must not touch shared
+ * mutable state. The first exception thrown by any invocation is
+ * rethrown on the caller after all workers join.
+ */
+void parallelFor(std::size_t n, unsigned threads,
+                 const std::function<void(std::size_t)> &fn);
+
+/**
+ * Worker count for "use all cores": std::thread::hardware_concurrency
+ * with a floor of 1.
+ */
+unsigned hardwareThreads();
+
+} // namespace halsim
+
+#endif // HALSIM_SIM_PARALLEL_HH

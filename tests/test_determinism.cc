@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Bit-exact determinism of the simulator under the hot-path
+ * machinery: the same seed must yield byte-identical RunResults
+ * (every field, including latency quantiles and fault counters)
+ * regardless of
+ *
+ *  - event/packet pooling on vs. off (pure recycling optimisations
+ *    must be observationally invisible), and
+ *  - sweep worker count 1 vs. N (each point owns a private
+ *    EventQueue, so parallelism must not perturb anything).
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/server.hh"
+#include "core/sweep.hh"
+#include "net/packet_pool.hh"
+#include "net/traffic.hh"
+#include "sim/event_queue.hh"
+
+using namespace halsim;
+using namespace halsim::core;
+
+namespace {
+
+/** Exact bit equality for doubles (EXPECT_EQ would accept -0 == 0). */
+void
+expectBitEqual(double a, double b, const char *field)
+{
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a),
+              std::bit_cast<std::uint64_t>(b))
+        << field << ": " << a << " vs " << b;
+}
+
+void
+expectIdentical(const RunResult &a, const RunResult &b)
+{
+    expectBitEqual(a.offered_gbps, b.offered_gbps, "offered_gbps");
+    expectBitEqual(a.delivered_gbps, b.delivered_gbps, "delivered_gbps");
+    expectBitEqual(a.max_window_gbps, b.max_window_gbps,
+                   "max_window_gbps");
+    expectBitEqual(a.p99_us, b.p99_us, "p99_us");
+    expectBitEqual(a.mean_us, b.mean_us, "mean_us");
+    expectBitEqual(a.system_power_w, b.system_power_w, "system_power_w");
+    expectBitEqual(a.dynamic_power_w, b.dynamic_power_w,
+                   "dynamic_power_w");
+    expectBitEqual(a.energy_eff, b.energy_eff, "energy_eff");
+    EXPECT_EQ(a.sent, b.sent);
+    EXPECT_EQ(a.responses, b.responses);
+    EXPECT_EQ(a.drops, b.drops);
+    EXPECT_EQ(a.snic_frames, b.snic_frames);
+    EXPECT_EQ(a.host_frames, b.host_frames);
+    expectBitEqual(a.final_fwd_th_gbps, b.final_fwd_th_gbps,
+                   "final_fwd_th_gbps");
+    EXPECT_EQ(a.faults_injected, b.faults_injected);
+    EXPECT_EQ(a.faults_reverted, b.faults_reverted);
+    EXPECT_EQ(a.failovers, b.failovers);
+    EXPECT_EQ(a.recoveries, b.recoveries);
+    expectBitEqual(a.degraded_us, b.degraded_us, "degraded_us");
+    expectBitEqual(a.time_to_recover_us, b.time_to_recover_us,
+                   "time_to_recover_us");
+    EXPECT_EQ(a.failover_drops, b.failover_drops);
+    EXPECT_EQ(a.ctrl_updates_dropped, b.ctrl_updates_dropped);
+}
+
+/** A HAL point with a transient fault so that every fault/watchdog
+ *  counter is actually exercised, not trivially zero. */
+ServerConfig
+faultedHalConfig()
+{
+    ServerConfig cfg;
+    cfg.mode = Mode::Hal;
+    cfg.function = funcs::FunctionId::Nat;
+    cfg.faults.processorFailure(fault::FaultTarget::Host, 15 * kMs,
+                                8 * kMs);
+    return cfg;
+}
+
+RunResult
+runOnce(const ServerConfig &cfg, double rate_gbps, bool pooling)
+{
+    net::PacketPool::local().setEnabled(pooling);
+    net::PacketPool::local().clear();
+    EventQueue eq;
+    eq.setPoolingEnabled(pooling);
+    ServerSystem sys(eq, cfg);
+    RunResult r =
+        sys.run(std::make_unique<net::ConstantRate>(rate_gbps), 5 * kMs,
+                30 * kMs);
+    net::PacketPool::local().setEnabled(true);
+    return r;
+}
+
+} // namespace
+
+TEST(Determinism, PoolingOnVsOffIdentical)
+{
+    const ServerConfig cfg = faultedHalConfig();
+    const RunResult pooled = runOnce(cfg, 60.0, true);
+    const RunResult bare = runOnce(cfg, 60.0, false);
+    // The fault plan must have fired for this test to mean anything.
+    ASSERT_GT(pooled.faults_injected, 0u);
+    ASSERT_GT(pooled.failovers, 0u);
+    expectIdentical(pooled, bare);
+}
+
+TEST(Determinism, RepeatedRunsIdentical)
+{
+    const ServerConfig cfg = faultedHalConfig();
+    const RunResult a = runOnce(cfg, 60.0, true);
+    const RunResult b = runOnce(cfg, 60.0, true);
+    expectIdentical(a, b);
+}
+
+TEST(Determinism, SweepThreads1VsNIdentical)
+{
+    std::vector<SweepPoint> points;
+    for (double rate : {20.0, 60.0, 90.0}) {
+        SweepPoint p;
+        p.cfg = faultedHalConfig();
+        p.rate_gbps = rate;
+        p.warmup = 5 * kMs;
+        p.measure = 30 * kMs;
+        points.push_back(std::move(p));
+    }
+    {
+        SweepPoint p;
+        p.cfg.mode = Mode::SnicOnly;
+        p.cfg.function = funcs::FunctionId::Rem;
+        p.rate_gbps = 30.0;
+        p.warmup = 5 * kMs;
+        p.measure = 30 * kMs;
+        points.push_back(std::move(p));
+    }
+
+    SweepOptions serial, parallel;
+    serial.threads = 1;
+    parallel.threads = 4;
+    const auto rs = runSweep(points, serial);
+    const auto rp = runSweep(points, parallel);
+    ASSERT_EQ(rs.size(), points.size());
+    ASSERT_EQ(rp.size(), points.size());
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+        SCOPED_TRACE(i);
+        expectIdentical(rs[i], rp[i]);
+    }
+}

@@ -48,6 +48,50 @@ TEST(Checksum, OddLengthPads)
     EXPECT_EQ(onesComplementSum(data, sizeof(data)), 0x9ace);
 }
 
+namespace {
+
+/** The original byte-wise RFC 1071 loop, kept as the reference the
+ *  word-at-a-time implementation must match bit for bit. */
+std::uint16_t
+onesComplementSumBytewise(const std::uint8_t *data, std::size_t len)
+{
+    std::uint32_t sum = 0;
+    std::size_t i = 0;
+    for (; i + 1 < len; i += 2)
+        sum += (std::uint32_t{data[i]} << 8) | data[i + 1];
+    if (i < len)
+        sum += std::uint32_t{data[i]} << 8;
+    while (sum >> 16)
+        sum = (sum & 0xffff) + (sum >> 16);
+    return static_cast<std::uint16_t>(sum);
+}
+
+} // namespace
+
+TEST(Checksum, WordAtATimeMatchesBytewise)
+{
+    Rng rng(0xC45);
+    for (int round = 0; round < 200; ++round) {
+        // Every length 0..64 plus assorted larger odd/even sizes
+        // covers all 8/4-byte-block and tail-parity combinations.
+        const std::size_t len =
+            round < 65 ? static_cast<std::size_t>(round)
+                       : 65 + (rng.next() % 1500);
+        std::vector<std::uint8_t> buf(len);
+        for (auto &b : buf)
+            b = static_cast<std::uint8_t>(rng.next());
+        ASSERT_EQ(onesComplementSum(buf.data(), len),
+                  onesComplementSumBytewise(buf.data(), len))
+            << "len=" << len;
+    }
+    // All-ones input exercises maximal end-around carries.
+    std::vector<std::uint8_t> ones(4096, 0xff);
+    EXPECT_EQ(onesComplementSum(ones.data(), ones.size()),
+              onesComplementSumBytewise(ones.data(), ones.size()));
+    EXPECT_EQ(onesComplementSum(ones.data(), 4095),
+              onesComplementSumBytewise(ones.data(), 4095));
+}
+
 TEST(Checksum, IncrementalMatchesFullRecompute)
 {
     Rng rng(1);

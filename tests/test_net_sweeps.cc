@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/sweep.hh"
 #include "net/link.hh"
 #include "net/traffic.hh"
 #include "sim/stats.hh"
@@ -138,3 +139,40 @@ INSTANTIATE_TEST_SUITE_P(AllTraces, TraceCapSweep,
                          ::testing::Values(TraceKind::Web,
                                            TraceKind::Cache,
                                            TraceKind::Hadoop));
+
+/**
+ * The parallel sweep harness must return per-point results in input
+ * order regardless of worker count, and each result must match its
+ * point (delivered tracks the offered rate at these easy loads).
+ */
+class HarnessThreadSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(HarnessThreadSweep, ResultsInInputOrder)
+{
+    const unsigned threads = GetParam();
+    const double rates[] = {2.0, 5.0, 10.0, 15.0};
+    std::vector<core::SweepPoint> points;
+    for (double r : rates) {
+        core::SweepPoint p;
+        p.cfg.mode = core::Mode::SnicOnly;
+        p.rate_gbps = r;
+        p.warmup = 2 * kMs;
+        p.measure = 10 * kMs;
+        points.push_back(std::move(p));
+    }
+    core::SweepOptions opts;
+    opts.threads = threads;
+    const auto results = core::runSweep(points, opts);
+    ASSERT_EQ(results.size(), points.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        EXPECT_NEAR(results[i].offered_gbps, rates[i],
+                    rates[i] * 0.02 + 0.05);
+        EXPECT_NEAR(results[i].delivered_gbps, rates[i],
+                    rates[i] * 0.05 + 0.1);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, HarnessThreadSweep,
+                         ::testing::Values(1u, 2u, 4u));

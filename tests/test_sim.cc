@@ -8,9 +8,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "sim/event_queue.hh"
+#include "sim/parallel.hh"
 #include "sim/rng.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -108,6 +111,130 @@ TEST(EventQueue, RescheduleMoves)
     eq.reschedule(&ev, 250);
     eq.run();
     EXPECT_EQ(firedAt, 250u);
+}
+
+TEST(UniqueFn, SmallCapturesAreInline)
+{
+    // The datapath one-shots capture a packet pointer plus a couple
+    // of component pointers; all of them must avoid the heap.
+    struct LinkHop
+    {
+        void *self;
+        void *raw;
+        void operator()() {}
+    };
+    struct FinishHop
+    {
+        void *self;
+        std::unique_ptr<int> owned;
+        void operator()() {}
+    };
+    static_assert(UniqueFn::inlined<LinkHop>());
+    static_assert(UniqueFn::inlined<FinishHop>());
+
+    // And an inline callable still runs (and moves) correctly.
+    int hits = 0;
+    UniqueFn fn([&hits] { ++hits; });
+    UniqueFn moved(std::move(fn));
+    moved();
+    EXPECT_EQ(hits, 1);
+}
+
+TEST(UniqueFn, LargeCapturesFallBackToHeap)
+{
+    struct Big
+    {
+        char blob[128];
+        int *counter;
+        void operator()() { ++*counter; }
+    };
+    static_assert(!UniqueFn::inlined<Big>());
+    int hits = 0;
+    Big big{};
+    big.counter = &hits;
+    UniqueFn fn(big);
+    UniqueFn moved(std::move(fn));
+    moved();
+    EXPECT_EQ(hits, 1);
+}
+
+TEST(EventQueue, OneShotWrappersAreRecycled)
+{
+    EventQueue eq;
+    int fired = 0;
+    for (int round = 0; round < 3; ++round) {
+        for (int i = 0; i < 10; ++i)
+            eq.scheduleFnIn([&fired] { ++fired; }, i + 1);
+        eq.run();
+    }
+    EXPECT_EQ(fired, 30);
+    // Steady state: at most as many wrappers exist as were ever
+    // simultaneously pending, and they all sit idle in the pool now.
+    EXPECT_LE(eq.poolSize(), 10u);
+    EXPECT_GE(eq.poolSize(), 1u);
+
+    eq.setPoolingEnabled(false);
+    EXPECT_EQ(eq.poolSize(), 0u);
+    eq.scheduleFnIn([&fired] { ++fired; }, 1);
+    eq.run();
+    EXPECT_EQ(fired, 31);
+}
+
+TEST(EventQueue, HeapCompactionBoundsTombstones)
+{
+    // A rate-limiter retimer pattern: events that constantly
+    // reschedule leave one tombstone per move. Without compaction
+    // heap_ grows without bound; with it, slots stay within a small
+    // multiple of the live count.
+    EventQueue eq;
+    constexpr int kEvents = 32;
+    std::vector<std::unique_ptr<CallbackEvent>> evs;
+    Rng rng(3);
+    for (int i = 0; i < kEvents; ++i)
+        evs.push_back(std::make_unique<CallbackEvent>());
+
+    std::uint64_t moves = 0;
+    CallbackEvent churn;
+    churn.setCallback([&] {
+        for (auto &ev : evs)
+            eq.reschedule(ev.get(),
+                          eq.now() + 1000 + (rng.next() & 255));
+        if (++moves < 2000)
+            eq.scheduleIn(&churn, 10);
+        else
+            for (auto &ev : evs)
+                eq.deschedule(ev.get());
+    });
+    for (auto &ev : evs)
+        eq.scheduleIn(ev.get(), 1000);
+    eq.scheduleIn(&churn, 1);
+    eq.run();
+
+    // 2000 churn rounds x 32 reschedules = 64k tombstones created;
+    // the heap must stay within a constant factor of the live set.
+    EXPECT_LE(eq.heapSlots(), 4u * kEvents + 64u);
+}
+
+TEST(ParallelFor, CoversAllIndicesOnceAnyThreadCount)
+{
+    for (unsigned threads : {0u, 1u, 2u, 5u}) {
+        std::vector<int> hits(997, 0);
+        parallelFor(hits.size(), threads,
+                    [&](std::size_t i) { hits[i]++; });
+        for (std::size_t i = 0; i < hits.size(); ++i)
+            ASSERT_EQ(hits[i], 1) << "i=" << i << " threads=" << threads;
+    }
+}
+
+TEST(ParallelFor, PropagatesFirstException)
+{
+    EXPECT_THROW(
+        parallelFor(64, 4,
+                    [](std::size_t i) {
+                        if (i == 13)
+                            throw std::runtime_error("boom");
+                    }),
+        std::runtime_error);
 }
 
 TEST(EventQueue, RecurringEventReschedulesItself)
