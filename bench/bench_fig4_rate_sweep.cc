@@ -10,8 +10,8 @@
  * flat because only surviving packets are measured).
  *
  * All (function, rate, processor) points are independent, so they run
- * through the parallel sweep harness: `--threads 0` uses every core,
- * `--json PATH` writes the machine-readable artifact.
+ * through the parallel sweep harness: `--threads all` uses every
+ * core, `--json PATH` writes the machine-readable artifact.
  */
 
 #include <cstdio>

@@ -1,0 +1,57 @@
+#include "core/config.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace halsim::core {
+
+std::optional<unsigned>
+parseThreadsValue(std::string_view text, std::string *error)
+{
+    auto fail = [&](const std::string &why) -> std::optional<unsigned> {
+        if (error != nullptr)
+            *error = why;
+        return std::nullopt;
+    };
+    if (text.empty())
+        return fail("thread count is empty; give a positive integer "
+                    "or 'all'");
+    if (text == "all")
+        return 0; // SweepOptions sentinel: all hardware threads
+    if (text[0] == '-')
+        return fail("thread count cannot be negative: '" +
+                    std::string(text) + "'");
+    unsigned long value = 0;
+    for (char c : text) {
+        if (std::isdigit(static_cast<unsigned char>(c)) == 0)
+            return fail("thread count is not a number: '" +
+                        std::string(text) + "'");
+        value = value * 10 + static_cast<unsigned long>(c - '0');
+        if (value > kMaxThreads)
+            return fail("thread count out of range (1.." +
+                        std::to_string(kMaxThreads) + "): '" +
+                        std::string(text) + "'");
+    }
+    if (value == 0)
+        return fail("thread count must be positive; use 'all' for "
+                    "every hardware thread");
+    return static_cast<unsigned>(value);
+}
+
+unsigned
+envDefaultThreads(unsigned fallback)
+{
+    const char *env = std::getenv("HALSIM_THREADS");
+    if (env == nullptr)
+        return fallback;
+    std::string error;
+    if (const auto parsed = parseThreadsValue(env, &error))
+        return *parsed;
+    std::fprintf(stderr,
+                 "warning: ignoring HALSIM_THREADS: %s\n",
+                 error.c_str());
+    return fallback;
+}
+
+} // namespace halsim::core

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Process-environment configuration accessors.
+ *
+ * The simulator itself must never read ambient process state (wall
+ * clock, environment, cwd) — that is what keeps runs bit-reproducible
+ * (DESIGN.md §9). The *harness* may take defaults from the
+ * environment, but only through the documented accessors here, so
+ * every such escape hatch is grep-able in one place.
+ */
+
+#ifndef HALSIM_CORE_CONFIG_HH
+#define HALSIM_CORE_CONFIG_HH
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace halsim::core {
+
+/**
+ * Parse a sweep worker-thread count as accepted by `--threads` and
+ * HALSIM_THREADS. Grammar: a positive decimal integer (at most
+ * @ref kMaxThreads), or the word `all` for every hardware thread.
+ *
+ * @return the count (0 is the internal "all hardware threads"
+ *         sentinel used by SweepOptions), or std::nullopt with
+ *         @p error filled in. Rejected: empty, non-numeric, trailing
+ *         junk, negative, explicit 0 (spell it `all`), and
+ *         implausibly large values.
+ */
+std::optional<unsigned> parseThreadsValue(std::string_view text,
+                                          std::string *error);
+
+/** Upper bound accepted by parseThreadsValue (sanity, not a target). */
+inline constexpr unsigned kMaxThreads = 4096;
+
+/**
+ * Default sweep worker count: the HALSIM_THREADS environment variable
+ * when set and well-formed (same grammar as `--threads`), else
+ * @p fallback. A malformed value warns on stderr and falls back — an
+ * environment variable should not kill a bench that never asked for
+ * threading. This is the single sanctioned reader of HALSIM_THREADS.
+ */
+unsigned envDefaultThreads(unsigned fallback = 1);
+
+} // namespace halsim::core
+
+#endif // HALSIM_CORE_CONFIG_HH

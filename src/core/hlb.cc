@@ -109,6 +109,7 @@ TrafficDirector::refill()
     lastRefill_ = now;
 }
 
+// halint: hotpath
 bool
 TrafficDirector::shouldDivert(const net::Packet &pkt)
 {
@@ -150,6 +151,7 @@ TrafficDirector::shouldDivert(const net::Packet &pkt)
     return false;
 }
 
+// halint: hotpath
 void
 TrafficDirector::accept(net::PacketPtr pkt)
 {

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "core/config.hh"
 #include "funcs/registry.hh"
 #include "sim/parallel.hh"
 
@@ -41,17 +42,23 @@ parseSweepArgs(int argc, char **argv, std::string bench_name)
 {
     SweepOptions opts;
     opts.bench_name = std::move(bench_name);
-    if (const char *env = std::getenv("HALSIM_THREADS"))
-        opts.threads = static_cast<unsigned>(std::atoi(env));
+    opts.threads = envDefaultThreads(opts.threads);
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-            opts.threads = static_cast<unsigned>(std::atoi(argv[++i]));
+            std::string error;
+            const auto parsed = parseThreadsValue(argv[++i], &error);
+            if (!parsed) {
+                std::fprintf(stderr, "%s: --threads: %s\n", argv[0],
+                             error.c_str());
+                std::exit(2);
+            }
+            opts.threads = *parsed;
         } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
             opts.json_path = argv[++i];
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--threads N] [--json PATH]\n"
-                         "  --threads 0 uses all hardware threads\n",
+                         "usage: %s [--threads N|all] [--json PATH]\n"
+                         "  --threads all uses every hardware thread\n",
                          argv[0]);
             std::exit(2);
         }

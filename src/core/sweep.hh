@@ -58,10 +58,12 @@ std::vector<RunResult> runSweep(const std::vector<SweepPoint> &points,
                                 const SweepOptions &opts = {});
 
 /**
- * Parse the standard bench flags: `--threads N` (0 = all cores) and
- * `--json PATH`. The HALSIM_THREADS environment variable supplies the
- * default thread count when the flag is absent. Exits with usage on
- * unknown arguments.
+ * Parse the standard bench flags: `--threads N|all` and `--json
+ * PATH`. The HALSIM_THREADS environment variable (same grammar, see
+ * core::envDefaultThreads) supplies the default thread count when the
+ * flag is absent. Malformed thread counts — negative, zero, or
+ * non-numeric — are rejected with a diagnostic and exit code 2, as
+ * are unknown arguments.
  */
 SweepOptions parseSweepArgs(int argc, char **argv,
                             std::string bench_name);

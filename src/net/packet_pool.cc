@@ -9,6 +9,7 @@ PacketPool::local()
     return pool;
 }
 
+// halint: hotpath
 std::vector<std::uint8_t>
 PacketPool::acquire(std::size_t n)
 {
@@ -26,6 +27,7 @@ PacketPool::acquire(std::size_t n)
     return std::vector<std::uint8_t>(n, 0);
 }
 
+// halint: hotpath
 void
 PacketPool::release(std::vector<std::uint8_t> buf)
 {
@@ -33,7 +35,8 @@ PacketPool::release(std::vector<std::uint8_t> buf)
         buf.capacity() == 0 || buf.capacity() > kMaxKeepCapacity) {
         return;   // let it free normally
     }
-    free_.push_back(std::move(buf));
+    // halint: allow(HAL-W004) freelist push, bounded by kMaxPooled;
+    free_.push_back(std::move(buf)); // reuses capacity after warmup
 }
 
 void

@@ -58,6 +58,7 @@ class ESwitch : public net::PacketSink
         }
     }
 
+    // halint: hotpath
     void
     accept(net::PacketPtr pkt) override
     {
@@ -114,6 +115,7 @@ class FixedDelay : public net::PacketSink
         : eq_(eq), delay_(delay), next_(next)
     {}
 
+    // halint: hotpath
     void
     accept(net::PacketPtr pkt) override
     {
@@ -139,6 +141,7 @@ class RssDistributor : public net::PacketSink
   public:
     void addQueue(net::PacketSink *q) { queues_.push_back(q); }
 
+    // halint: hotpath
     void
     accept(net::PacketPtr pkt) override
     {

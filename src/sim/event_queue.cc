@@ -56,6 +56,7 @@ EventQueue::~EventQueue()
         delete os;
 }
 
+// halint: hotpath
 void
 EventQueue::schedule(Event *ev, Tick when)
 {
@@ -122,15 +123,18 @@ EventQueue::setPoolingEnabled(bool on)
     }
 }
 
+// halint: hotpath
 void
 EventQueue::releaseOneShot(OneShot *os)
 {
     if (pooling_)
-        pool_.push_back(os);
+        // halint: allow(HAL-W004) freelist push reuses retained
+        pool_.push_back(os); // capacity after warmup (DESIGN.md §8)
     else
         delete os;
 }
 
+// halint: hotpath
 void
 EventQueue::scheduleFn(UniqueFn fn, Tick when)
 {
@@ -139,7 +143,8 @@ EventQueue::scheduleFn(UniqueFn fn, Tick when)
         os = pool_.back();
         pool_.pop_back();
     } else {
-        os = new OneShot(*this);
+        // halint: allow(HAL-W004) pool-miss cold path; steady state
+        os = new OneShot(*this); // is served from the freelist
     }
     os->arm(std::move(fn));
     schedule(os, when);
@@ -162,6 +167,7 @@ EventQueue::nextTick() const
     return best;
 }
 
+// halint: hotpath
 bool
 EventQueue::step()
 {
@@ -208,13 +214,16 @@ EventQueue::runUntil(Tick until)
     return n;
 }
 
+// halint: hotpath
 void
 EventQueue::heapPush(Entry e)
 {
-    heap_.push_back(e);
+    // halint: allow(HAL-W004) amortized heap growth; compaction keeps
+    heap_.push_back(e); // slots within 2x of live so capacity settles
     siftUp(heap_.size() - 1);
 }
 
+// halint: hotpath
 EventQueue::Entry
 EventQueue::heapPop()
 {

@@ -10,6 +10,11 @@
  * point's state, and results land in caller-owned slots indexed by
  * point, so the output is deterministic regardless of thread count or
  * scheduling.
+ *
+ * The callback purity contract is machine-checked: halint HAL-W005
+ * rejects mutable-capture lambdas and function-local statics at
+ * parallelFor/runSweep call sites, and the CI ThreadSanitizer job
+ * re-validates the claim dynamically (DESIGN.md §9).
  */
 
 #ifndef HALSIM_SIM_PARALLEL_HH

@@ -9,9 +9,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <memory>
+#include <optional>
 #include <vector>
 
+#include "core/config.hh"
 #include "core/sweep.hh"
 #include "net/link.hh"
 #include "net/traffic.hh"
@@ -176,3 +179,87 @@ TEST_P(HarnessThreadSweep, ResultsInInputOrder)
 
 INSTANTIATE_TEST_SUITE_P(ThreadCounts, HarnessThreadSweep,
                          ::testing::Values(1u, 2u, 4u));
+
+// ---- parseThreadsValue / parseSweepArgs ---------------------------
+
+TEST(ParseThreads, AcceptsPositiveCountsAndAll)
+{
+    std::string err;
+    EXPECT_EQ(core::parseThreadsValue("1", &err), 1u);
+    EXPECT_EQ(core::parseThreadsValue("8", &err), 8u);
+    EXPECT_EQ(core::parseThreadsValue("4096", &err), 4096u);
+    // "all" maps to the SweepOptions 0 sentinel (all hardware threads).
+    EXPECT_EQ(core::parseThreadsValue("all", &err), 0u);
+}
+
+TEST(ParseThreads, RejectsMalformedValues)
+{
+    for (const char *bad : {"", "-3", "-0", "0", "abc", "4x", "x4",
+                            "2.5", "8 ", "0x8", "99999999"}) {
+        std::string err;
+        EXPECT_EQ(core::parseThreadsValue(bad, &err), std::nullopt)
+            << "'" << bad << "' should be rejected";
+        EXPECT_FALSE(err.empty()) << "'" << bad
+                                  << "' should explain the rejection";
+    }
+}
+
+TEST(ParseThreads, ZeroPointsAtAllSpelling)
+{
+    std::string err;
+    EXPECT_EQ(core::parseThreadsValue("0", &err), std::nullopt);
+    EXPECT_NE(err.find("all"), std::string::npos)
+        << "error should mention the 'all' spelling: " << err;
+}
+
+TEST(ParseSweepArgsDeathTest, MalformedThreadsExitsWithDiagnostic)
+{
+    const char *cases[][2] = {{"--threads", "-3"},
+                              {"--threads", "0"},
+                              {"--threads", "fast"}};
+    for (const auto &c : cases) {
+        char prog[] = "bench";
+        char flag[16], val[16];
+        std::snprintf(flag, sizeof(flag), "%s", c[0]);
+        std::snprintf(val, sizeof(val), "%s", c[1]);
+        char *argv[] = {prog, flag, val, nullptr};
+        EXPECT_EXIT(core::parseSweepArgs(3, argv, "bench"),
+                    ::testing::ExitedWithCode(2), "--threads")
+            << "value '" << c[1] << "'";
+    }
+}
+
+TEST(ParseSweepArgsDeathTest, UnknownFlagPrintsUsage)
+{
+    char prog[] = "bench";
+    char flag[] = "--frobnicate";
+    char *argv[] = {prog, flag, nullptr};
+    EXPECT_EXIT(core::parseSweepArgs(2, argv, "bench"),
+                ::testing::ExitedWithCode(2), "usage");
+}
+
+TEST(ParseSweepArgs, WellFormedFlagsParse)
+{
+    char prog[] = "bench";
+    char t[] = "--threads";
+    char tv[] = "3";
+    char j[] = "--json";
+    char jv[] = "/tmp/out.json";
+    char *argv[] = {prog, t, tv, j, jv, nullptr};
+    const core::SweepOptions opts =
+        core::parseSweepArgs(5, argv, "bench_x");
+    EXPECT_EQ(opts.threads, 3u);
+    EXPECT_EQ(opts.json_path, "/tmp/out.json");
+    EXPECT_EQ(opts.bench_name, "bench_x");
+}
+
+TEST(ParseSweepArgs, ThreadsAllMeansAllHardwareThreads)
+{
+    char prog[] = "bench";
+    char t[] = "--threads";
+    char tv[] = "all";
+    char *argv[] = {prog, t, tv, nullptr};
+    const core::SweepOptions opts =
+        core::parseSweepArgs(3, argv, "bench_x");
+    EXPECT_EQ(opts.threads, 0u); // runSweep resolves 0 to all cores
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Threaded sweep stress: the TSan-clean guarantee behind halint's
+ * static HAL-W005 claim. runSweep with 8 workers over a widened
+ * (mode, function, rate, fault) grid must (a) exhibit no data races —
+ * the CI ThreadSanitizer job runs this binary under
+ * `-fsanitize=thread` (ctest label: tsan) — and (b) still return
+ * results bit-identical to the serial run, point for point.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "core/server.hh"
+#include "core/sweep.hh"
+
+using namespace halsim;
+using namespace halsim::core;
+
+namespace {
+
+/** The widened grid: 3 modes x 2 functions x 3 rates + fault rows. */
+std::vector<SweepPoint>
+stressGrid()
+{
+    std::vector<SweepPoint> points;
+    for (Mode mode : {Mode::HostOnly, Mode::SnicOnly, Mode::Hal}) {
+        for (funcs::FunctionId fn :
+             {funcs::FunctionId::Nat, funcs::FunctionId::Count}) {
+            for (double rate : {15.0, 45.0, 80.0}) {
+                SweepPoint p;
+                p.cfg.mode = mode;
+                p.cfg.function = fn;
+                p.rate_gbps = rate;
+                p.warmup = 2 * kMs;
+                p.measure = 8 * kMs;
+                points.push_back(std::move(p));
+            }
+        }
+    }
+    // Two faulted HAL points so watchdog/failover machinery also runs
+    // concurrently with everything else.
+    for (double rate : {40.0, 70.0}) {
+        SweepPoint p;
+        p.cfg.mode = Mode::Hal;
+        p.cfg.function = funcs::FunctionId::Nat;
+        p.cfg.faults.processorFailure(fault::FaultTarget::Host,
+                                      3 * kMs, 2 * kMs);
+        p.rate_gbps = rate;
+        p.warmup = 2 * kMs;
+        p.measure = 8 * kMs;
+        points.push_back(std::move(p));
+    }
+    return points;
+}
+
+void
+expectBitEqual(double a, double b, const char *field, std::size_t i)
+{
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a),
+              std::bit_cast<std::uint64_t>(b))
+        << "point " << i << " " << field << ": " << a << " vs " << b;
+}
+
+} // namespace
+
+TEST(SweepStress, EightWorkersRaceFreeAndBitIdenticalToSerial)
+{
+    const std::vector<SweepPoint> points = stressGrid();
+
+    SweepOptions serial, wide;
+    serial.threads = 1;
+    wide.threads = 8;
+    const std::vector<RunResult> rs = runSweep(points, serial);
+    const std::vector<RunResult> rw = runSweep(points, wide);
+
+    ASSERT_EQ(rs.size(), points.size());
+    ASSERT_EQ(rw.size(), points.size());
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+        expectBitEqual(rs[i].delivered_gbps, rw[i].delivered_gbps,
+                       "delivered_gbps", i);
+        expectBitEqual(rs[i].p99_us, rw[i].p99_us, "p99_us", i);
+        expectBitEqual(rs[i].system_power_w, rw[i].system_power_w,
+                       "system_power_w", i);
+        expectBitEqual(rs[i].energy_eff, rw[i].energy_eff,
+                       "energy_eff", i);
+        EXPECT_EQ(rs[i].sent, rw[i].sent) << "point " << i;
+        EXPECT_EQ(rs[i].drops, rw[i].drops) << "point " << i;
+        EXPECT_EQ(rs[i].snic_frames, rw[i].snic_frames) << "point " << i;
+        EXPECT_EQ(rs[i].host_frames, rw[i].host_frames) << "point " << i;
+        EXPECT_EQ(rs[i].faults_injected, rw[i].faults_injected)
+            << "point " << i;
+        EXPECT_EQ(rs[i].failovers, rw[i].failovers) << "point " << i;
+    }
+}
+
+TEST(SweepStress, RepeatedWideRunsIdentical)
+{
+    std::vector<SweepPoint> points = stressGrid();
+    points.resize(6); // a slice is enough for the repeat check
+    SweepOptions wide;
+    wide.threads = 8;
+    const std::vector<RunResult> a = runSweep(points, wide);
+    const std::vector<RunResult> b = runSweep(points, wide);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        expectBitEqual(a[i].delivered_gbps, b[i].delivered_gbps,
+                       "delivered_gbps", i);
+        expectBitEqual(a[i].p99_us, b[i].p99_us, "p99_us", i);
+        EXPECT_EQ(a[i].sent, b[i].sent) << "point " << i;
+    }
+}

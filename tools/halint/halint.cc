@@ -1,0 +1,690 @@
+#include "halint.hh"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace halint {
+
+namespace {
+
+// --------------------------------------------------------------------
+// Lexer: comments/strings/preprocessor lines never reach the rule
+// scanners as code, so a forbidden name inside a string literal (or
+// this very file's rule tables) cannot trip a rule.
+// --------------------------------------------------------------------
+
+enum class TokKind { Ident, Punct, Number, PP };
+
+struct Tok
+{
+    TokKind kind;
+    std::string text;
+    int line;
+};
+
+/** A parsed `// halint: ...` control comment. */
+struct Directive
+{
+    int line = 0;
+    bool hotpath = false;
+    std::vector<std::string> allow; //!< rule ids for allow(...)
+    bool malformed = false;
+    std::string error;
+    std::size_t tokenIndexAfter = 0; //!< tokens emitted before it
+};
+
+struct Lexed
+{
+    std::vector<Tok> toks;
+    std::vector<Directive> directives;
+};
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string
+trim(std::string_view s)
+{
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return std::string(s.substr(b, e - b));
+}
+
+bool
+validRuleId(const std::string &r)
+{
+    static const std::set<std::string> kKnown{
+        kRuleDirective,      kRuleWallClock, kRuleRng,
+        kRuleUnordered,      kRuleHotpathAlloc,
+        kRuleParallelPurity, kRuleHeaderHygiene};
+    return kKnown.count(r) != 0;
+}
+
+/**
+ * Parse the text of one line comment for a halint directive. Grammar
+ * (the whole comment is the directive; block comments and prose that
+ * merely mention the tag are ignored):
+ *
+ *   halint: hotpath [note]
+ *   halint: allow(HAL-Wnnn[, HAL-Wnnn...]) <reason>
+ *
+ * The reason after allow(...) is mandatory: a suppression that does
+ * not say why is itself a diagnostic (HAL-W000).
+ */
+void
+parseDirective(std::string_view text, int line, std::size_t tokenIndex,
+               std::vector<Directive> &out)
+{
+    const std::string_view kTag = "halint:";
+    const std::string lead = trim(text);
+    if (lead.rfind(kTag, 0) != 0)
+        return;
+    Directive d;
+    d.line = line;
+    d.tokenIndexAfter = tokenIndex;
+    std::string rest = trim(lead.substr(kTag.size()));
+    if (rest.rfind("hotpath", 0) == 0) {
+        d.hotpath = true;
+    } else if (rest.rfind("allow", 0) == 0) {
+        const std::size_t open = rest.find('(');
+        const std::size_t close = rest.find(')');
+        if (open == std::string::npos || close == std::string::npos ||
+            close < open) {
+            d.malformed = true;
+            d.error = "allow directive needs (HAL-Wnnn): '" + rest + "'";
+        } else {
+            std::stringstream list(
+                rest.substr(open + 1, close - open - 1));
+            std::string id;
+            while (std::getline(list, id, ',')) {
+                id = trim(id);
+                if (!validRuleId(id)) {
+                    d.malformed = true;
+                    d.error = "unknown rule id '" + id + "' in allow()";
+                    break;
+                }
+                d.allow.push_back(id);
+            }
+            if (!d.malformed && d.allow.empty()) {
+                d.malformed = true;
+                d.error = "empty allow() list";
+            }
+            if (!d.malformed && trim(rest.substr(close + 1)).empty()) {
+                d.malformed = true;
+                d.error = "allow() without a reason; write "
+                          "'// halint: allow(HAL-Wnnn) <why>'";
+            }
+        }
+    } else {
+        d.malformed = true;
+        d.error = "unknown halint directive '" + rest + "'";
+    }
+    out.push_back(std::move(d));
+}
+
+Lexed
+lex(std::string_view src)
+{
+    Lexed out;
+    int line = 1;
+    std::size_t i = 0;
+    const std::size_t n = src.size();
+
+    auto newlineSpan = [&](std::size_t from, std::size_t to) {
+        for (std::size_t k = from; k < to; ++k)
+            if (src[k] == '\n')
+                ++line;
+    };
+
+    while (i < n) {
+        const char c = src[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        // Line comment (may hold a directive).
+        if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+            std::size_t e = i;
+            while (e < n && src[e] != '\n')
+                ++e;
+            parseDirective(src.substr(i + 2, e - i - 2), line,
+                           out.toks.size(), out.directives);
+            i = e;
+            continue;
+        }
+        // Block comment (never carries directives).
+        if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+            std::size_t e = src.find("*/", i + 2);
+            if (e == std::string_view::npos)
+                e = n;
+            else
+                e += 2;
+            newlineSpan(i, e);
+            i = e;
+            continue;
+        }
+        // Preprocessor logical line (with backslash continuations).
+        if (c == '#' &&
+            (out.toks.empty() || out.toks.back().line != line ||
+             out.toks.back().kind == TokKind::PP)) {
+            std::size_t e = i;
+            const int start = line;
+            while (e < n) {
+                if (src[e] == '\n') {
+                    std::size_t back = e;
+                    while (back > i &&
+                           std::isspace(
+                               static_cast<unsigned char>(src[back - 1])) &&
+                           src[back - 1] != '\n')
+                        --back;
+                    if (back > i && src[back - 1] == '\\') {
+                        ++line;
+                        ++e;
+                        continue;
+                    }
+                    break;
+                }
+                ++e;
+            }
+            out.toks.push_back(
+                {TokKind::PP, std::string(src.substr(i, e - i)), start});
+            i = e;
+            continue;
+        }
+        // Raw string literal R"delim( ... )delim".
+        if (c == 'R' && i + 1 < n && src[i + 1] == '"' &&
+            (i == 0 || !identChar(src[i - 1]))) {
+            std::size_t dEnd = i + 2;
+            while (dEnd < n && src[dEnd] != '(' && src[dEnd] != '\n')
+                ++dEnd;
+            const std::string delim =
+                ")" + std::string(src.substr(i + 2, dEnd - i - 2)) + "\"";
+            std::size_t e = src.find(delim, dEnd);
+            e = (e == std::string_view::npos) ? n : e + delim.size();
+            newlineSpan(i, e);
+            i = e;
+            continue;
+        }
+        // Ordinary string / char literal.
+        if (c == '"' || c == '\'') {
+            std::size_t e = i + 1;
+            while (e < n && src[e] != c) {
+                if (src[e] == '\\' && e + 1 < n)
+                    ++e;
+                if (src[e] == '\n')
+                    ++line;
+                ++e;
+            }
+            i = (e < n) ? e + 1 : n;
+            continue;
+        }
+        // Number (consumes digit separators so 1'000 is not a char).
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t e = i;
+            while (e < n && (identChar(src[e]) || src[e] == '.' ||
+                             (src[e] == '\'' && e + 1 < n &&
+                              identChar(src[e + 1]))))
+                ++e;
+            out.toks.push_back(
+                {TokKind::Number, std::string(src.substr(i, e - i)),
+                 line});
+            i = e;
+            continue;
+        }
+        // Identifier / keyword.
+        if (identChar(c)) {
+            std::size_t e = i;
+            while (e < n && identChar(src[e]))
+                ++e;
+            out.toks.push_back(
+                {TokKind::Ident, std::string(src.substr(i, e - i)),
+                 line});
+            i = e;
+            continue;
+        }
+        // Punctuation; '::' and '->' kept whole (qualifier checks).
+        if (c == ':' && i + 1 < n && src[i + 1] == ':') {
+            out.toks.push_back({TokKind::Punct, "::", line});
+            i += 2;
+            continue;
+        }
+        if (c == '-' && i + 1 < n && src[i + 1] == '>') {
+            out.toks.push_back({TokKind::Punct, "->", line});
+            i += 2;
+            continue;
+        }
+        out.toks.push_back({TokKind::Punct, std::string(1, c), line});
+        ++i;
+    }
+    return out;
+}
+
+// --------------------------------------------------------------------
+// Rule scanners
+// --------------------------------------------------------------------
+
+struct Scanner
+{
+    const std::string &path;
+    const Lexed &lx;
+    std::vector<Diagnostic> diags;
+
+    bool inSrc;
+    bool isHeader;
+
+    Scanner(const std::string &p, const Lexed &l) : path(p), lx(l)
+    {
+        inSrc = p.rfind("src/", 0) == 0 ||
+                p.find("/src/") != std::string::npos;
+        auto ends = [&](std::string_view suf) {
+            return p.size() >= suf.size() &&
+                   p.compare(p.size() - suf.size(), suf.size(), suf) == 0;
+        };
+        isHeader = ends(".hh") || ends(".h") || ends(".hpp");
+    }
+
+    void
+    add(const char *rule, int line, std::string msg)
+    {
+        diags.push_back({path, line, rule, std::move(msg)});
+    }
+
+    const Tok *
+    at(std::size_t i) const
+    {
+        return i < lx.toks.size() ? &lx.toks[i] : nullptr;
+    }
+
+    bool
+    nextIs(std::size_t i, std::string_view punct) const
+    {
+        const Tok *t = at(i + 1);
+        return t != nullptr && t->kind == TokKind::Punct &&
+               t->text == punct;
+    }
+
+    /**
+     * True when toks[i] is a plausible call of a global/std function:
+     * followed by '(' and not reached through '.', '->', or a
+     * non-std '::' qualifier (SomeClass::time() is not wall clock).
+     */
+    bool
+    bareOrStdCall(std::size_t i) const
+    {
+        if (!nextIs(i, "("))
+            return false;
+        if (i == 0)
+            return true;
+        const Tok &prev = lx.toks[i - 1];
+        if (prev.kind == TokKind::Punct &&
+            (prev.text == "." || prev.text == "->"))
+            return false;
+        if (prev.kind == TokKind::Punct && prev.text == "::") {
+            const Tok *q = at(i - 2);
+            return q != nullptr && q->kind == TokKind::Ident &&
+                   q->text == "std";
+        }
+        return true;
+    }
+
+    // ---- HAL-W001: wall-clock / host-time sources -------------------
+    void
+    wallClock()
+    {
+        static const std::set<std::string> kIdents{
+            "gettimeofday", "clock_gettime", "timespec_get", "ftime",
+            "system_clock", "high_resolution_clock"};
+        for (std::size_t i = 0; i < lx.toks.size(); ++i) {
+            const Tok &t = lx.toks[i];
+            if (t.kind == TokKind::PP) {
+                if (t.text.find("include") != std::string::npos &&
+                    (t.text.find("<ctime>") != std::string::npos ||
+                     t.text.find("time.h>") != std::string::npos))
+                    add(kRuleWallClock, t.line,
+                        "include of a host time header — simulated "
+                        "time comes from EventQueue::now(); wall clock "
+                        "breaks bit-reproducible runs (DESIGN.md §9)");
+                continue;
+            }
+            if (t.kind != TokKind::Ident)
+                continue;
+            const bool named = kIdents.count(t.text) != 0;
+            const bool call = (t.text == "time" || t.text == "clock") &&
+                              bareOrStdCall(i);
+            if (named || call)
+                add(kRuleWallClock, t.line,
+                    "wall-clock time source '" + t.text +
+                        "' — simulated time comes from "
+                        "EventQueue::now(); wall clock breaks "
+                        "bit-reproducible runs (DESIGN.md §9)");
+        }
+    }
+
+    // ---- HAL-W002: unseeded / stdlib RNG (src/ only) ----------------
+    void
+    rng()
+    {
+        if (!inSrc)
+            return;
+        static const std::set<std::string> kIdents{
+            "srand",        "random_device",         "random_shuffle",
+            "mt19937",      "mt19937_64",            "minstd_rand",
+            "minstd_rand0", "default_random_engine", "knuth_b",
+            "ranlux24",     "ranlux48"};
+        for (std::size_t i = 0; i < lx.toks.size(); ++i) {
+            const Tok &t = lx.toks[i];
+            if (t.kind == TokKind::PP) {
+                if (t.text.find("include") != std::string::npos &&
+                    t.text.find("<random>") != std::string::npos)
+                    add(kRuleRng, t.line,
+                        "include of <random> — stdlib generators and "
+                        "distributions differ across implementations; "
+                        "use halsim::Rng (src/sim/rng.hh) seeded from "
+                        "the run config (DESIGN.md §9)");
+                continue;
+            }
+            if (t.kind != TokKind::Ident)
+                continue;
+            const bool named = kIdents.count(t.text) != 0;
+            const bool call = t.text == "rand" && bareOrStdCall(i);
+            if (named || call)
+                add(kRuleRng, t.line,
+                    "non-deterministic RNG '" + t.text +
+                        "' — use halsim::Rng (src/sim/rng.hh) seeded "
+                        "from the run config so results replay "
+                        "bit-identically (DESIGN.md §9)");
+        }
+    }
+
+    // ---- HAL-W003: unordered-container iteration (src/ only) --------
+    void
+    unordered()
+    {
+        if (!inSrc)
+            return;
+        static const std::set<std::string> kIdents{
+            "unordered_map", "unordered_set", "unordered_multimap",
+            "unordered_multiset"};
+        for (const Tok &t : lx.toks) {
+            const bool use =
+                t.kind == TokKind::Ident && kIdents.count(t.text) != 0;
+            const bool incl =
+                t.kind == TokKind::PP &&
+                t.text.find("include") != std::string::npos &&
+                (t.text.find("<unordered_map>") != std::string::npos ||
+                 t.text.find("<unordered_set>") != std::string::npos);
+            if (use || incl)
+                add(kRuleUnordered, t.line,
+                    "unordered container — iteration order is "
+                    "implementation-defined and can leak into "
+                    "simulation state; use alg::FixedMap "
+                    "(src/alg/fixed_map.hh) or an ordered container "
+                    "(DESIGN.md §9)");
+        }
+    }
+
+    // ---- HAL-W004: allocation in `// halint: hotpath` functions -----
+    void
+    hotpathAlloc()
+    {
+        static const std::set<std::string> kAllocCalls{
+            "malloc", "calloc", "realloc", "aligned_alloc", "strdup"};
+        static const std::set<std::string> kGrowth{
+            "push_back", "emplace_back", "emplace", "resize",
+            "reserve",   "insert",       "append"};
+        static const std::set<std::string> kMakers{"make_unique",
+                                                   "make_shared"};
+        for (const Directive &d : lx.directives) {
+            if (!d.hotpath)
+                continue;
+            // The annotation precedes the function; its body is the
+            // next brace-balanced block.
+            std::size_t i = d.tokenIndexAfter;
+            while (i < lx.toks.size() &&
+                   !(lx.toks[i].kind == TokKind::Punct &&
+                     lx.toks[i].text == "{"))
+                ++i;
+            if (i == lx.toks.size()) {
+                add(kRuleDirective, d.line,
+                    "hotpath annotation with no function body after it");
+                continue;
+            }
+            int depth = 0;
+            for (; i < lx.toks.size(); ++i) {
+                const Tok &t = lx.toks[i];
+                if (t.kind == TokKind::Punct) {
+                    if (t.text == "{")
+                        ++depth;
+                    else if (t.text == "}" && --depth == 0)
+                        break;
+                    continue;
+                }
+                if (t.kind != TokKind::Ident)
+                    continue;
+                std::string what;
+                if (t.text == "new" && !nextIs(i, "(")) {
+                    what = "operator new"; // placement new is exempt
+                } else if (kAllocCalls.count(t.text) != 0 &&
+                           nextIs(i, "(")) {
+                    what = t.text + "()";
+                } else if (kMakers.count(t.text) != 0 &&
+                           (nextIs(i, "<") || nextIs(i, "("))) {
+                    what = "std::" + t.text;
+                } else if (kGrowth.count(t.text) != 0 && i > 0 &&
+                           lx.toks[i - 1].kind == TokKind::Punct &&
+                           (lx.toks[i - 1].text == "." ||
+                            lx.toks[i - 1].text == "->")) {
+                    what = "container ." + t.text + "()";
+                }
+                if (!what.empty())
+                    add(kRuleHotpathAlloc, t.line,
+                        what +
+                            " in a '// halint: hotpath' function — "
+                            "hot paths must be allocation-free at "
+                            "steady state; preallocate, pool, or "
+                            "justify the cold path with an allow() "
+                            "(DESIGN.md §8, §9)");
+            }
+        }
+    }
+
+    // ---- HAL-W005: impure parallelFor / runSweep callbacks ----------
+    void
+    parallelPurity()
+    {
+        for (std::size_t i = 0; i < lx.toks.size(); ++i) {
+            const Tok &t = lx.toks[i];
+            if (t.kind != TokKind::Ident ||
+                (t.text != "parallelFor" && t.text != "runSweep") ||
+                !nextIs(i, "("))
+                continue;
+            int depth = 0;
+            bool sawLambda = false;
+            for (std::size_t j = i + 1; j < lx.toks.size(); ++j) {
+                const Tok &u = lx.toks[j];
+                if (u.kind == TokKind::Punct) {
+                    if (u.text == "(")
+                        ++depth;
+                    else if (u.text == ")" && --depth == 0)
+                        break;
+                    else if (u.text == "[")
+                        sawLambda = true;
+                    continue;
+                }
+                if (!sawLambda || u.kind != TokKind::Ident)
+                    continue;
+                if (u.text == "mutable")
+                    add(kRuleParallelPurity, u.line,
+                        "mutable lambda passed to " + t.text +
+                            " — callbacks run concurrently and must be "
+                            "pure over disjoint per-index state "
+                            "(DESIGN.md §9)");
+                else if (u.text == "static")
+                    add(kRuleParallelPurity, u.line,
+                        "function-local static inside a " + t.text +
+                            " callback — statics are shared across "
+                            "workers and race (DESIGN.md §9)");
+            }
+        }
+    }
+
+    // ---- HAL-W006: header hygiene -----------------------------------
+    void
+    headerHygiene()
+    {
+        if (!isHeader)
+            return;
+        bool pragmaOnce = false, sawIfndef = false, sawDefine = false;
+        for (const Tok &t : lx.toks) {
+            if (t.kind != TokKind::PP)
+                continue;
+            std::string squeezed;
+            for (char c : t.text)
+                if (!std::isspace(static_cast<unsigned char>(c)))
+                    squeezed += c;
+            if (squeezed.rfind("#pragmaonce", 0) == 0)
+                pragmaOnce = true;
+            else if (squeezed.rfind("#ifndef", 0) == 0)
+                sawIfndef = true;
+            else if (sawIfndef && squeezed.rfind("#define", 0) == 0)
+                sawDefine = true;
+        }
+        if (!pragmaOnce && !(sawIfndef && sawDefine))
+            add(kRuleHeaderHygiene, 1,
+                "header has no include guard or #pragma once "
+                "(DESIGN.md §9)");
+        for (std::size_t i = 0; i + 1 < lx.toks.size(); ++i)
+            if (lx.toks[i].kind == TokKind::Ident &&
+                lx.toks[i].text == "using" &&
+                lx.toks[i + 1].kind == TokKind::Ident &&
+                lx.toks[i + 1].text == "namespace")
+                add(kRuleHeaderHygiene, lx.toks[i].line,
+                    "'using namespace' in a header leaks the namespace "
+                    "into every includer (DESIGN.md §9)");
+    }
+};
+
+} // namespace
+
+std::vector<Diagnostic>
+lintSource(const std::string &path, std::string_view content)
+{
+    const Lexed lx = lex(content);
+    Scanner s(path, lx);
+    s.wallClock();
+    s.rng();
+    s.unordered();
+    s.hotpathAlloc();
+    s.parallelPurity();
+    s.headerHygiene();
+
+    // Suppressions: an allow(HAL-Wnnn) covers its own line (trailing
+    // comment) and the next line (comment above the statement).
+    std::map<int, std::set<std::string>> allowAt;
+    for (const Directive &d : lx.directives) {
+        if (d.malformed) {
+            s.add(kRuleDirective, d.line,
+                  "malformed halint directive: " + d.error);
+            continue;
+        }
+        for (const std::string &r : d.allow) {
+            allowAt[d.line].insert(r);
+            allowAt[d.line + 1].insert(r);
+        }
+    }
+    std::vector<Diagnostic> kept;
+    for (Diagnostic &d : s.diags) {
+        const auto it = allowAt.find(d.line);
+        const bool suppressed = d.rule != kRuleDirective &&
+                                it != allowAt.end() &&
+                                it->second.count(d.rule) != 0;
+        if (!suppressed)
+            kept.push_back(std::move(d));
+    }
+    std::stable_sort(kept.begin(), kept.end(),
+                     [](const Diagnostic &a, const Diagnostic &b) {
+                         return a.line < b.line;
+                     });
+    return kept;
+}
+
+std::string
+ruleTable()
+{
+    return "HAL-W000  malformed or reason-less halint directive\n"
+           "HAL-W001  wall-clock/host time source (simulated time only)\n"
+           "HAL-W002  stdlib/unseeded RNG in src/ (use halsim::Rng)\n"
+           "HAL-W003  unordered container in src/ (use alg::FixedMap)\n"
+           "HAL-W004  allocation inside a '// halint: hotpath' function\n"
+           "HAL-W005  impure parallelFor/runSweep callback\n"
+           "HAL-W006  header hygiene (guard, 'using namespace')\n"
+           "Suppress with: // halint: allow(HAL-Wnnn) <reason>\n";
+}
+
+std::vector<Diagnostic>
+lintPaths(const std::string &base, const std::vector<std::string> &roots)
+{
+    namespace fs = std::filesystem;
+    std::vector<std::string> files;
+    std::vector<Diagnostic> diags;
+    auto wanted = [](const fs::path &p) {
+        const std::string e = p.extension().string();
+        return e == ".cc" || e == ".hh" || e == ".cpp" || e == ".h" ||
+               e == ".hpp";
+    };
+    for (const std::string &r : roots) {
+        std::error_code ec;
+        const fs::path root(r);
+        if (fs::is_directory(root, ec)) {
+            for (fs::recursive_directory_iterator it(root, ec), end;
+                 !ec && it != end; it.increment(ec))
+                if (it->is_regular_file(ec) && wanted(it->path()))
+                    files.push_back(it->path().string());
+        } else if (fs::is_regular_file(root, ec)) {
+            files.push_back(r);
+        } else {
+            diags.push_back({r, 0, kRuleDirective,
+                             "path does not exist or is unreadable"});
+        }
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+
+    const std::string prefix =
+        base.empty() || base == "." ? "" : base + "/";
+    for (const std::string &f : files) {
+        std::ifstream in(f, std::ios::binary);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        if (!in) {
+            diags.push_back(
+                {f, 0, kRuleDirective, "cannot read file"});
+            continue;
+        }
+        std::string rel = f;
+        if (!prefix.empty() && rel.rfind(prefix, 0) == 0)
+            rel = rel.substr(prefix.size());
+        for (Diagnostic &d : lintSource(rel, buf.str()))
+            diags.push_back(std::move(d));
+    }
+    return diags;
+}
+
+} // namespace halint

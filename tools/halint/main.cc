@@ -1,0 +1,64 @@
+/**
+ * @file
+ * halint CLI. Scans the repo's C++ trees (default: src/ bench/
+ * examples/ tools/ relative to --root) and prints one line per
+ * diagnostic:
+ *
+ *   src/sim/foo.cc:123: HAL-W002: non-deterministic RNG 'rand' — ...
+ *
+ * Exit status: 0 clean, 1 diagnostics found, 2 usage error. Run from
+ * the build as `ctest -R halint` or directly:
+ *
+ *   ./build/tools/halint/halint --root .
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "halint.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::string root = ".";
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+            root = argv[++i];
+        } else if (std::strcmp(argv[i], "--list-rules") == 0) {
+            std::fputs(halint::ruleTable().c_str(), stdout);
+            return 0;
+        } else if (argv[i][0] == '-') {
+            std::fprintf(stderr,
+                         "usage: %s [--root DIR] [--list-rules] "
+                         "[path...]\n"
+                         "  default paths: src bench examples tools\n",
+                         argv[0]);
+            return 2;
+        } else {
+            paths.emplace_back(argv[i]);
+        }
+    }
+    if (paths.empty())
+        paths = {"src", "bench", "examples", "tools"};
+    for (std::string &p : paths)
+        if (p[0] != '/' && root != ".")
+            p = root + "/" + p;
+
+    const std::vector<halint::Diagnostic> diags =
+        halint::lintPaths(root, paths);
+    for (const halint::Diagnostic &d : diags)
+        std::printf("%s:%d: %s: %s\n", d.file.c_str(), d.line,
+                    d.rule.c_str(), d.message.c_str());
+    if (diags.empty()) {
+        std::printf("halint: clean\n");
+        return 0;
+    }
+    std::printf("halint: %zu diagnostic(s); suppress a justified one "
+                "with '// halint: allow(HAL-Wnnn) <reason>' "
+                "(see DESIGN.md §9)\n",
+                diags.size());
+    return 1;
+}
