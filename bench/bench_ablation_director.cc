@@ -5,9 +5,15 @@
  * compare a byte-accurate token bucket (default) against that
  * literal per-packet round-robin, plus the token bucket's depth
  * (burst tolerance toward the SNIC), under steady and bursty load.
+ *
+ * All (split, workload) points are independent and run through the
+ * parallel sweep harness: `--threads all`, `--json PATH`,
+ * `--stats-out PATH`, `--trace PATH`.
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_common.hh"
 
@@ -17,41 +23,68 @@ using namespace halsim::core;
 
 namespace {
 
-void
-runCase(const char *name, SplitMode mode, bool trace)
+const struct
 {
-    ServerConfig cfg;
-    cfg.mode = Mode::Hal;
-    cfg.function = funcs::FunctionId::Nat;
+    const char *name;
+    SplitMode mode;
+} kSplits[] = {
+    {"token-bucket", SplitMode::TokenBucket},
+    {"round-robin", SplitMode::RoundRobin},
+    {"flow-affinity", SplitMode::FlowAffinity},
+};
+
+SweepPoint
+splitPoint(const char *name, SplitMode mode, bool trace)
+{
+    ServerConfig cfg = ServerConfig::halDefault();
     cfg.split_mode = mode;
-    EventQueue eq;
-    ServerSystem sys(eq, cfg);
-    const auto r =
-        trace ? sys.run(net::makeTrace(net::TraceKind::Hadoop), 20 * kMs,
-                        300 * kMs, 2 * kMs)
-              : sys.run(std::make_unique<net::ConstantRate>(70.0),
-                        20 * kMs, 100 * kMs);
-    const double snic_share =
-        100.0 * static_cast<double>(r.snic_frames) /
-        static_cast<double>(r.snic_frames + r.host_frames + 1);
-    std::printf("%-12s | %7.1f %9.1f %8lu %7.1f%%\n", name,
-                r.delivered_gbps, r.p99_us,
-                static_cast<unsigned long>(r.drops), snic_share);
+
+    SweepPoint p;
+    p.cfg = std::move(cfg);
+    p.warmup = 20 * kMs;
+    p.label = std::string(trace ? "hadoop:" : "const70:") + name;
+    if (trace) {
+        p.trace = net::TraceKind::Hadoop;
+        p.measure = 300 * kMs;
+        p.resample = 2 * kMs;
+    } else {
+        p.rate_gbps = 70.0;
+        p.measure = 100 * kMs;
+    }
+    return p;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const SweepOptions opts =
+        parseSweepArgs(argc, argv, "ablation_director");
+
+    std::vector<SweepPoint> points;
+    for (bool trace : {false, true})
+        for (const auto &s : kSplits)
+            points.push_back(splitPoint(s.name, s.mode, trace));
+
+    const std::vector<RunResult> results = runSweep(points, opts);
+
+    std::size_t i = 0;
     for (bool trace : {false, true}) {
         banner(std::string("director ablation: NAT, ") +
                (trace ? "hadoop trace" : "70 Gbps constant"));
         std::printf("%-12s | %7s %9s %8s %8s\n", "split", "tp", "p99us",
                     "drops", "snic%");
-        runCase("token-bucket", SplitMode::TokenBucket, trace);
-        runCase("round-robin", SplitMode::RoundRobin, trace);
-        runCase("flow-affinity", SplitMode::FlowAffinity, trace);
+        for (const auto &s : kSplits) {
+            const RunResult &r = results[i++];
+            const double snic_share =
+                100.0 * static_cast<double>(r.snic_frames) /
+                static_cast<double>(r.snic_frames + r.host_frames + 1);
+            std::printf("%-12s | %7.1f %9.1f %8llu %7.1f%%\n", s.name,
+                        r.delivered_gbps, r.p99_us,
+                        static_cast<unsigned long long>(r.drops),
+                        snic_share);
+        }
     }
     std::printf("\nexpectation: both sustain throughput; round-robin "
                 "tracks the monitor epoch so it reacts a little more "

@@ -9,9 +9,15 @@
  * (worse p99); wider watermark bands squeeze more SNIC throughput at
  * the cost of queueing delay; the adaptive step recovers most of the
  * fast-reaction benefit without the overshoot.
+ *
+ * All (variant, workload) points are independent and run through the
+ * parallel sweep harness: `--threads all`, `--json PATH`,
+ * `--stats-out PATH`, `--trace PATH`.
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_common.hh"
 
@@ -41,45 +47,61 @@ const Variant kVariants[] = {
     {"adaptive", 1.0, 100 * kUs, 4, 48, true},
 };
 
-void
-runVariant(const Variant &v, bool trace)
+SweepPoint
+variantPoint(const Variant &v, bool trace)
 {
-    ServerConfig cfg;
-    cfg.mode = Mode::Hal;
-    cfg.function = funcs::FunctionId::Nat;
+    ServerConfig cfg = ServerConfig::halDefault();
     cfg.lbp.step_gbps = v.step;
     cfg.lbp.epoch = v.epoch;
     cfg.lbp.wm_low = v.wm_low;
     cfg.lbp.wm_high = v.wm_high;
     cfg.lbp.adaptive_step = v.adaptive;
 
-    EventQueue eq;
-    ServerSystem sys(eq, cfg);
-    const auto r =
-        trace ? sys.run(net::makeTrace(net::TraceKind::Cache), 20 * kMs,
-                        300 * kMs, 2 * kMs)
-              : sys.run(std::make_unique<net::ConstantRate>(60.0),
-                        20 * kMs, 100 * kMs);
-    const double snic_share =
-        100.0 * static_cast<double>(r.snic_frames) /
-        static_cast<double>(r.snic_frames + r.host_frames);
-    std::printf("%-10s | %7.1f %9.1f %7.1f %7.1f%% %7.1f\n", v.name,
-                r.delivered_gbps, r.p99_us, r.system_power_w, snic_share,
-                r.final_fwd_th_gbps);
+    SweepPoint p;
+    p.cfg = std::move(cfg);
+    p.warmup = 20 * kMs;
+    p.label = std::string(trace ? "cache:" : "const60:") + v.name;
+    if (trace) {
+        p.trace = net::TraceKind::Cache;
+        p.measure = 300 * kMs;
+        p.resample = 2 * kMs;
+    } else {
+        p.rate_gbps = 60.0;
+        p.measure = 100 * kMs;
+    }
+    return p;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const SweepOptions opts = parseSweepArgs(argc, argv, "ablation_lbp");
+
+    std::vector<SweepPoint> points;
+    for (bool trace : {false, true})
+        for (const Variant &v : kVariants)
+            points.push_back(variantPoint(v, trace));
+
+    const std::vector<RunResult> results = runSweep(points, opts);
+
+    std::size_t i = 0;
     for (bool trace : {false, true}) {
         banner(std::string("LBP ablation: NAT, ") +
                (trace ? "cache trace" : "60 Gbps constant"));
         std::printf("%-10s | %7s %9s %7s %8s %7s\n", "variant", "tp",
                     "p99us", "avgW", "snic%", "fwdTh");
-        for (const Variant &v : kVariants)
-            runVariant(v, trace);
+        for (const Variant &v : kVariants) {
+            const RunResult &r = results[i++];
+            const double snic_share =
+                100.0 * static_cast<double>(r.snic_frames) /
+                static_cast<double>(r.snic_frames + r.host_frames);
+            std::printf("%-10s | %7.1f %9.1f %7.1f %7.1f%% %7.1f\n",
+                        v.name, r.delivered_gbps, r.p99_us,
+                        r.system_power_w, snic_share,
+                        r.final_fwd_th_gbps);
+        }
     }
     return 0;
 }

@@ -8,10 +8,16 @@
  * higher p99 than SPR; SPR up to ~80% higher system EE; lightweight
  * functions (Count, NAT) look similar only because the 100 Gbps
  * client saturates first — we keep that cap to match the setup.
+ *
+ * Two chained parallel sweeps: first saturate every (function,
+ * processor) point, then measure latency/EE at 95% of the saturated
+ * rate. `--json PATH` writes both sweeps' rows in one artifact;
+ * `--stats-out`/`--trace` cover the reported (latency) sweep.
  */
 
-#include <algorithm>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_common.hh"
 
@@ -19,52 +25,97 @@ using namespace halsim;
 using namespace halsim::bench;
 using namespace halsim::core;
 
-int
-main()
+namespace {
+
+constexpr funcs::FunctionId kSwFuncs[] = {
+    funcs::FunctionId::Kvs, funcs::FunctionId::Count,
+    funcs::FunctionId::Ema, funcs::FunctionId::Nat,
+    funcs::FunctionId::Bm25, funcs::FunctionId::Knn,
+    funcs::FunctionId::Bayes,
+};
+
+ServerConfig
+platformConfig(funcs::FunctionId fn, Mode mode)
 {
+    ServerConfig cfg;
+    cfg.mode = mode;
+    cfg.function = fn;
+    cfg.snic_platform = funcs::Platform::SnicBf3;
+    cfg.host_platform = funcs::Platform::HostSpr;
+    cfg.snic_cores = 16;
+    cfg.host_cores = 16;
+    return cfg;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const SweepOptions opts = parseSweepArgs(argc, argv, "fig10_bf3_spr");
+
+    std::vector<SweepPoint> sat_points;
+    for (funcs::FunctionId fn : kSwFuncs) {
+        for (Mode mode : {Mode::SnicOnly, Mode::HostOnly}) {
+            const char *cpu = mode == Mode::SnicOnly ? "bf3" : "spr";
+            sat_points.push_back(
+                point(platformConfig(fn, mode), 100.0, 10 * kMs,
+                      60 * kMs,
+                      std::string("sat:") + cpu + ":" +
+                          funcs::functionName(fn)));
+        }
+    }
+    SweepOptions sat_opts = opts;
+    sat_opts.json_path.clear();
+    sat_opts.stats_path.clear();
+    sat_opts.trace_path.clear();
+    const std::vector<RunResult> sat = runSweep(sat_points, sat_opts);
+
+    // The reported latency/EE point sits just under each processor's
+    // saturated rate.
+    std::vector<SweepPoint> lat_points;
+    for (std::size_t i = 0; i < sat_points.size(); ++i) {
+        SweepPoint p = sat_points[i];
+        p.rate_gbps = sat[i].delivered_gbps * 0.95;
+        p.label = "lat:" + p.label.substr(4);
+        lat_points.push_back(std::move(p));
+    }
+    SweepOptions lat_opts = opts;
+    lat_opts.json_path.clear();
+    const std::vector<RunResult> lat = runSweep(lat_points, lat_opts);
+
+    if (!opts.json_path.empty()) {
+        std::vector<SweepPoint> all_points = sat_points;
+        all_points.insert(all_points.end(), lat_points.begin(),
+                          lat_points.end());
+        std::vector<RunResult> all_results = sat;
+        all_results.insert(all_results.end(), lat.begin(), lat.end());
+        writeSweepJson(opts.json_path, opts.bench_name, all_points,
+                       all_results, opts.threads);
+    }
+
     banner("Fig. 10: BF-3 CPU vs Sapphire Rapids CPU (software "
            "functions, 100 Gbps client cap)");
     std::printf("%-8s %9s %9s %7s | %9s %9s %7s | %7s %7s %7s\n",
                 "function", "bf3Gbps", "sprGbps", "tpRatio", "bf3P99",
                 "sprP99", "p99x", "bf3EE", "sprEE", "eeRatio");
-
-    const funcs::FunctionId sw_funcs[] = {
-        funcs::FunctionId::Kvs, funcs::FunctionId::Count,
-        funcs::FunctionId::Ema, funcs::FunctionId::Nat,
-        funcs::FunctionId::Bm25, funcs::FunctionId::Knn,
-        funcs::FunctionId::Bayes,
-    };
-
-    for (funcs::FunctionId fn : sw_funcs) {
-        RunResult res[2];
-        int i = 0;
-        for (auto [mode, platform] :
-             {std::pair{Mode::SnicOnly, funcs::Platform::SnicBf3},
-              std::pair{Mode::HostOnly, funcs::Platform::HostSpr}}) {
-            ServerConfig cfg;
-            cfg.mode = mode;
-            cfg.function = fn;
-            cfg.snic_platform = funcs::Platform::SnicBf3;
-            cfg.host_platform = funcs::Platform::HostSpr;
-            cfg.snic_cores = 16;
-            cfg.host_cores = 16;
-            const auto sat = runPoint(cfg, 100.0, 10 * kMs, 60 * kMs);
-            const auto lat = runPoint(cfg, sat.delivered_gbps * 0.95,
-                                      10 * kMs, 60 * kMs);
-            res[i] = sat;
-            res[i].p99_us = lat.p99_us;
-            res[i].energy_eff = lat.energy_eff;
-            ++i;
-        }
-        const auto &bf3 = res[0];
-        const auto &spr = res[1];
+    std::size_t i = 0;
+    for (funcs::FunctionId fn : kSwFuncs) {
+        const RunResult &bf3_sat = sat[i];
+        const RunResult &bf3_lat = lat[i];
+        ++i;
+        const RunResult &spr_sat = sat[i];
+        const RunResult &spr_lat = lat[i];
+        ++i;
         std::printf("%-8s %9.2f %9.2f %7.2f | %9.1f %9.1f %7.1f | "
                     "%7.4f %7.4f %7.2f\n",
-                    funcs::functionName(fn), bf3.delivered_gbps,
-                    spr.delivered_gbps,
-                    bf3.delivered_gbps / spr.delivered_gbps, bf3.p99_us,
-                    spr.p99_us, bf3.p99_us / spr.p99_us, bf3.energy_eff,
-                    spr.energy_eff, spr.energy_eff / bf3.energy_eff);
+                    funcs::functionName(fn), bf3_sat.delivered_gbps,
+                    spr_sat.delivered_gbps,
+                    bf3_sat.delivered_gbps / spr_sat.delivered_gbps,
+                    bf3_lat.p99_us, spr_lat.p99_us,
+                    bf3_lat.p99_us / spr_lat.p99_us, bf3_lat.energy_eff,
+                    spr_lat.energy_eff,
+                    spr_lat.energy_eff / bf3_lat.energy_eff);
     }
     std::printf("\npaper: BF-3 up to 80%% lower TP, up to 61x higher "
                 "p99; SPR up to ~80%% higher EE; Count/NAT capped by "

@@ -43,10 +43,8 @@ main(int argc, char **argv)
     std::vector<SweepPoint> points;
     for (funcs::FunctionId fn : kFns) {
         for (double rate : kRates) {
-            ServerConfig host_cfg, snic_cfg;
-            host_cfg.mode = Mode::HostOnly;
-            snic_cfg.mode = Mode::SnicOnly;
-            host_cfg.function = snic_cfg.function = fn;
+            ServerConfig host_cfg = ServerConfig::hostBaseline(fn);
+            ServerConfig snic_cfg = ServerConfig::snicBaseline(fn);
             const std::string tag =
                 std::string(funcs::functionName(fn)) + "@" +
                 std::to_string(static_cast<int>(rate));

@@ -9,9 +9,15 @@
  * Fwd_Th range; four cores reach ~80 Gbps at Fwd_Th = 20 but with
  * p99 above even the SNIC-only baseline; throughput decays toward
  * ~53 Gbps as Fwd_Th rises to 60 (the SNIC cores can't process it).
+ *
+ * All points are independent, so they run through the parallel sweep
+ * harness: `--threads all`, `--json PATH`, `--stats-out PATH`,
+ * `--trace PATH`.
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_common.hh"
 
@@ -19,43 +25,73 @@ using namespace halsim;
 using namespace halsim::bench;
 using namespace halsim::core;
 
-int
-main()
-{
-    banner("Fig. 5: NAT with SLB at 80 Gbps offered");
-    std::printf("%8s %6s | %8s %9s %7s | %10s %10s\n", "slbCores",
-                "fwdTh", "tpGbps", "p99us", "loss%", "keptLocal",
-                "forwarded");
+namespace {
 
-    for (unsigned cores : {1u, 4u}) {
-        for (double fwd : {20.0, 30.0, 40.0, 50.0, 60.0}) {
-            ServerConfig cfg;
-            cfg.mode = Mode::Slb;
-            cfg.function = funcs::FunctionId::Nat;
+constexpr unsigned kSlbCores[] = {1u, 4u};
+constexpr double kFwdThs[] = {20.0, 30.0, 40.0, 50.0, 60.0};
+constexpr Mode kRefModes[] = {Mode::SnicOnly, Mode::HostOnly, Mode::Hal,
+                              Mode::HostSlb};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const SweepOptions opts = parseSweepArgs(argc, argv, "fig5_slb");
+
+    std::vector<SweepPoint> points;
+    for (unsigned cores : kSlbCores) {
+        for (double fwd : kFwdThs) {
+            ServerConfig cfg = ServerConfig::slbBaseline();
             cfg.slb_cores = cores;
             cfg.slb_fwd_th_gbps = fwd;
-            EventQueue eq;
-            ServerSystem sys(eq, cfg);
-            const auto r = sys.run(std::make_unique<net::ConstantRate>(80.0),
-                                   20 * kMs, 100 * kMs);
-            std::printf("%8u %6.0f | %8.1f %9.1f %7.1f | %10lu %10lu\n",
-                        cores, fwd, r.delivered_gbps, r.p99_us,
-                        100.0 * r.lossFraction(),
-                        static_cast<unsigned long>(sys.slb()->keptLocal()),
-                        static_cast<unsigned long>(sys.slb()->forwarded()));
+            points.push_back(point(
+                std::move(cfg), 80.0, kWarmup, kMeasure,
+                "slb:c" + std::to_string(cores) + ":fwd" +
+                    std::to_string(static_cast<int>(fwd))));
         }
     }
-
     // Reference points the paper compares against, including §IV's
     // host-side SLB alternative (host always hot, 2x DPDK work).
-    banner("references at 80 Gbps offered");
-    for (Mode m : {Mode::SnicOnly, Mode::HostOnly, Mode::Hal,
-                   Mode::HostSlb}) {
+    for (Mode m : kRefModes) {
         ServerConfig cfg;
         cfg.mode = m;
         cfg.function = funcs::FunctionId::Nat;
         cfg.slb_fwd_th_gbps = 35.0;   // host-SLB threshold: SNIC share
-        const auto r = runPoint(cfg, 80.0);
+        points.push_back(point(std::move(cfg), 80.0, kWarmup, kMeasure,
+                               std::string("ref:") + modeName(m)));
+    }
+    // Host-side SLB vs HAL at low rate (the always-hot-host cost).
+    for (Mode m : {Mode::Hal, Mode::HostSlb}) {
+        ServerConfig cfg;
+        cfg.mode = m;
+        cfg.function = funcs::FunctionId::DpdkFwd;
+        cfg.slb_fwd_th_gbps = 35.0;
+        points.push_back(point(std::move(cfg), 20.0, kWarmup, kMeasure,
+                               std::string("lowrate:") + modeName(m)));
+    }
+
+    const std::vector<RunResult> results = runSweep(points, opts);
+
+    std::size_t i = 0;
+    banner("Fig. 5: NAT with SLB at 80 Gbps offered");
+    std::printf("%8s %6s | %8s %9s %7s | %10s %10s\n", "slbCores",
+                "fwdTh", "tpGbps", "p99us", "loss%", "keptLocal",
+                "forwarded");
+    for (unsigned cores : kSlbCores) {
+        for (double fwd : kFwdThs) {
+            const RunResult &r = results[i++];
+            std::printf("%8u %6.0f | %8.1f %9.1f %7.1f | %10llu %10llu\n",
+                        cores, fwd, r.delivered_gbps, r.p99_us,
+                        100.0 * r.lossFraction(),
+                        static_cast<unsigned long long>(r.slb_kept),
+                        static_cast<unsigned long long>(r.slb_forwarded));
+        }
+    }
+
+    banner("references at 80 Gbps offered");
+    for (Mode m : kRefModes) {
+        const RunResult &r = results[i++];
         std::printf("%-8s tp=%6.1f Gbps  p99=%8.1f us  loss=%4.1f%%  "
                     "power=%6.1f W\n",
                     modeName(m), r.delivered_gbps, r.p99_us,
@@ -64,11 +100,7 @@ main()
 
     banner("host-side SLB vs HAL at low rate (the always-hot-host cost)");
     for (Mode m : {Mode::Hal, Mode::HostSlb}) {
-        ServerConfig cfg;
-        cfg.mode = m;
-        cfg.function = funcs::FunctionId::DpdkFwd;
-        cfg.slb_fwd_th_gbps = 35.0;
-        const auto r = runPoint(cfg, 20.0);
+        const RunResult &r = results[i++];
         std::printf("%-8s tp=%6.1f Gbps  p99=%8.1f us  ee=%6.4f  "
                     "power=%6.1f W\n",
                     modeName(m), r.delivered_gbps, r.p99_us,

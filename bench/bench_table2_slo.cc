@@ -25,10 +25,9 @@ namespace {
 double
 p99At(funcs::FunctionId fn, double rate)
 {
-    ServerConfig cfg;
-    cfg.mode = Mode::SnicOnly;
-    cfg.function = fn;
-    return runPoint(cfg, rate, 10 * kMs, 50 * kMs).p99_us;
+    return runPoint(ServerConfig::snicBaseline(fn), rate, 10 * kMs,
+                    50 * kMs)
+        .p99_us;
 }
 
 } // namespace
@@ -61,9 +60,7 @@ main()
     for (const auto &row : paper) {
         // Find the SNIC's max sustainable rate, then walk down until
         // p99 stops inflating: the knee of the latency curve.
-        ServerConfig snic_cfg;
-        snic_cfg.mode = Mode::SnicOnly;
-        snic_cfg.function = row.fn;
+        const ServerConfig snic_cfg = ServerConfig::snicBaseline(row.fn);
         const auto sat = runPoint(snic_cfg, 100.0, 10 * kMs, 50 * kMs);
         const double max_tp = sat.delivered_gbps;
 
@@ -83,10 +80,8 @@ main()
 
         // EE of both processors at the SLO point.
         const auto snic = runPoint(snic_cfg, slo, 10 * kMs, 50 * kMs);
-        ServerConfig host_cfg;
-        host_cfg.mode = Mode::HostOnly;
-        host_cfg.function = row.fn;
-        const auto host = runPoint(host_cfg, slo, 10 * kMs, 50 * kMs);
+        const auto host = runPoint(ServerConfig::hostBaseline(row.fn),
+                                   slo, 10 * kMs, 50 * kMs);
 
         std::printf("%-8s %10.2f %10.2f | %8.4f %8.4f %8.2f   "
                     "(paper %.2f)\n",

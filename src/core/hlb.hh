@@ -19,6 +19,7 @@
 
 #include "funcs/calibration.hh"
 #include "net/packet.hh"
+#include "obs/hooks.hh"
 #include "sim/event.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
@@ -200,6 +201,17 @@ class TrafficMerger : public net::PacketSink
         : cfg_(cfg), out_(out)
     {}
 
+    /** Attach the packet tracer (@p eq supplies timestamps): every
+     *  host-sourced rewrite records TracePoint::Merge. */
+    void
+    setTrace(obs::PacketTracer *t, std::uint8_t lane,
+             const EventQueue *eq)
+    {
+        trace_ = t;
+        traceLane_ = lane;
+        traceEq_ = eq;
+    }
+
     void
     accept(net::PacketPtr pkt) override
     {
@@ -207,6 +219,10 @@ class TrafficMerger : public net::PacketSink
             pkt->ip().rewriteSrc(cfg_.snic_ip);
             pkt->eth().setSrc(cfg_.snic_mac);
             ++merged_;
+            obs::tracePacket(trace_,
+                             traceEq_ != nullptr ? traceEq_->now() : 0,
+                             pkt->id, obs::TracePoint::Merge,
+                             traceLane_);
         }
         ++total_;
         out_.accept(std::move(pkt));
@@ -220,6 +236,11 @@ class TrafficMerger : public net::PacketSink
     net::PacketSink &out_;
     std::uint64_t merged_ = 0;
     std::uint64_t total_ = 0;
+
+    // Observability (null/inert unless attached).
+    obs::PacketTracer *trace_ = nullptr;
+    std::uint8_t traceLane_ = 0;
+    const EventQueue *traceEq_ = nullptr;
 };
 
 } // namespace halsim::core

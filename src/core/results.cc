@@ -1,0 +1,139 @@
+/**
+ * @file
+ * RunResult serialization: the single emission point for every bench
+ * artifact. Benches used to hand-roll fprintf JSON per binary; they
+ * now all call toJson()/toCsvRow(), so adding a RunResult field means
+ * editing exactly this file (and the committed schema check in
+ * tools/bench_schema.json).
+ */
+
+#include "core/server.hh"
+#include "obs/registry.hh"
+
+namespace halsim::core {
+
+namespace {
+
+// Field table driving all three emitters, so JSON and CSV can never
+// disagree on order or spelling.
+struct Field
+{
+    const char *name;
+    enum class Type
+    {
+        F64,
+        U64,
+    } type;
+    double (*f)(const RunResult &);
+    std::uint64_t (*u)(const RunResult &);
+};
+
+constexpr Field kFields[] = {
+    {"offered_gbps", Field::Type::F64,
+     [](const RunResult &r) { return r.offered_gbps; }, nullptr},
+    {"delivered_gbps", Field::Type::F64,
+     [](const RunResult &r) { return r.delivered_gbps; }, nullptr},
+    {"max_window_gbps", Field::Type::F64,
+     [](const RunResult &r) { return r.max_window_gbps; }, nullptr},
+    {"p99_us", Field::Type::F64,
+     [](const RunResult &r) { return r.p99_us; }, nullptr},
+    {"mean_us", Field::Type::F64,
+     [](const RunResult &r) { return r.mean_us; }, nullptr},
+    {"system_power_w", Field::Type::F64,
+     [](const RunResult &r) { return r.system_power_w; }, nullptr},
+    {"dynamic_power_w", Field::Type::F64,
+     [](const RunResult &r) { return r.dynamic_power_w; }, nullptr},
+    {"energy_eff", Field::Type::F64,
+     [](const RunResult &r) { return r.energy_eff; }, nullptr},
+    {"loss_fraction", Field::Type::F64,
+     [](const RunResult &r) { return r.lossFraction(); }, nullptr},
+    {"sent", Field::Type::U64, nullptr,
+     [](const RunResult &r) { return r.sent; }},
+    {"responses", Field::Type::U64, nullptr,
+     [](const RunResult &r) { return r.responses; }},
+    {"drops", Field::Type::U64, nullptr,
+     [](const RunResult &r) { return r.drops; }},
+    {"in_flight_at_window_end", Field::Type::U64, nullptr,
+     [](const RunResult &r) { return r.in_flight_at_window_end; }},
+    {"snic_frames", Field::Type::U64, nullptr,
+     [](const RunResult &r) { return r.snic_frames; }},
+    {"host_frames", Field::Type::U64, nullptr,
+     [](const RunResult &r) { return r.host_frames; }},
+    {"slb_kept", Field::Type::U64, nullptr,
+     [](const RunResult &r) { return r.slb_kept; }},
+    {"slb_forwarded", Field::Type::U64, nullptr,
+     [](const RunResult &r) { return r.slb_forwarded; }},
+    {"final_fwd_th_gbps", Field::Type::F64,
+     [](const RunResult &r) { return r.final_fwd_th_gbps; }, nullptr},
+    {"faults_injected", Field::Type::U64, nullptr,
+     [](const RunResult &r) { return r.faults_injected; }},
+    {"faults_reverted", Field::Type::U64, nullptr,
+     [](const RunResult &r) { return r.faults_reverted; }},
+    {"failovers", Field::Type::U64, nullptr,
+     [](const RunResult &r) { return r.failovers; }},
+    {"recoveries", Field::Type::U64, nullptr,
+     [](const RunResult &r) { return r.recoveries; }},
+    {"degraded_us", Field::Type::F64,
+     [](const RunResult &r) { return r.degraded_us; }, nullptr},
+    {"time_to_recover_us", Field::Type::F64,
+     [](const RunResult &r) { return r.time_to_recover_us; }, nullptr},
+    {"failover_drops", Field::Type::U64, nullptr,
+     [](const RunResult &r) { return r.failover_drops; }},
+    {"ctrl_updates_dropped", Field::Type::U64, nullptr,
+     [](const RunResult &r) { return r.ctrl_updates_dropped; }},
+};
+
+} // namespace
+
+void
+RunResult::toJsonFields(std::ostream &os) const
+{
+    bool first = true;
+    for (const Field &f : kFields) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << f.name << "\":";
+        if (f.type == Field::Type::F64)
+            os << obs::jsonNumber(f.f(*this));
+        else
+            os << f.u(*this);
+    }
+}
+
+void
+RunResult::toJson(std::ostream &os) const
+{
+    os << "{";
+    toJsonFields(os);
+    os << "}";
+}
+
+void
+RunResult::toCsvRow(std::ostream &os) const
+{
+    bool first = true;
+    for (const Field &f : kFields) {
+        if (!first)
+            os << ",";
+        first = false;
+        if (f.type == Field::Type::F64)
+            os << obs::jsonNumber(f.f(*this));
+        else
+            os << f.u(*this);
+    }
+}
+
+void
+RunResult::csvHeader(std::ostream &os)
+{
+    bool first = true;
+    for (const Field &f : kFields) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << f.name;
+    }
+}
+
+} // namespace halsim::core

@@ -7,62 +7,117 @@
 
 namespace halsim::core {
 
-namespace {
-
 /**
- * Reject configurations that would silently misbehave (a zero-core
- * processor never polls; a non-power-of-two ring breaks the DPDK
- * model; watermarks above the ring size can never trip). Throws
- * std::invalid_argument with a message naming the offending field.
+ * Collect every configuration violation in one pass, each naming the
+ * offending field (a zero-core processor never polls; a
+ * non-power-of-two ring breaks the DPDK model; watermarks above the
+ * ring size can never trip). Callers that used to learn about errors
+ * one ctor throw at a time now get the complete list.
  */
-void
-validateConfig(const ServerConfig &cfg)
+std::vector<std::string>
+ServerConfig::validate() const
 {
-    auto fail = [](const std::string &msg) {
-        throw std::invalid_argument("ServerConfig: " + msg);
+    std::vector<std::string> errors;
+    auto fail = [&errors](std::string msg) {
+        errors.push_back(std::move(msg));
     };
 
-    const bool wants_host = cfg.mode != Mode::SnicOnly;
-    const bool wants_snic = cfg.mode != Mode::HostOnly;
-    if (wants_host && cfg.host_cores == 0)
+    const bool wants_host = mode != Mode::SnicOnly;
+    const bool wants_snic = mode != Mode::HostOnly;
+    if (wants_host && host_cores == 0)
         fail("host_cores must be > 0 in mode " +
-             std::string(modeName(cfg.mode)));
-    if (wants_snic && cfg.snic_cores == 0)
+             std::string(modeName(mode)));
+    if (wants_snic && snic_cores == 0)
         fail("snic_cores must be > 0 in mode " +
-             std::string(modeName(cfg.mode)));
+             std::string(modeName(mode)));
 
-    const std::uint32_t rd = cfg.ring_descriptors;
-    if (rd == 0 || (rd & (rd - 1)) != 0)
+    const std::uint32_t rd = ring_descriptors;
+    if (rd == 0 || (rd & (rd - 1)) != 0) {
         fail("ring_descriptors must be a power of two, got " +
              std::to_string(rd));
-    if (rd < cfg.lbp.wm_high)
+    } else if (rd < lbp.wm_high) {
         fail("ring_descriptors (" + std::to_string(rd) +
              ") must be >= lbp.wm_high (" +
-             std::to_string(cfg.lbp.wm_high) + ")");
-    if (cfg.lbp.wm_low > cfg.lbp.wm_high)
-        fail("lbp.wm_low (" + std::to_string(cfg.lbp.wm_low) +
+             std::to_string(lbp.wm_high) + ")");
+    }
+    if (lbp.wm_low > lbp.wm_high)
+        fail("lbp.wm_low (" + std::to_string(lbp.wm_low) +
              ") must be <= lbp.wm_high (" +
-             std::to_string(cfg.lbp.wm_high) + ")");
+             std::to_string(lbp.wm_high) + ")");
 
-    if (!(cfg.lbp.min_fwd_gbps <= cfg.lbp.initial_fwd_gbps &&
-          cfg.lbp.initial_fwd_gbps <= cfg.lbp.max_fwd_gbps)) {
+    if (!(lbp.min_fwd_gbps <= lbp.initial_fwd_gbps &&
+          lbp.initial_fwd_gbps <= lbp.max_fwd_gbps)) {
         fail("lbp thresholds must satisfy min_fwd (" +
-             std::to_string(cfg.lbp.min_fwd_gbps) + ") <= initial (" +
-             std::to_string(cfg.lbp.initial_fwd_gbps) + ") <= max_fwd (" +
-             std::to_string(cfg.lbp.max_fwd_gbps) + ")");
+             std::to_string(lbp.min_fwd_gbps) + ") <= initial (" +
+             std::to_string(lbp.initial_fwd_gbps) + ") <= max_fwd (" +
+             std::to_string(lbp.max_fwd_gbps) + ")");
     }
 
-    if (cfg.lbp.epoch <= 0)
+    if (lbp.epoch <= 0)
         fail("lbp.epoch must be positive");
-    if (cfg.watchdog.epoch <= 0)
+    if (watchdog.epoch <= 0)
         fail("watchdog.epoch must be positive");
-    if (cfg.watchdog.lbp_staleness_bound <= 0)
+    if (watchdog.lbp_staleness_bound <= 0)
         fail("watchdog.lbp_staleness_bound must be positive");
-    if (cfg.frame_bytes == 0)
+    if (frame_bytes == 0)
         fail("frame_bytes must be > 0");
+
+    if (mode == Mode::Slb || mode == Mode::HostSlb) {
+        if (slb_cores == 0)
+            fail("slb_cores must be > 0 in mode " +
+                 std::string(modeName(mode)));
+        if (slb_fwd_th_gbps < 0.0)
+            fail("slb_fwd_th_gbps must be >= 0");
+    }
+
+    if (obs.enabled()) {
+        if (obs.stats && obs.sample_epoch == 0)
+            fail("obs.sample_epoch must be > 0 when obs.stats is on");
+        if (obs.trace && obs.trace_capacity == 0)
+            fail("obs.trace_capacity must be > 0 when obs.trace is on");
+        if (obs.trace && obs.trace_sample_every == 0)
+            fail("obs.trace_sample_every must be > 0 when obs.trace "
+                 "is on");
+    }
+
+    return errors;
 }
 
-} // namespace
+ServerConfig
+ServerConfig::halDefault(funcs::FunctionId fn)
+{
+    ServerConfig c;
+    c.mode = Mode::Hal;
+    c.function = fn;
+    return c;
+}
+
+ServerConfig
+ServerConfig::hostBaseline(funcs::FunctionId fn)
+{
+    ServerConfig c;
+    c.mode = Mode::HostOnly;
+    c.function = fn;
+    return c;
+}
+
+ServerConfig
+ServerConfig::snicBaseline(funcs::FunctionId fn)
+{
+    ServerConfig c;
+    c.mode = Mode::SnicOnly;
+    c.function = fn;
+    return c;
+}
+
+ServerConfig
+ServerConfig::slbBaseline(funcs::FunctionId fn)
+{
+    ServerConfig c;
+    c.mode = Mode::Slb;
+    c.function = fn;
+    return c;
+}
 
 const char *
 modeName(Mode m)
@@ -85,7 +140,16 @@ ServerSystem::ServerSystem(EventQueue &eq, ServerConfig cfg)
       clientIp_(10, 0, 0, 1), snicIp_(10, 0, 0, 2), hostIp_(10, 0, 0, 3),
       client_(eq), extraPower_(eq)
 {
-    validateConfig(cfg_);
+    const std::vector<std::string> errors = cfg_.validate();
+    if (!errors.empty()) {
+        std::string msg = "ServerConfig: ";
+        for (std::size_t i = 0; i < errors.size(); ++i) {
+            if (i)
+                msg += "; ";
+            msg += errors[i];
+        }
+        throw std::invalid_argument(msg);
+    }
 
     const auto &paths = funcs::pathLatencies();
 
@@ -326,6 +390,142 @@ ServerSystem::ServerSystem(EventQueue &eq, ServerConfig cfg)
     clientLink_ = std::make_unique<net::Link>(
         eq_, net::Link::Config{100.0, 500 * kNs, 4096, "client"},
         *ingress_);
+
+    buildObs();
+}
+
+void
+ServerSystem::buildObs()
+{
+    if (!cfg_.obs.enabled())
+        return;
+    obs_ = std::make_unique<obs::Observability>(eq_, cfg_.obs);
+
+    obs::PacketTracer *tr = obs_->tracer();
+    if (tr != nullptr) {
+        using obs::Lane;
+        tr->setLaneName(obs::laneId(Lane::ClientLink), "client_link");
+        tr->setLaneName(obs::laneId(Lane::Eswitch), "eswitch");
+        tr->setLaneName(obs::laneId(Lane::SnicRing), "snic_ring");
+        tr->setLaneName(obs::laneId(Lane::SnicCore), "snic_core");
+        tr->setLaneName(obs::laneId(Lane::HostRing), "host_ring");
+        tr->setLaneName(obs::laneId(Lane::HostCore), "host_core");
+        tr->setLaneName(obs::laneId(Lane::Merger), "merger");
+        tr->setLaneName(obs::laneId(Lane::ReturnLink), "return_link");
+        tr->setLaneName(obs::laneId(Lane::Slb), "slb");
+
+        clientLink_->setTrace(tr, obs::laneId(Lane::ClientLink),
+                              obs::TracePoint::Ingress);
+        returnLink_->setTrace(tr, obs::laneId(Lane::ReturnLink),
+                              obs::TracePoint::Egress);
+        if (eswitch_ != nullptr)
+            eswitch_->setTrace(tr, obs::laneId(Lane::Eswitch), &eq_);
+        if (merger_ != nullptr)
+            merger_->setTrace(tr, obs::laneId(Lane::Merger), &eq_);
+    }
+
+    obs::StatsRegistry *reg = cfg_.obs.stats ? &obs_->registry() : nullptr;
+
+    if (snic_ != nullptr) {
+        snic_->attachObs(reg, tr, "server.snic",
+                         obs::laneId(obs::Lane::SnicRing),
+                         obs::laneId(obs::Lane::SnicCore),
+                         cfg_.obs.series);
+    }
+    if (host_ != nullptr) {
+        host_->attachObs(reg, tr, "server.host",
+                         obs::laneId(obs::Lane::HostRing),
+                         obs::laneId(obs::Lane::HostCore),
+                         cfg_.obs.series);
+    }
+
+    if (reg == nullptr)
+        return;
+
+    // --- the rest of the component tree (pull-based: fnCounters read
+    // live component counters at serialization; probes sample each
+    // epoch) ----------------------------------------------------------
+    reg->fnCounter("server.client_link.delivered_frames",
+                   [this] { return clientLink_->deliveredFrames(); });
+    reg->fnCounter("server.client_link.delivered_bytes",
+                   [this] { return clientLink_->deliveredBytes(); });
+    reg->fnCounter("server.client_link.drops",
+                   [this] { return clientLink_->drops(); });
+    reg->fnCounter("server.client_link.fault_drops",
+                   [this] { return clientLink_->faultDrops(); });
+    reg->fnCounter("server.return_link.delivered_frames",
+                   [this] { return returnLink_->deliveredFrames(); });
+    reg->fnCounter("server.return_link.delivered_bytes",
+                   [this] { return returnLink_->deliveredBytes(); });
+    reg->fnCounter("server.return_link.drops",
+                   [this] { return returnLink_->drops(); });
+    reg->fnCounter("server.return_link.fault_drops",
+                   [this] { return returnLink_->faultDrops(); });
+
+    if (eswitch_ != nullptr) {
+        reg->fnCounter("server.eswitch.matched",
+                       [this] { return eswitch_->matched(); });
+        reg->fnCounter("server.eswitch.unrouted",
+                       [this] { return eswitch_->unrouted(); });
+        reg->fnCounter("server.eswitch.blackholed",
+                       [this] { return eswitch_->blackholed(); });
+    }
+
+    if (monitor_ != nullptr) {
+        reg->probe("server.hlb.monitor.rate_rx_gbps",
+                   [this] { return monitor_->rateRxGbps(); },
+                   obs::StatsRegistry::ProbeOptions{cfg_.obs.series, 0.1,
+                                                    400.0, 16});
+    }
+    if (director_ != nullptr) {
+        reg->probe("server.hlb.director.fwd_th_gbps",
+                   [this] { return director_->fwdThGbps(); },
+                   obs::StatsRegistry::ProbeOptions{cfg_.obs.series, 0.1,
+                                                    400.0, 16});
+        reg->fnCounter("server.hlb.director.to_snic",
+                       [this] { return director_->toSnic(); });
+        reg->fnCounter("server.hlb.director.to_host",
+                       [this] { return director_->toHost(); });
+    }
+    if (merger_ != nullptr) {
+        reg->fnCounter("server.hlb.merger.merged",
+                       [this] { return merger_->merged(); });
+        reg->fnCounter("server.hlb.merger.total",
+                       [this] { return merger_->total(); });
+    }
+    if (lbp_ != nullptr) {
+        reg->fnCounter("server.lbp.epochs",
+                       [this] { return lbp_->epochs(); });
+        reg->fnCounter("server.lbp.adjustments_up",
+                       [this] { return lbp_->adjustmentsUp(); });
+        reg->fnCounter("server.lbp.adjustments_down",
+                       [this] { return lbp_->adjustmentsDown(); });
+        reg->fnCounter("server.lbp.heartbeats",
+                       [this] { return lbp_->heartbeats(); });
+        reg->probe("server.lbp.snic_tp_gbps",
+                   [this] { return lbp_->snicTpGbps(); },
+                   obs::StatsRegistry::ProbeOptions{cfg_.obs.series, 0.1,
+                                                    400.0, 16});
+    }
+    if (watchdog_ != nullptr) {
+        reg->fnCounter("server.watchdog.failovers", [this] {
+            return watchdog_->stats().failovers;
+        });
+        reg->fnCounter("server.watchdog.recoveries", [this] {
+            return watchdog_->stats().recoveries;
+        });
+        reg->probe("server.watchdog.state", [this] {
+            return static_cast<double>(watchdog_->state());
+        });
+    }
+    if (slb_ != nullptr) {
+        reg->fnCounter("server.slb.kept_local",
+                       [this] { return slb_->keptLocal(); });
+        reg->fnCounter("server.slb.forwarded",
+                       [this] { return slb_->forwarded(); });
+        reg->fnCounter("server.slb.drops",
+                       [this] { return slb_->drops(); });
+    }
 }
 
 ServerSystem::~ServerSystem() = default;
@@ -339,6 +539,16 @@ ServerSystem::totalDynamicW() const
     if (host_ != nullptr)
         w += host_->averageDynamicW();
     return w;
+}
+
+std::uint64_t
+ServerSystem::totalDrops() const
+{
+    return (snic_ != nullptr ? snic_->drops() : 0) +
+           (host_ != nullptr ? host_->drops() : 0) +
+           (slb_ != nullptr ? slb_->drops() : 0) +
+           clientLink_->drops() + clientLink_->faultDrops() +
+           returnLink_->faultDrops();
 }
 
 RunResult
@@ -420,6 +630,17 @@ ServerSystem::run(std::unique_ptr<net::RateProcess> rate, Tick warmup,
         snic_ != nullptr ? snic_->processedFrames() : 0;
     const std::uint64_t host_base =
         host_ != nullptr ? host_->processedFrames() : 0;
+    const std::uint64_t drops_base = totalDrops();
+
+    // Observability covers the measurement window only: discard
+    // warmup samples/records and start the probe sampler. All of it
+    // is read-only, so results are identical with obs off.
+    if (obs_ != nullptr) {
+        obs_->registry().resetAll();
+        if (obs_->tracer() != nullptr)
+            obs_->tracer()->clear();
+        obs_->startSampling(end);
+    }
 
     // Windowed throughput sampler for the "Max" columns of Table V.
     // The window tracks the rate-modulation epoch so bursts are not
@@ -449,6 +670,8 @@ ServerSystem::run(std::unique_ptr<net::RateProcess> rate, Tick warmup,
     eq_.runUntil(end);
     if (sampler.scheduled())
         eq_.deschedule(&sampler);
+    if (obs_ != nullptr)
+        obs_->stopSampling();
     gen.stop();
 
     // Read rate/power metrics at the end of the measurement window,
@@ -459,6 +682,16 @@ ServerSystem::run(std::unique_ptr<net::RateProcess> rate, Tick warmup,
     r.offered_gbps =
         gbps(gen.sentBytes() - sent_bytes_base, end - measure_start);
     r.delivered_gbps = client_.deliveredGbps();
+
+    // In-flight boundary accounting: everything sent this window that
+    // is neither answered nor dropped yet is still inside the server.
+    {
+        const std::uint64_t sent_w = gen.sentFrames() - sent_base;
+        const std::uint64_t resolved =
+            client_.responses() + (totalDrops() - drops_base);
+        r.in_flight_at_window_end =
+            sent_w > resolved ? sent_w - resolved : 0;
+    }
 
     eq_.runUntil(end + 10 * kMs);
 
@@ -474,11 +707,9 @@ ServerSystem::run(std::unique_ptr<net::RateProcess> rate, Tick warmup,
                     snic_base;
     r.host_frames = (host_ != nullptr ? host_->processedFrames() : 0) -
                     host_base;
-    r.drops = (snic_ != nullptr ? snic_->drops() : 0) +
-              (host_ != nullptr ? host_->drops() : 0) +
-              (slb_ != nullptr ? slb_->drops() : 0) +
-              clientLink_->drops() + clientLink_->faultDrops() +
-              returnLink_->faultDrops();
+    r.drops = totalDrops();
+    r.slb_kept = slb_ != nullptr ? slb_->keptLocal() : 0;
+    r.slb_forwarded = slb_ != nullptr ? slb_->forwarded() : 0;
     r.final_fwd_th_gbps = lbp_ != nullptr ? lbp_->fwdTh() : 0.0;
 
     if (watchdog_ != nullptr) {

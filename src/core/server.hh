@@ -23,7 +23,9 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <ostream>
 #include <string>
+#include <vector>
 
 #include "coherence/domain.hh"
 #include "core/hlb.hh"
@@ -37,6 +39,7 @@
 #include "net/link.hh"
 #include "net/traffic.hh"
 #include "nic/eswitch.hh"
+#include "obs/obs.hh"
 #include "proc/processor.hh"
 #include "sim/event_queue.hh"
 
@@ -104,6 +107,38 @@ struct ServerConfig
 
     /** Degraded-mode watchdog (active in Mode::Hal only). */
     HealthWatchdog::Config watchdog;
+
+    /** Stats-registry + packet-tracing knobs (off by default; turning
+     *  them on must not change simulation results). */
+    obs::ObsConfig obs;
+
+    // --- named presets ------------------------------------------------
+    // The paper's four standard operating points, so benches and
+    // tests stop copy-pasting field assignments.
+
+    /** The proposed system: HLB + LBP + host sleep (Mode::Hal). */
+    static ServerConfig halDefault(
+        funcs::FunctionId fn = funcs::FunctionId::Nat);
+
+    /** Host baseline: every packet on the busy-polling host CPU. */
+    static ServerConfig hostBaseline(
+        funcs::FunctionId fn = funcs::FunctionId::Nat);
+
+    /** SNIC baseline: every packet on the SNIC processor. */
+    static ServerConfig snicBaseline(
+        funcs::FunctionId fn = funcs::FunctionId::Nat);
+
+    /** §IV software load balancer baseline (Mode::Slb). */
+    static ServerConfig slbBaseline(
+        funcs::FunctionId fn = funcs::FunctionId::Nat);
+
+    /**
+     * Check the whole configuration in one pass, returning every
+     * violation (each naming the offending field) instead of stopping
+     * at the first. Empty means valid. ServerSystem's constructor
+     * throws std::invalid_argument joining all of them.
+     */
+    std::vector<std::string> validate() const;
 };
 
 /** The paper's metrics for one operating point. */
@@ -120,8 +155,18 @@ struct RunResult
     std::uint64_t sent = 0;
     std::uint64_t responses = 0;
     std::uint64_t drops = 0;
+    /**
+     * Packets still inside the server when the measurement window
+     * closed (sent but neither answered nor dropped yet). They drain
+     * afterwards and their latency still counts; surfacing the count
+     * lets lossFraction() subtract them explicitly instead of
+     * silently clamping a negative ratio.
+     */
+    std::uint64_t in_flight_at_window_end = 0;
     std::uint64_t snic_frames = 0;   //!< responses from the SNIC side
     std::uint64_t host_frames = 0;   //!< responses from the host side
+    std::uint64_t slb_kept = 0;      //!< SLB: packets kept local
+    std::uint64_t slb_forwarded = 0; //!< SLB: packets tx_burst'ed away
     double final_fwd_th_gbps = 0.0;
 
     // --- fault / degradation accounting ------------------------------
@@ -134,18 +179,39 @@ struct RunResult
     std::uint64_t failover_drops = 0;    //!< drops while degraded
     std::uint64_t ctrl_updates_dropped = 0; //!< lost LBP->FPGA messages
 
-    /** Loss fraction over the measurement window (clamped: packets
-     *  in flight across window boundaries can make the raw ratio
-     *  marginally negative). */
+    /**
+     * Loss fraction over the measurement window. Packets in flight at
+     * the window boundary are accounted explicitly (they were neither
+     * delivered nor lost when the window closed), so the ratio needs
+     * no silent clamping: resolved = responses + in_flight, and only
+     * a genuine shortfall counts as loss.
+     */
     double
     lossFraction() const
     {
         if (sent == 0)
             return 0.0;
-        const double loss = 1.0 - static_cast<double>(responses) /
-                                      static_cast<double>(sent);
-        return loss > 0.0 ? loss : 0.0;
+        const std::uint64_t resolved = responses + in_flight_at_window_end;
+        if (resolved >= sent)
+            return 0.0;
+        return static_cast<double>(sent - resolved) /
+               static_cast<double>(sent);
     }
+
+    // --- serialization (the single emission point for benches) -------
+
+    /** One JSON object with every field (no trailing newline). */
+    void toJson(std::ostream &os) const;
+
+    /** The same fields without the enclosing braces, for callers that
+     *  splice extra keys (label, mode, ...) into the object. */
+    void toJsonFields(std::ostream &os) const;
+
+    /** One CSV data row matching csvHeader() (no trailing newline). */
+    void toCsvRow(std::ostream &os) const;
+
+    /** The CSV header row for toCsvRow() (no trailing newline). */
+    static void csvHeader(std::ostream &os);
 };
 
 /**
@@ -187,12 +253,21 @@ class ServerSystem
     coherence::CoherenceDomain *domain() { return domain_.get(); }
     net::Client &client() { return client_; }
 
+    /** Null unless cfg.obs enabled stats or tracing. */
+    obs::Observability *obs() { return obs_.get(); }
+    const obs::Observability *obs() const { return obs_.get(); }
+
     /** Paper addressing: the identity clients talk to. */
     net::Ipv4Addr snicIp() const { return snicIp_; }
     net::Ipv4Addr hostIp() const { return hostIp_; }
 
   private:
     double totalDynamicW() const;
+    std::uint64_t totalDrops() const;
+
+    /** Build the obs facade, register the stats tree, attach tracer
+     *  hooks (ctor tail; no-op unless cfg.obs enables something). */
+    void buildObs();
 
     EventQueue &eq_;
     ServerConfig cfg_;
@@ -232,6 +307,9 @@ class ServerSystem
 
     /** SLB balancer cores, the LBP core, and the HLB itself. */
     proc::PowerMeter extraPower_;
+
+    /** Stats registry + packet tracer (null when disabled). */
+    std::unique_ptr<obs::Observability> obs_;
 
     net::PacketSink *ingress_ = nullptr;
 };

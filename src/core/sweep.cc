@@ -1,24 +1,45 @@
 #include "core/sweep.hh"
 
-#include <chrono>
-#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <sstream>
 
 #include "core/config.hh"
 #include "funcs/registry.hh"
+#include "obs/registry.hh"
+#include "obs/report.hh"
 #include "sim/parallel.hh"
 
 namespace halsim::core {
 
+std::string
+sweepRowJson(const SweepPoint &point, const RunResult &r)
+{
+    std::ostringstream os;
+    os << "{\"label\":\"" << obs::jsonEscape(point.label) << "\""
+       << ",\"mode\":\"" << modeName(point.cfg.mode) << "\""
+       << ",\"function\":\"" << funcs::functionName(point.cfg.function)
+       << "\",\"rate_gbps\":"
+       << obs::jsonNumber(point.trace ? 0.0 : point.rate_gbps) << ",";
+    r.toJsonFields(os);
+    os << "}";
+    return os.str();
+}
+
 std::vector<RunResult>
 runSweep(const std::vector<SweepPoint> &points, const SweepOptions &opts)
 {
+    const bool want_stats = !opts.stats_path.empty();
+    const bool want_trace = !opts.trace_path.empty();
+
     std::vector<RunResult> results(points.size());
-    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::string> stats(points.size());
+    std::vector<std::string> traces(points.size());
     parallelFor(points.size(), opts.threads, [&](std::size_t i) {
-        const SweepPoint &p = points[i];
+        SweepPoint p = points[i];
+        p.cfg.obs.stats = p.cfg.obs.stats || want_stats;
+        p.cfg.obs.trace = p.cfg.obs.trace || want_trace;
         EventQueue eq;
         ServerSystem sys(eq, p.cfg);
         auto rate = p.trace
@@ -26,14 +47,37 @@ runSweep(const std::vector<SweepPoint> &points, const SweepOptions &opts)
                         : std::make_unique<net::ConstantRate>(p.rate_gbps);
         results[i] =
             sys.run(std::move(rate), p.warmup, p.measure, p.resample);
+        if (want_stats && sys.obs() != nullptr) {
+            std::ostringstream os;
+            sys.obs()->writeStatsJson(os);
+            stats[i] = os.str();
+        }
+        if (want_trace && sys.obs() != nullptr &&
+            sys.obs()->tracer() != nullptr) {
+            std::ostringstream os;
+            bool first = true;
+            sys.obs()->tracer()->writeChromeEvents(
+                os, static_cast<int>(i), first);
+            traces[i] = os.str();
+        }
     });
-    const double wall =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      t0)
-            .count();
+
     if (!opts.json_path.empty())
         writeSweepJson(opts.json_path, opts.bench_name, points, results,
-                       wall, opts.threads);
+                       opts.threads);
+    if (want_stats || want_trace) {
+        obs::SweepReport rep(opts.bench_name, opts.threads);
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            if (want_stats)
+                rep.addStats(points[i].label, stats[i]);
+            if (want_trace)
+                rep.addTraceEvents(traces[i]);
+        }
+        if (want_stats)
+            rep.saveStatsJson(opts.stats_path);
+        if (want_trace)
+            rep.saveTraceJson(opts.trace_path);
+    }
     return results;
 }
 
@@ -55,11 +99,20 @@ parseSweepArgs(int argc, char **argv, std::string bench_name)
             opts.threads = *parsed;
         } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
             opts.json_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--stats-out") == 0 &&
+                   i + 1 < argc) {
+            opts.stats_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+            opts.trace_path = argv[++i];
         } else {
-            std::fprintf(stderr,
-                         "usage: %s [--threads N|all] [--json PATH]\n"
-                         "  --threads all uses every hardware thread\n",
-                         argv[0]);
+            std::fprintf(
+                stderr,
+                "usage: %s [--threads N|all] [--json PATH]\n"
+                "          [--stats-out PATH] [--trace PATH]\n"
+                "  --threads all uses every hardware thread\n"
+                "  --stats-out writes the per-point stats trees\n"
+                "  --trace writes a Chrome trace_event JSON\n",
+                argv[0]);
             std::exit(2);
         }
     }
@@ -69,50 +122,12 @@ parseSweepArgs(int argc, char **argv, std::string bench_name)
 void
 writeSweepJson(const std::string &path, const std::string &bench_name,
                const std::vector<SweepPoint> &points,
-               const std::vector<RunResult> &results,
-               double wall_seconds, unsigned threads)
+               const std::vector<RunResult> &results, unsigned threads)
 {
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) {
-        std::fprintf(stderr, "sweep: cannot write %s\n", path.c_str());
-        return;
-    }
-    std::fprintf(f,
-                 "{\n"
-                 "  \"bench\": \"%s\",\n"
-                 "  \"threads\": %u,\n"
-                 "  \"wall_seconds\": %.3f,\n"
-                 "  \"points\": [\n",
-                 bench_name.c_str(), threads, wall_seconds);
-    for (std::size_t i = 0; i < points.size(); ++i) {
-        const SweepPoint &p = points[i];
-        const RunResult &r = results[i];
-        std::fprintf(
-            f,
-            "    {\"label\": \"%s\", \"mode\": \"%s\", "
-            "\"function\": \"%s\", \"rate_gbps\": %.3f, "
-            "\"offered_gbps\": %.4f, \"delivered_gbps\": %.4f, "
-            "\"max_window_gbps\": %.4f, \"p99_us\": %.4f, "
-            "\"mean_us\": %.4f, \"system_power_w\": %.4f, "
-            "\"dynamic_power_w\": %.4f, \"energy_eff\": %.6f, "
-            "\"sent\": %" PRIu64 ", \"responses\": %" PRIu64 ", "
-            "\"drops\": %" PRIu64 ", \"snic_frames\": %" PRIu64 ", "
-            "\"host_frames\": %" PRIu64 ", "
-            "\"final_fwd_th_gbps\": %.4f, "
-            "\"faults_injected\": %" PRIu64 ", "
-            "\"failovers\": %" PRIu64 ", "
-            "\"recoveries\": %" PRIu64 "}%s\n",
-            p.label.c_str(), modeName(p.cfg.mode),
-            funcs::functionName(p.cfg.function),
-            p.trace ? 0.0 : p.rate_gbps, r.offered_gbps,
-            r.delivered_gbps, r.max_window_gbps, r.p99_us, r.mean_us,
-            r.system_power_w, r.dynamic_power_w, r.energy_eff, r.sent,
-            r.responses, r.drops, r.snic_frames, r.host_frames,
-            r.final_fwd_th_gbps, r.faults_injected, r.failovers,
-            r.recoveries, i + 1 < points.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
+    obs::SweepReport rep(bench_name, threads);
+    for (std::size_t i = 0; i < points.size(); ++i)
+        rep.addRow(sweepRowJson(points[i], results[i]));
+    rep.saveResultsJson(path);
 }
 
 } // namespace halsim::core

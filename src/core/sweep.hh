@@ -46,37 +46,51 @@ struct SweepOptions
     unsigned threads = 1;
     /** When non-empty, write the results artifact here. */
     std::string json_path;
+    /** When non-empty, enable stats and write the per-point stats
+     *  trees here ({"bench","points":[{"label","stats":{...}}]}). */
+    std::string stats_path;
+    /** When non-empty, enable tracing and write a Chrome
+     *  trace_event JSON here (one pid per sweep point). */
+    std::string trace_path;
     /** Bench name recorded in the artifact. */
     std::string bench_name = "sweep";
 };
 
 /**
  * Run every point (possibly in parallel) and return results in input
- * order. Writes the JSON artifact when opts.json_path is set.
+ * order. Writes the JSON artifacts named by opts.json_path /
+ * opts.stats_path / opts.trace_path; the latter two force the
+ * corresponding ObsConfig flag on for every point. Artifacts are
+ * byte-deterministic for a given point list (no wall-clock content).
  */
 std::vector<RunResult> runSweep(const std::vector<SweepPoint> &points,
                                 const SweepOptions &opts = {});
 
 /**
- * Parse the standard bench flags: `--threads N|all` and `--json
- * PATH`. The HALSIM_THREADS environment variable (same grammar, see
- * core::envDefaultThreads) supplies the default thread count when the
- * flag is absent. Malformed thread counts — negative, zero, or
- * non-numeric — are rejected with a diagnostic and exit code 2, as
- * are unknown arguments.
+ * Parse the standard bench flags: `--threads N|all`, `--json PATH`,
+ * `--stats-out PATH`, and `--trace PATH`. The HALSIM_THREADS
+ * environment variable (same grammar, see core::envDefaultThreads)
+ * supplies the default thread count when the flag is absent.
+ * Malformed thread counts — negative, zero, or non-numeric — are
+ * rejected with a diagnostic and exit code 2, as are unknown
+ * arguments.
  */
 SweepOptions parseSweepArgs(int argc, char **argv,
                             std::string bench_name);
 
+/** One flat results row: the point's labeling fields (label, mode,
+ *  function, rate_gbps) spliced with every RunResult field. */
+std::string sweepRowJson(const SweepPoint &point, const RunResult &r);
+
 /**
- * Write a sweep artifact: per-point config echo plus the full
- * RunResult, wall-clock seconds, and thread count.
+ * Write a results artifact: one flat sweepRowJson() row per point
+ * under {"bench","threads","points":[...]}.
  */
 void writeSweepJson(const std::string &path,
                     const std::string &bench_name,
                     const std::vector<SweepPoint> &points,
                     const std::vector<RunResult> &results,
-                    double wall_seconds, unsigned threads);
+                    unsigned threads);
 
 } // namespace halsim::core
 

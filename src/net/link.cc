@@ -18,15 +18,21 @@ Link::send(PacketPtr pkt)
         // sender's Tx FIFO accounting is untouched.
         if (lossProb_ > 0.0 && faultRng_->chance(lossProb_)) {
             ++faultLost_;
+            obs::tracePacket(trace_, now, pkt->id,
+                             obs::TracePoint::Drop, traceLane_);
             return;
         }
         if (corruptProb_ > 0.0 && faultRng_->chance(corruptProb_)) {
             ++corrupted_;
+            obs::tracePacket(trace_, now, pkt->id,
+                             obs::TracePoint::Drop, traceLane_);
             return;
         }
     }
     if (queued_ >= cfg_.max_queue) {
         ++drops_;
+        obs::tracePacket(trace_, now, pkt->id, obs::TracePoint::Drop,
+                         traceLane_, queued_);
         return;
     }
 
@@ -38,6 +44,7 @@ Link::send(PacketPtr pkt)
     ++queued_;
     deliveredBytes_ += pkt->size();
     ++deliveredFrames_;
+    obs::tracePacket(trace_, now, pkt->id, tracePoint_, traceLane_);
 
     // Hand ownership to the delivery event.
     Packet *raw = pkt.release();

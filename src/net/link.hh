@@ -15,6 +15,7 @@
 #include <string>
 
 #include "net/packet.hh"
+#include "obs/hooks.hh"
 #include "sim/event_queue.hh"
 #include "sim/types.hh"
 
@@ -94,6 +95,20 @@ class Link : public PacketSink
 
     const Config &config() const { return cfg_; }
 
+    /**
+     * Attach the packet tracer. @p point is what a successful
+     * traversal records (Ingress for the client link, Egress for the
+     * return link); losses record TracePoint::Drop on the same lane.
+     */
+    void
+    setTrace(obs::PacketTracer *t, std::uint8_t lane,
+             obs::TracePoint point)
+    {
+        trace_ = t;
+        traceLane_ = lane;
+        tracePoint_ = point;
+    }
+
   private:
     EventQueue &eq_;
     Config cfg_;
@@ -110,6 +125,11 @@ class Link : public PacketSink
     Rng *faultRng_ = nullptr;
     std::uint64_t faultLost_ = 0;
     std::uint64_t corrupted_ = 0;
+
+    // Observability (null/inert unless attached).
+    obs::PacketTracer *trace_ = nullptr;
+    std::uint8_t traceLane_ = 0;
+    obs::TracePoint tracePoint_ = obs::TracePoint::Ingress;
 };
 
 } // namespace halsim::net

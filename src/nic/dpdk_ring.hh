@@ -16,6 +16,8 @@
 #include <functional>
 
 #include "net/packet.hh"
+#include "obs/hooks.hh"
+#include "sim/event_queue.hh"
 
 namespace halsim::nic {
 
@@ -33,15 +35,35 @@ class DpdkRing : public net::PacketSink
     /** Hook invoked after a successful enqueue into an empty ring. */
     void setNotify(std::function<void()> fn) { notify_ = std::move(fn); }
 
+    /** Attach the packet tracer (@p eq supplies timestamps):
+     *  enqueues record RingEnqueue with the post-enqueue occupancy
+     *  as arg, tail-drops record Drop. */
+    void
+    setTrace(obs::PacketTracer *t, std::uint8_t lane,
+             const EventQueue *eq)
+    {
+        trace_ = t;
+        traceLane_ = lane;
+        traceEq_ = eq;
+    }
+
     void
     accept(net::PacketPtr pkt) override
     {
         if (disabled_ || q_.size() >= capacity_) {
             ++drops_;
+            obs::tracePacket(trace_,
+                             traceEq_ != nullptr ? traceEq_->now() : 0,
+                             pkt->id, obs::TracePoint::Drop, traceLane_,
+                             occupancy());
             return;
         }
         const bool was_empty = q_.empty();
         bytesIn_ += pkt->size();
+        obs::tracePacket(trace_,
+                         traceEq_ != nullptr ? traceEq_->now() : 0,
+                         pkt->id, obs::TracePoint::RingEnqueue,
+                         traceLane_, occupancy() + 1);
         q_.push_back(std::move(pkt));
         if (was_empty && notify_)
             notify_();
@@ -85,6 +107,11 @@ class DpdkRing : public net::PacketSink
     std::uint64_t drops_ = 0;
     std::uint64_t bytesIn_ = 0;
     bool disabled_ = false;
+
+    // Observability (null/inert unless attached).
+    obs::PacketTracer *trace_ = nullptr;
+    std::uint8_t traceLane_ = 0;
+    const EventQueue *traceEq_ = nullptr;
 };
 
 } // namespace halsim::nic

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "net/packet.hh"
+#include "obs/hooks.hh"
 #include "sim/event_queue.hh"
 #include "sim/types.hh"
 
@@ -58,18 +59,40 @@ class ESwitch : public net::PacketSink
         }
     }
 
+    /** Attach the packet tracer (@p eq supplies timestamps): matches
+     *  record EswitchVerdict with the rule index as arg; blackholed
+     *  and unrouted frames record Drop. */
+    void
+    setTrace(obs::PacketTracer *t, std::uint8_t lane,
+             const EventQueue *eq)
+    {
+        trace_ = t;
+        traceLane_ = lane;
+        traceEq_ = eq;
+    }
+
     // halint: hotpath
     void
     accept(net::PacketPtr pkt) override
     {
         const net::Ipv4Addr dst = pkt->ip().dst();
-        for (const auto &r : rules_) {
+        for (std::size_t i = 0; i < rules_.size(); ++i) {
+            const Rule &r = rules_[i];
             if (r.ip == dst) {
                 if (!r.enabled) {
                     ++blackholed_;
+                    obs::tracePacket(
+                        trace_,
+                        traceEq_ != nullptr ? traceEq_->now() : 0,
+                        pkt->id, obs::TracePoint::Drop, traceLane_,
+                        static_cast<std::uint32_t>(i));
                     return;
                 }
                 ++matched_;
+                obs::tracePacket(
+                    trace_, traceEq_ != nullptr ? traceEq_->now() : 0,
+                    pkt->id, obs::TracePoint::EswitchVerdict,
+                    traceLane_, static_cast<std::uint32_t>(i));
                 r.port->accept(std::move(pkt));
                 return;
             }
@@ -79,6 +102,9 @@ class ESwitch : public net::PacketSink
             return;
         }
         ++unrouted_;
+        obs::tracePacket(trace_,
+                         traceEq_ != nullptr ? traceEq_->now() : 0,
+                         pkt->id, obs::TracePoint::Drop, traceLane_);
     }
 
     std::uint64_t matched() const { return matched_; }
@@ -101,6 +127,11 @@ class ESwitch : public net::PacketSink
     std::uint64_t matched_ = 0;
     std::uint64_t unrouted_ = 0;
     std::uint64_t blackholed_ = 0;
+
+    // Observability (null/inert unless attached).
+    obs::PacketTracer *trace_ = nullptr;
+    std::uint8_t traceLane_ = 0;
+    const EventQueue *traceEq_ = nullptr;
 };
 
 /**

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Zero-cost-when-disabled instrumentation hooks.
+ *
+ * Instrumented components hold a raw `PacketTracer *` that is null
+ * unless tracing was requested; tracePacket() then costs one
+ * perfectly-predicted branch. When enabled, the sampling test is one
+ * modulo and the record is one indexed POD store — no allocation, so
+ * call sites inside `// halint: hotpath` functions stay HAL-W004
+ * clean.
+ */
+
+#ifndef HALSIM_OBS_HOOKS_HH
+#define HALSIM_OBS_HOOKS_HH
+
+#include "obs/trace.hh"
+
+namespace halsim::obs {
+
+/** Record a lifecycle point for @p pkt_id if tracing is enabled and
+ *  the packet is in the sampled subset. */
+inline void
+tracePacket(PacketTracer *t, Tick now, std::uint64_t pkt_id,
+            TracePoint p, std::uint8_t lane, std::uint32_t arg = 0)
+{
+    if (t != nullptr && t->wants(pkt_id))
+        t->record(now, pkt_id, p, lane, arg);
+}
+
+/** Canonical lane numbering used by ServerSystem's instrumentation;
+ *  components are free to use others, but sharing one table keeps
+ *  the Chrome view consistent across benches. */
+enum class Lane : std::uint8_t
+{
+    ClientLink = 0,
+    Eswitch = 1,
+    SnicRing = 2,
+    SnicCore = 3,
+    HostRing = 4,
+    HostCore = 5,
+    Merger = 6,
+    ReturnLink = 7,
+    Slb = 8,
+};
+
+inline std::uint8_t
+laneId(Lane l)
+{
+    return static_cast<std::uint8_t>(l);
+}
+
+} // namespace halsim::obs
+
+#endif // HALSIM_OBS_HOOKS_HH

@@ -1,0 +1,47 @@
+#include "obs/obs.hh"
+
+namespace halsim::obs {
+
+Observability::Observability(EventQueue &eq, const ObsConfig &cfg)
+    : eq_(eq), cfg_(cfg)
+{
+    if (cfg_.trace) {
+        PacketTracer::Config tc;
+        tc.capacity = cfg_.trace_capacity;
+        tc.sample_every = cfg_.trace_sample_every;
+        tracer_ = std::make_unique<PacketTracer>(tc);
+    }
+    sampleEvent_.setCallback([this] { onSample(); });
+}
+
+Observability::~Observability()
+{
+    stopSampling();
+}
+
+void
+Observability::startSampling(Tick until)
+{
+    if (!cfg_.stats || cfg_.sample_epoch == 0)
+        return;
+    until_ = until;
+    if (eq_.now() + cfg_.sample_epoch <= until_)
+        eq_.reschedule(&sampleEvent_, eq_.now() + cfg_.sample_epoch);
+}
+
+void
+Observability::stopSampling()
+{
+    if (sampleEvent_.scheduled())
+        eq_.deschedule(&sampleEvent_);
+}
+
+void
+Observability::onSample()
+{
+    reg_.sampleProbes(eq_.now());
+    if (eq_.now() + cfg_.sample_epoch <= until_)
+        eq_.schedule(&sampleEvent_, eq_.now() + cfg_.sample_epoch);
+}
+
+} // namespace halsim::obs

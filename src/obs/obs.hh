@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Observability facade: one object bundling the stats registry, the
+ * packet tracer, and the periodic probe sampler, owned by
+ * ServerSystem when `ServerConfig::obs` enables it.
+ *
+ * Determinism contract: turning observability on must not change
+ * simulation results. The sampler is a read-only CallbackEvent (no
+ * RNG draws, no packet mutation), tracer records are read-only
+ * observations, and all registry reads happen either lazily at
+ * serialization time or inside the sampler — so RunResult stays
+ * byte-identical with obs on or off (proved by test_determinism).
+ */
+
+#ifndef HALSIM_OBS_OBS_HH
+#define HALSIM_OBS_OBS_HH
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+
+#include "obs/registry.hh"
+#include "obs/trace.hh"
+#include "sim/event.hh"
+#include "sim/event_queue.hh"
+
+namespace halsim::obs {
+
+/** Per-run observability knobs (part of ServerConfig). */
+struct ObsConfig
+{
+    /** Register + periodically sample the component stats tree. */
+    bool stats = false;
+
+    /** Record sampled packet lifecycles into the trace ring. */
+    bool trace = false;
+
+    /** Probe sampling period. */
+    Tick sample_epoch = 1 * kMs;
+
+    /** Keep full (tick, value) series for probes, not just summaries. */
+    bool series = false;
+
+    /** Trace ring capacity in records. */
+    std::uint32_t trace_capacity = 1u << 16;
+
+    /** Trace packets whose id is a multiple of this (1 = all). */
+    std::uint64_t trace_sample_every = 64;
+
+    bool enabled() const { return stats || trace; }
+};
+
+class Observability
+{
+  public:
+    Observability(EventQueue &eq, const ObsConfig &cfg);
+
+    Observability(const Observability &) = delete;
+    Observability &operator=(const Observability &) = delete;
+    ~Observability();
+
+    const ObsConfig &config() const { return cfg_; }
+
+    StatsRegistry &registry() { return reg_; }
+    const StatsRegistry &registry() const { return reg_; }
+
+    /** Null unless cfg.trace. */
+    PacketTracer *tracer() { return tracer_.get(); }
+    const PacketTracer *tracer() const { return tracer_.get(); }
+
+    /**
+     * Begin epoch-periodic probe sampling, stopping after the last
+     * epoch at or before @p until (no-op unless cfg.stats). The first
+     * sample fires one epoch from now.
+     */
+    void startSampling(Tick until);
+
+    /** Cancel any pending sample. */
+    void stopSampling();
+
+    void writeStatsJson(std::ostream &os) const { reg_.writeJson(os); }
+    void writeStatsText(std::ostream &os) const { reg_.writeText(os); }
+
+  private:
+    void onSample();
+
+    EventQueue &eq_;
+    ObsConfig cfg_;
+    StatsRegistry reg_;
+    std::unique_ptr<PacketTracer> tracer_;
+    CallbackEvent sampleEvent_;
+    Tick until_ = 0;
+};
+
+} // namespace halsim::obs
+
+#endif // HALSIM_OBS_OBS_HH

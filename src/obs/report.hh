@@ -1,0 +1,75 @@
+/**
+ * @file
+ * SweepReport: the single serialization point for bench artifacts.
+ *
+ * A sweep produces one row per point; each row arrives as a
+ * pre-rendered JSON object (built from RunResult::toJson() plus the
+ * point's labeling fields), so the report stays generic and src/obs
+ * keeps no dependency on src/core. Three documents can be emitted:
+ *
+ *  - results:  {"bench","threads","points":[{...}, ...]}
+ *  - stats:    {"bench","points":[{"label","stats":{tree}}, ...]}
+ *  - trace:    {"traceEvents":[...]} with one pid per sweep point
+ */
+
+#ifndef HALSIM_OBS_REPORT_HH
+#define HALSIM_OBS_REPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace halsim::obs {
+
+class SweepReport
+{
+  public:
+    SweepReport(std::string bench_name, unsigned threads)
+        : bench_(std::move(bench_name)), threads_(threads)
+    {}
+
+    /** Append one point row: a complete JSON object string. */
+    void addRow(std::string json_object)
+    {
+        rows_.push_back(std::move(json_object));
+    }
+
+    /** Attach a point's stats tree (a JSON object string). */
+    void
+    addStats(std::string label, std::string stats_json)
+    {
+        statsLabels_.push_back(std::move(label));
+        stats_.push_back(std::move(stats_json));
+    }
+
+    /** Attach a point's Chrome events (comma-joined objects, no
+     *  surrounding brackets; may be empty). */
+    void addTraceEvents(std::string chrome_events)
+    {
+        traces_.push_back(std::move(chrome_events));
+    }
+
+    std::size_t rowCount() const { return rows_.size(); }
+
+    void writeResultsJson(std::ostream &os) const;
+    void writeStatsJson(std::ostream &os) const;
+    void writeTraceJson(std::ostream &os) const;
+
+    /** File variants; return false (and print to stderr) on I/O
+     *  failure. */
+    bool saveResultsJson(const std::string &path) const;
+    bool saveStatsJson(const std::string &path) const;
+    bool saveTraceJson(const std::string &path) const;
+
+  private:
+    std::string bench_;
+    unsigned threads_;
+    std::vector<std::string> rows_;
+    std::vector<std::string> statsLabels_;
+    std::vector<std::string> stats_;
+    std::vector<std::string> traces_;
+};
+
+} // namespace halsim::obs
+
+#endif // HALSIM_OBS_REPORT_HH

@@ -1,0 +1,134 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+#include "obs/registry.hh"
+
+namespace halsim::obs {
+
+const char *
+tracePointName(TracePoint p)
+{
+    switch (p) {
+      case TracePoint::Ingress:
+        return "ingress";
+      case TracePoint::EswitchVerdict:
+        return "eswitch_verdict";
+      case TracePoint::RingEnqueue:
+        return "ring_enqueue";
+      case TracePoint::ServiceStart:
+        return "service_start";
+      case TracePoint::ServiceEnd:
+        return "service_end";
+      case TracePoint::Merge:
+        return "merge";
+      case TracePoint::Egress:
+        return "egress";
+      case TracePoint::Drop:
+        return "drop";
+    }
+    return "?";
+}
+
+PacketTracer::PacketTracer(Config cfg)
+    : sampleEvery_(std::max<std::uint64_t>(cfg.sample_every, 1))
+{
+    ring_.resize(std::max<std::uint32_t>(cfg.capacity, 1));
+}
+
+const TraceEvent &
+PacketTracer::at(std::size_t i) const
+{
+    assert(i < size());
+    const std::uint64_t oldest = overwritten();
+    return ring_[(oldest + i) % ring_.size()];
+}
+
+void
+PacketTracer::setLaneName(std::uint8_t lane, const std::string &name)
+{
+    assert(lane < kMaxLanes);
+    laneNames_[lane] = name;
+}
+
+const std::string &
+PacketTracer::laneName(std::uint8_t lane) const
+{
+    assert(lane < kMaxLanes);
+    return laneNames_[lane];
+}
+
+void
+PacketTracer::clear()
+{
+    recorded_ = 0;
+}
+
+void
+PacketTracer::writeText(std::ostream &os) const
+{
+    const std::size_t n = size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const TraceEvent &e = at(i);
+        os << e.tick << " pkt=" << e.pkt << " "
+           << tracePointName(e.point) << " lane=";
+        if (!laneNames_[e.lane].empty())
+            os << laneNames_[e.lane];
+        else
+            os << static_cast<unsigned>(e.lane);
+        os << " arg=" << e.arg << "\n";
+    }
+}
+
+void
+PacketTracer::writeChromeEvents(std::ostream &os, int pid,
+                                bool &first) const
+{
+    // Per-lane thread_name metadata so the viewer labels rows.
+    for (std::size_t lane = 0; lane < kMaxLanes; ++lane) {
+        if (laneNames_[lane].empty())
+            continue;
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
+           << ",\"tid\":" << lane << ",\"args\":{\"name\":\""
+           << jsonEscape(laneNames_[lane]) << "\"}}";
+    }
+    const std::size_t n = size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const TraceEvent &e = at(i);
+        if (!first)
+            os << ",";
+        first = false;
+        // ts is microseconds; kUs ticks make one us, so the remainder
+        // is a six-digit fraction (Chrome accepts fractional ts).
+        const Tick us = e.tick / kUs;
+        const Tick rem = e.tick % kUs;
+        os << "{\"name\":\"" << tracePointName(e.point)
+           << "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << us;
+        if (rem) {
+            char frac[16];
+            std::snprintf(frac, sizeof(frac), ".%06llu",
+                          static_cast<unsigned long long>(rem));
+            os << frac;
+        }
+        os << ",\"pid\":" << pid
+           << ",\"tid\":" << static_cast<unsigned>(e.lane)
+           << ",\"args\":{\"pkt\":" << e.pkt << ",\"arg\":" << e.arg
+           << "}}";
+    }
+}
+
+void
+PacketTracer::writeChromeJson(std::ostream &os, int pid) const
+{
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    writeChromeEvents(os, pid, first);
+    os << "],\"displayTimeUnit\":\"ns\"}";
+}
+
+} // namespace halsim::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/registry.hh"
+
 namespace halsim::proc {
 
 namespace {
@@ -155,6 +157,9 @@ PollCore::startNext()
     busy_ = true;
     setPowerLevel(1.0);
     busyTime_.set(1.0, eq_.now());
+    obs::tracePacket(trace_, eq_.now(), pkt->id,
+                     obs::TracePoint::ServiceStart, traceLane_,
+                     traceCore_);
 
     // The real function work happens here; timing below is modeled.
     coherence::StateContext ctx(domain_, cfg_.node);
@@ -175,6 +180,9 @@ PollCore::finish(net::PacketPtr pkt)
 {
     ++frames_;
     bytes_ += pkt->size();
+    obs::tracePacket(trace_, eq_.now(), pkt->id,
+                     obs::TracePoint::ServiceEnd, traceLane_,
+                     traceCore_);
     makeResponse(*pkt, cfg_.service_mac, cfg_.service_ip, cfg_.tag);
     tx_.accept(std::move(pkt));
 
@@ -295,6 +303,8 @@ Accelerator::pump()
     if (pkt == nullptr)
         return;
     inSlot_ = true;
+    obs::tracePacket(trace_, eq_.now(), pkt->id,
+                     obs::TracePoint::ServiceStart, traceLane_);
 
     Tick extra = 0;
     if (!busyPipeline_) {
@@ -349,6 +359,8 @@ Accelerator::finish(net::PacketPtr pkt)
 {
     ++frames_;
     bytes_ += pkt->size();
+    obs::tracePacket(trace_, eq_.now(), pkt->id,
+                     obs::TracePoint::ServiceEnd, traceLane_);
     makeResponse(*pkt, cfg_.service_mac, cfg_.service_ip,
                  failed_ ? cfg_.fallback_tag : cfg_.tag);
     tx_.accept(std::move(pkt));
@@ -567,6 +579,64 @@ bool
 Processor::accelDegraded() const
 {
     return accel_ != nullptr && accel_->accelFailed();
+}
+
+void
+Processor::attachObs(obs::StatsRegistry *reg, obs::PacketTracer *tracer,
+                     const std::string &prefix, std::uint8_t ring_lane,
+                     std::uint8_t core_lane, bool series)
+{
+    if (tracer != nullptr) {
+        if (accel_ != nullptr)
+            accel_->setTrace(tracer, ring_lane, core_lane);
+        for (auto &r : rings_)
+            r->setTrace(tracer, ring_lane, &eq_);
+        for (std::size_t i = 0; i < cores_.size(); ++i)
+            cores_[i]->setTrace(tracer, core_lane,
+                                static_cast<std::uint32_t>(i));
+    }
+    if (reg == nullptr)
+        return;
+
+    reg->fnCounter(prefix + ".frames",
+                   [this] { return processedFrames(); });
+    reg->fnCounter(prefix + ".bytes",
+                   [this] { return processedBytes(); });
+    reg->fnCounter(prefix + ".drops", [this] { return drops(); });
+
+    reg->probe(prefix + ".dyn_power_w",
+               [this] { return power_.currentW(); },
+               obs::StatsRegistry::ProbeOptions{series, 0.01, 1000.0, 16});
+
+    if (accel_ != nullptr) {
+        reg->probe(
+            prefix + ".accel.occupancy",
+            [this] { return static_cast<double>(accel_->occupancy()); },
+            obs::StatsRegistry::ProbeOptions{series, 1.0, 4096.0, 16});
+        return;
+    }
+
+    if (cfg_.dvfs.enabled) {
+        reg->probe(prefix + ".dvfs_scale",
+                   [this] { return freqScale_; },
+                   obs::StatsRegistry::ProbeOptions{series, 0.1, 1.0, 16});
+    }
+    const double ring_hi =
+        static_cast<double>(std::max<std::uint32_t>(
+            cfg_.ring_descriptors, 2));
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+        const std::string n = std::to_string(i);
+        PollCore *core = cores_[i].get();
+        nic::DpdkRing *ring = rings_[i].get();
+        reg->probe(prefix + ".core" + n + ".busy_frac",
+                   [core] { return core->utilization(); },
+                   obs::StatsRegistry::ProbeOptions{series, 0.001, 1.0,
+                                                    16});
+        reg->probe(
+            prefix + ".ring" + n + ".occupancy",
+            [ring] { return static_cast<double>(ring->occupancy()); },
+            obs::StatsRegistry::ProbeOptions{series, 1.0, ring_hi, 16});
+    }
 }
 
 void

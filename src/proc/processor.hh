@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "coherence/domain.hh"
@@ -21,9 +22,14 @@
 #include "net/packet.hh"
 #include "nic/dpdk_ring.hh"
 #include "nic/eswitch.hh"
+#include "obs/hooks.hh"
 #include "sim/event.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
+
+namespace halsim::obs {
+class StatsRegistry;
+} // namespace halsim::obs
 
 namespace halsim::proc {
 
@@ -153,6 +159,16 @@ class PollCore
     /** Fraction of time spent actively processing since reset. */
     double utilization() const;
 
+    /** Attach the packet tracer: dequeue-to-service records
+     *  ServiceStart and completion ServiceEnd, arg = @p core index. */
+    void
+    setTrace(obs::PacketTracer *t, std::uint8_t lane, std::uint32_t core)
+    {
+        trace_ = t;
+        traceLane_ = lane;
+        traceCore_ = core;
+    }
+
     void resetStats();
 
   private:
@@ -180,6 +196,11 @@ class PollCore
     std::uint64_t frames_ = 0;
     std::uint64_t bytes_ = 0;
     TimeWeighted busyTime_;   //!< 1.0 while processing, for utilization
+
+    // Observability (null/inert unless attached).
+    obs::PacketTracer *trace_ = nullptr;
+    std::uint8_t traceLane_ = 0;
+    std::uint32_t traceCore_ = 0;
 
     void setPowerLevel(double frac);
     double idleLevel() const;
@@ -244,6 +265,18 @@ class Accelerator
 
     bool dead() const { return queue_.disabled(); }
 
+    /** Attach the packet tracer: the input queue records
+     *  RingEnqueue/Drop on @p ring_lane; pipeline entry and exit
+     *  record ServiceStart/ServiceEnd on @p core_lane. */
+    void
+    setTrace(obs::PacketTracer *t, std::uint8_t ring_lane,
+             std::uint8_t core_lane)
+    {
+        queue_.setTrace(t, ring_lane, &eq_);
+        trace_ = t;
+        traceLane_ = core_lane;
+    }
+
     void resetStats();
 
   private:
@@ -267,6 +300,10 @@ class Accelerator
     double currentW_ = 0.0;     //!< absolute watts currently charged
     std::uint64_t frames_ = 0;
     std::uint64_t bytes_ = 0;
+
+    // Observability (null/inert unless attached).
+    obs::PacketTracer *trace_ = nullptr;
+    std::uint8_t traceLane_ = 0;
 
     void setPowerLevel(double frac);
     double idleLevel() const;
@@ -315,6 +352,17 @@ class Processor
     double averageDynamicW() const { return power_.averageW(); }
 
     double currentDynamicW() const { return power_.currentW(); }
+
+    /**
+     * Register this processor's stats under @p prefix
+     * (`prefix.coreN.busy_frac`, `prefix.ringN.occupancy`, ...) and
+     * attach the packet tracer to its rings and cores. Either pointer
+     * may be null; the corresponding hooks stay inert. @p series
+     * forwards the per-epoch time-series flag to every probe.
+     */
+    void attachObs(obs::StatsRegistry *reg, obs::PacketTracer *tracer,
+                   const std::string &prefix, std::uint8_t ring_lane,
+                   std::uint8_t core_lane, bool series = false);
 
     void resetStats();
 

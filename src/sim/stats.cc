@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 namespace halsim {
 
@@ -108,6 +109,29 @@ Histogram::reset()
     count_ = 0;
     sum_ = 0.0;
     min_ = max_ = 0.0;
+}
+
+void
+Histogram::merge(const Histogram &o)
+{
+    if (logLo_ != o.logLo_ || logHi_ != o.logHi_ ||
+        binsPerLog_ != o.binsPerLog_ || bins_.size() != o.bins_.size()) {
+        throw std::invalid_argument(
+            "Histogram::merge: binning mismatch");
+    }
+    if (o.count_ == 0)
+        return;
+    for (std::size_t i = 0; i < bins_.size(); ++i)
+        bins_[i] += o.bins_[i];
+    if (count_ == 0) {
+        min_ = o.min_;
+        max_ = o.max_;
+    } else {
+        min_ = std::min(min_, o.min_);
+        max_ = std::max(max_, o.max_);
+    }
+    count_ += o.count_;
+    sum_ += o.sum_;
 }
 
 double

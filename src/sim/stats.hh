@@ -79,6 +79,13 @@ class Histogram
     /** Remove all samples, keeping the binning. */
     void reset();
 
+    /**
+     * Fold another histogram's samples into this one. Both must use
+     * identical binning (same lo/hi/bins_per_decade); a mismatch
+     * throws std::invalid_argument.
+     */
+    void merge(const Histogram &o);
+
     std::uint64_t count() const { return count_; }
     double sum() const { return sum_; }
     double mean() const { return count_ ? sum_ / count_ : 0.0; }

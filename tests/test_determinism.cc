@@ -6,22 +6,31 @@
  * regardless of
  *
  *  - event/packet pooling on vs. off (pure recycling optimisations
- *    must be observationally invisible), and
+ *    must be observationally invisible),
  *  - sweep worker count 1 vs. N (each point owns a private
- *    EventQueue, so parallelism must not perturb anything).
+ *    EventQueue, so parallelism must not perturb anything), and
+ *  - observability on vs. off (stats probes and the packet tracer
+ *    are read-only observers; §DESIGN.md 10's neutrality contract).
+ *
+ * The obs artifacts themselves (stats trees, trace text) must also be
+ * byte-identical across sweep thread counts.
  */
 
 #include <gtest/gtest.h>
 
 #include <bit>
 #include <cstdint>
+#include <fstream>
 #include <memory>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "core/server.hh"
 #include "core/sweep.hh"
 #include "net/packet_pool.hh"
 #include "net/traffic.hh"
+#include "obs/obs.hh"
 #include "sim/event_queue.hh"
 
 using namespace halsim;
@@ -54,8 +63,11 @@ expectIdentical(const RunResult &a, const RunResult &b)
     EXPECT_EQ(a.sent, b.sent);
     EXPECT_EQ(a.responses, b.responses);
     EXPECT_EQ(a.drops, b.drops);
+    EXPECT_EQ(a.in_flight_at_window_end, b.in_flight_at_window_end);
     EXPECT_EQ(a.snic_frames, b.snic_frames);
     EXPECT_EQ(a.host_frames, b.host_frames);
+    EXPECT_EQ(a.slb_kept, b.slb_kept);
+    EXPECT_EQ(a.slb_forwarded, b.slb_forwarded);
     expectBitEqual(a.final_fwd_th_gbps, b.final_fwd_th_gbps,
                    "final_fwd_th_gbps");
     EXPECT_EQ(a.faults_injected, b.faults_injected);
@@ -116,6 +128,87 @@ TEST(Determinism, RepeatedRunsIdentical)
     const RunResult a = runOnce(cfg, 60.0, true);
     const RunResult b = runOnce(cfg, 60.0, true);
     expectIdentical(a, b);
+}
+
+TEST(Determinism, ObsOnVsOffIdentical)
+{
+    ServerConfig off = faultedHalConfig();
+    ServerConfig on = faultedHalConfig();
+    on.obs.stats = true;
+    on.obs.trace = true;
+    on.obs.series = true;
+    on.obs.trace_sample_every = 8;
+
+    const RunResult r_off = runOnce(off, 60.0, true);
+    const RunResult r_on = runOnce(on, 60.0, true);
+    ASSERT_GT(r_on.faults_injected, 0u);
+    expectIdentical(r_off, r_on);
+
+    // The serialized form must match byte for byte too.
+    std::ostringstream ja, jb;
+    r_off.toJson(ja);
+    r_on.toJson(jb);
+    EXPECT_EQ(ja.str(), jb.str());
+}
+
+TEST(Determinism, ObsArtifactsIdenticalAcrossSweepThreads)
+{
+    std::vector<SweepPoint> points;
+    for (double rate : {40.0, 80.0}) {
+        SweepPoint p;
+        p.cfg = faultedHalConfig();
+        p.rate_gbps = rate;
+        p.warmup = 5 * kMs;
+        p.measure = 20 * kMs;
+        p.label = "hal" + std::to_string(static_cast<int>(rate));
+        points.push_back(std::move(p));
+    }
+    {
+        SweepPoint p;
+        p.cfg = ServerConfig::slbBaseline();
+        p.rate_gbps = 60.0;
+        p.warmup = 5 * kMs;
+        p.measure = 20 * kMs;
+        p.label = "slb";
+        points.push_back(std::move(p));
+    }
+
+    auto artifacts = [&points](unsigned threads) {
+        const std::string base = ::testing::TempDir() + "det_obs_t" +
+                                 std::to_string(threads);
+        SweepOptions opts;
+        opts.threads = threads;
+        opts.json_path = base + ".json";
+        opts.stats_path = base + "_stats.json";
+        opts.trace_path = base + "_trace.json";
+        runSweep(points, opts);
+        auto slurp = [](const std::string &path) {
+            std::ifstream in(path, std::ios::binary);
+            std::ostringstream os;
+            os << in.rdbuf();
+            return os.str();
+        };
+        return std::vector<std::string>{slurp(opts.json_path),
+                                        slurp(opts.stats_path),
+                                        slurp(opts.trace_path)};
+    };
+
+    const auto serial = artifacts(1);
+    const auto parallel = artifacts(4);
+    ASSERT_FALSE(serial[0].empty());
+    ASSERT_FALSE(serial[1].empty());
+    ASSERT_FALSE(serial[2].empty());
+    // The results header records the worker count used, which is the
+    // one field that legitimately differs; everything from the point
+    // rows onward must match byte for byte.
+    const auto fromPoints = [](const std::string &s) {
+        const std::size_t pos = s.find("\"points\"");
+        EXPECT_NE(pos, std::string::npos);
+        return s.substr(pos == std::string::npos ? 0 : pos);
+    };
+    EXPECT_EQ(fromPoints(serial[0]), fromPoints(parallel[0]));
+    EXPECT_EQ(serial[1], parallel[1]);   // stats trees
+    EXPECT_EQ(serial[2], parallel[2]);   // Chrome trace
 }
 
 TEST(Determinism, SweepThreads1VsNIdentical)

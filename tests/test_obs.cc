@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Observability subsystem tests: stats-registry naming and lifecycle,
+ * probe sampling, histogram quantile accuracy against an exact
+ * reference, trace-ring overflow semantics, serialization smoke
+ * checks, and an end-to-end Hal-mode integration run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "core/server.hh"
+#include "net/traffic.hh"
+#include "obs/obs.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+using namespace halsim;
+using namespace halsim::obs;
+
+// --- registry naming ---------------------------------------------------
+
+TEST(StatsRegistry, RegistersAndResolvesDottedPaths)
+{
+    StatsRegistry reg;
+    Counter *c = reg.counter("server.snic.frames");
+    Gauge *g = reg.gauge("server.hlb.fwd_th");
+    ASSERT_NE(c, nullptr);
+    ASSERT_NE(g, nullptr);
+
+    c->inc(41);
+    c->inc();
+    g->set(35.5);
+
+    EXPECT_EQ(reg.counterValue("server.snic.frames"), 42u);
+    ASSERT_NE(reg.findGauge("server.hlb.fwd_th"), nullptr);
+    EXPECT_DOUBLE_EQ(reg.findGauge("server.hlb.fwd_th")->value(), 35.5);
+    EXPECT_EQ(reg.findCounter("no.such.path"), nullptr);
+    EXPECT_EQ(reg.counterValue("no.such.path"), 0u);
+}
+
+TEST(StatsRegistry, RejectsInvalidPaths)
+{
+    StatsRegistry reg;
+    EXPECT_THROW(reg.counter(""), std::invalid_argument);
+    EXPECT_THROW(reg.counter("Server.frames"), std::invalid_argument);
+    EXPECT_THROW(reg.counter("server..frames"), std::invalid_argument);
+    EXPECT_THROW(reg.counter(".server"), std::invalid_argument);
+    EXPECT_THROW(reg.counter("server."), std::invalid_argument);
+    EXPECT_THROW(reg.counter("server.fra mes"), std::invalid_argument);
+}
+
+TEST(StatsRegistry, RejectsDuplicatePaths)
+{
+    StatsRegistry reg;
+    reg.counter("a.b");
+    EXPECT_THROW(reg.counter("a.b"), std::invalid_argument);
+    EXPECT_THROW(reg.gauge("a.b"), std::invalid_argument);
+    EXPECT_THROW(reg.probe("a.b", [] { return 0.0; }),
+                 std::invalid_argument);
+}
+
+TEST(StatsRegistry, FnCounterReadsLazily)
+{
+    StatsRegistry reg;
+    std::uint64_t live = 7;
+    reg.fnCounter("live.value", [&live] { return live; });
+    EXPECT_EQ(reg.counterValue("live.value"), 7u);
+    live = 1000;
+    EXPECT_EQ(reg.counterValue("live.value"), 1000u);
+}
+
+// --- probes and sampling ----------------------------------------------
+
+TEST(StatsRegistry, ProbeSamplesIntoSummaryAndHistogram)
+{
+    StatsRegistry reg;
+    double signal = 0.0;
+    StatsRegistry::ProbeOptions opt;
+    opt.series = true;
+    opt.hist_lo = 0.1;
+    opt.hist_hi = 100.0;
+    reg.probe("sig", [&signal] { return signal; }, opt);
+
+    for (int i = 1; i <= 4; ++i) {
+        signal = static_cast<double>(i);
+        reg.sampleProbes(static_cast<Tick>(i) * kMs);
+    }
+
+    const Accumulator *sum = reg.probeSummary("sig");
+    ASSERT_NE(sum, nullptr);
+    EXPECT_EQ(sum->count(), 4u);
+    EXPECT_DOUBLE_EQ(sum->mean(), 2.5);
+    EXPECT_DOUBLE_EQ(sum->min(), 1.0);
+    EXPECT_DOUBLE_EQ(sum->max(), 4.0);
+
+    const Histogram *hist = reg.probeHistogram("sig");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_EQ(hist->count(), 4u);
+    EXPECT_EQ(reg.sampleEpochs(), 4u);
+
+    // The opted-in series shows up in JSON as [tick, value] pairs.
+    std::ostringstream os;
+    reg.writeJson(os);
+    const std::string want =
+        "\"series\":[[" + std::to_string(1 * kMs) + ",1]";
+    EXPECT_NE(os.str().find(want), std::string::npos) << os.str();
+}
+
+TEST(StatsRegistry, ResetAllZeroesOwnedStatsButNotFnCounters)
+{
+    StatsRegistry reg;
+    Counter *c = reg.counter("c");
+    std::uint64_t live = 5;
+    reg.fnCounter("live", [&live] { return live; });
+    double sig = 3.0;
+    reg.probe("sig", [&sig] { return sig; });
+
+    c->inc(10);
+    reg.sampleProbes(1 * kMs);
+    reg.resetAll();
+
+    EXPECT_EQ(reg.counterValue("c"), 0u);
+    EXPECT_EQ(reg.probeSummary("sig")->count(), 0u);
+    EXPECT_EQ(reg.sampleEpochs(), 0u);
+    EXPECT_EQ(reg.counterValue("live"), 5u);
+}
+
+// --- merge --------------------------------------------------------------
+
+TEST(StatsRegistry, MergeFoldsSameShapeRegistries)
+{
+    StatsRegistry a, b;
+    a.counter("n")->inc(3);
+    b.counter("n")->inc(4);
+    a.accumulator("acc")->sample(1.0);
+    b.accumulator("acc")->sample(3.0);
+    a.histogram("h", 1.0, 1e3, 32)->sample(10.0);
+    b.histogram("h", 1.0, 1e3, 32)->sample(20.0);
+    b.gauge("g")->set(9.0);
+    a.gauge("g");
+
+    a.merge(b);
+    EXPECT_EQ(a.counterValue("n"), 7u);
+    EXPECT_EQ(a.findAccumulator("acc")->count(), 2u);
+    EXPECT_DOUBLE_EQ(a.findAccumulator("acc")->mean(), 2.0);
+    EXPECT_EQ(a.findHistogram("h")->count(), 2u);
+    EXPECT_DOUBLE_EQ(a.findGauge("g")->value(), 9.0);
+}
+
+TEST(StatsRegistry, MergeRejectsShapeMismatch)
+{
+    StatsRegistry a, b, c;
+    a.counter("n");
+    b.counter("m");
+    EXPECT_THROW(a.merge(b), std::invalid_argument);
+    c.gauge("n");
+    EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+TEST(Histogram, MergeRejectsBinningMismatch)
+{
+    Histogram a(1.0, 1e3, 32);
+    Histogram b(1.0, 1e4, 32);
+    EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+// --- histogram quantiles vs exact reference ---------------------------
+
+TEST(Histogram, QuantilesTrackExactReference)
+{
+    // Deterministic skewed sample set: i^1.5 over three decades.
+    std::vector<double> vals;
+    Histogram h(1.0, 1e6, 64);
+    for (int i = 1; i <= 2000; ++i) {
+        const double v =
+            static_cast<double>(i) * std::sqrt(static_cast<double>(i));
+        vals.push_back(v);
+        h.sample(v);
+    }
+    // vals is already sorted ascending.
+    for (double q : {0.10, 0.50, 0.90, 0.99}) {
+        const std::size_t idx = static_cast<std::size_t>(
+            q * static_cast<double>(vals.size() - 1));
+        const double exact = vals[idx];
+        const double est = h.quantile(q);
+        // 64 bins/decade => adjacent edges differ by ~3.7%; allow a
+        // little extra for interpolation at the winning bin.
+        EXPECT_NEAR(est, exact, exact * 0.06)
+            << "q=" << q << " exact=" << exact << " est=" << est;
+    }
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), h.minSample());
+}
+
+// --- deterministic number formatting -----------------------------------
+
+TEST(JsonNumber, ShortestRoundTrip)
+{
+    EXPECT_EQ(jsonNumber(0.1), "0.1");
+    EXPECT_EQ(jsonNumber(42.0), "42");
+    EXPECT_EQ(jsonNumber(0.0), "0");
+    const double v = 1.0 / 3.0;
+    EXPECT_EQ(std::strtod(jsonNumber(v).c_str(), nullptr), v);
+}
+
+// --- trace ring ---------------------------------------------------------
+
+TEST(PacketTracer, RingOverflowKeepsNewestRecords)
+{
+    PacketTracer t(PacketTracer::Config{8, 1});
+    for (std::uint64_t i = 0; i < 20; ++i)
+        t.record(static_cast<Tick>(i) * kUs, i, TracePoint::Ingress, 0);
+
+    EXPECT_EQ(t.recorded(), 20u);
+    EXPECT_EQ(t.overwritten(), 12u);
+    EXPECT_EQ(t.size(), 8u);
+    EXPECT_EQ(t.capacity(), 8u);
+    // Oldest retained record is #12, newest #19.
+    EXPECT_EQ(t.at(0).pkt, 12u);
+    EXPECT_EQ(t.at(7).pkt, 19u);
+}
+
+TEST(PacketTracer, SamplingFiltersByPacketId)
+{
+    PacketTracer t(PacketTracer::Config{16, 64});
+    EXPECT_TRUE(t.wants(0));
+    EXPECT_FALSE(t.wants(1));
+    EXPECT_TRUE(t.wants(128));
+    EXPECT_FALSE(t.wants(129));
+}
+
+TEST(PacketTracer, ChromeJsonSmoke)
+{
+    PacketTracer t(PacketTracer::Config{16, 1});
+    t.setLaneName(2, "snic_ring");
+    t.record(1500, 64, TracePoint::RingEnqueue, 2, 3);
+    t.record(2 * kUs, 64, TracePoint::ServiceEnd, 3);
+
+    std::ostringstream os;
+    t.writeChromeJson(os, 7);
+    const std::string doc = os.str();
+    EXPECT_EQ(doc.find("{\"traceEvents\":["), 0u) << doc;
+    EXPECT_NE(doc.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(doc.find("\"snic_ring\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(doc.find("\"pid\":7"), std::string::npos);
+    // 1500 ticks are a 0.0015 us sub-microsecond remainder (kUs ticks
+    // per us), and whole-us ticks print without a fraction.
+    EXPECT_NE(doc.find("\"ts\":0.001500"), std::string::npos) << doc;
+    EXPECT_NE(doc.find("\"ts\":2,"), std::string::npos) << doc;
+}
+
+TEST(PacketTracer, TextOutputIsDeterministic)
+{
+    auto fill = [](PacketTracer &t) {
+        t.record(10, 0, TracePoint::Ingress, 0);
+        t.record(20, 0, TracePoint::RingEnqueue, 2, 5);
+        t.record(30, 0, TracePoint::Drop, 4, 1);
+    };
+    PacketTracer a(PacketTracer::Config{8, 1});
+    PacketTracer b(PacketTracer::Config{8, 1});
+    fill(a);
+    fill(b);
+    std::ostringstream oa, ob;
+    a.writeText(oa);
+    b.writeText(ob);
+    EXPECT_EQ(oa.str(), ob.str());
+    EXPECT_NE(oa.str().find("ring_enqueue"), std::string::npos);
+}
+
+// --- end-to-end: Hal mode with obs on ----------------------------------
+
+TEST(ObsIntegration, HalRunEmitsStatsTreeAndTrace)
+{
+    core::ServerConfig cfg = core::ServerConfig::halDefault();
+    cfg.obs.stats = true;
+    cfg.obs.trace = true;
+    cfg.obs.trace_sample_every = 16;
+
+    EventQueue eq;
+    core::ServerSystem sys(eq, cfg);
+    const core::RunResult r = sys.run(
+        std::make_unique<net::ConstantRate>(60.0), 5 * kMs, 30 * kMs);
+    EXPECT_GT(r.responses, 0u);
+
+    ASSERT_NE(sys.obs(), nullptr);
+    const StatsRegistry &reg = sys.obs()->registry();
+
+    // Per-core busy fractions and per-ring occupancy histograms made
+    // it into the tree and were sampled.
+    const Accumulator *busy =
+        reg.probeSummary("server.snic.core0.busy_frac");
+    ASSERT_NE(busy, nullptr);
+    EXPECT_GT(busy->count(), 0u);
+    EXPECT_GT(busy->max(), 0.0);
+    ASSERT_NE(reg.probeHistogram("server.snic.ring0.occupancy"),
+              nullptr);
+    ASSERT_NE(reg.probeSummary("server.hlb.director.fwd_th_gbps"),
+              nullptr);
+
+    // Component counters resolve through the registry.
+    EXPECT_EQ(reg.counterValue("server.snic.frames"), r.snic_frames);
+    EXPECT_GT(reg.counterValue("server.hlb.merger.total"), 0u);
+
+    // The tracer captured sampled packet lifecycles.
+    ASSERT_NE(sys.obs()->tracer(), nullptr);
+    EXPECT_GT(sys.obs()->tracer()->recorded(), 0u);
+
+    // Serialized forms are non-trivial.
+    std::ostringstream json, text;
+    sys.obs()->writeStatsJson(json);
+    sys.obs()->writeStatsText(text);
+    EXPECT_NE(json.str().find("\"busy_frac\""), std::string::npos);
+    EXPECT_NE(text.str().find("server.snic.core0.busy_frac"),
+              std::string::npos);
+}
