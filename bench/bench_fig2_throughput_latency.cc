@@ -10,9 +10,16 @@
  * 46-72% of SNIC; REM tea host +93% TP / -81% p99, REM lite SNIC 19x
  * TP / -94% p99; software functions: SNIC 24-69% lower TP, 1.1-27x
  * higher p99.
+ *
+ * Runs as two sweeps through the parallel harness (`--threads`,
+ * `--json`, `--stats-out`, `--trace`): a saturation pass whose
+ * delivered rate is the "max TP" column, then the latency pass at 95%
+ * of it (the paper's "packet rate achieving the maximum throughput");
+ * artifacts are written for the latency pass only.
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.hh"
 #include "funcs/calibration.hh"
@@ -23,86 +30,103 @@ using namespace halsim::core;
 
 namespace {
 
-struct Row
+struct RowSpec
 {
-    const char *name;
-    double snic_tp, host_tp;
-    double snic_p99, host_p99;
+    funcs::FunctionId fn;
+    alg::RulesetKind ruleset;
+    std::string label;
 };
 
-Row
-measure(funcs::FunctionId fn, alg::RulesetKind ruleset)
+ServerConfig
+configFor(const RowSpec &spec, Mode mode)
 {
-    Row row{funcs::functionName(fn), 0, 0, 0, 0};
-
-    for (Mode mode : {Mode::SnicOnly, Mode::HostOnly}) {
-        ServerConfig cfg;
-        cfg.mode = mode;
-        cfg.function = fn;
-        cfg.rem_ruleset = ruleset;
-
-        // Saturate to find max throughput.
-        const auto sat = runPoint(cfg, 100.0, 10 * kMs, 60 * kMs);
-        // p99 at the maximum sustainable point (95% of max, like the
-        // paper's "packet rate achieving the maximum throughput").
-        const auto lat =
-            runPoint(cfg, sat.delivered_gbps * 0.95, 10 * kMs, 60 * kMs);
-        if (mode == Mode::SnicOnly) {
-            row.snic_tp = sat.delivered_gbps;
-            row.snic_p99 = lat.p99_us;
-        } else {
-            row.host_tp = sat.delivered_gbps;
-            row.host_p99 = lat.p99_us;
-        }
-    }
-    return row;
-}
-
-void
-print(const Row &r, const char *label = nullptr)
-{
-    std::printf("%-10s %8.2f %8.2f %8.3f | %9.1f %9.1f %8.2f\n",
-                label != nullptr ? label : r.name, r.snic_tp, r.host_tp,
-                r.snic_tp / r.host_tp, r.snic_p99, r.host_p99,
-                r.snic_p99 / r.host_p99);
+    ServerConfig cfg = mode == Mode::SnicOnly
+                           ? ServerConfig::snicBaseline(spec.fn)
+                           : ServerConfig::hostBaseline(spec.fn);
+    cfg.rem_ruleset = spec.ruleset;
+    return cfg;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const SweepOptions opts =
+        parseSweepArgs(argc, argv, "fig2_throughput_latency");
+
+    std::vector<RowSpec> rows;
+    for (funcs::FunctionId fn : funcs::allFunctions()) {
+        if (fn == funcs::FunctionId::Rem)
+            continue;   // printed per ruleset below
+        rows.push_back({fn, alg::RulesetKind::Teakettle,
+                        funcs::functionName(fn)});
+    }
+    rows.push_back(
+        {funcs::FunctionId::Rem, alg::RulesetKind::Teakettle, "rem-tea"});
+    rows.push_back({funcs::FunctionId::Rem, alg::RulesetKind::SnortLiterals,
+                    "rem-lite"});
+
+    // Phase 1: saturate to find each platform's max throughput.
+    std::vector<SweepPoint> sat_points;
+    for (const RowSpec &spec : rows) {
+        sat_points.push_back(point(configFor(spec, Mode::SnicOnly), 100.0,
+                                   10 * kMs, 60 * kMs,
+                                   "sat:snic:" + spec.label));
+        sat_points.push_back(point(configFor(spec, Mode::HostOnly), 100.0,
+                                   10 * kMs, 60 * kMs,
+                                   "sat:host:" + spec.label));
+    }
+    SweepOptions sat_opts;
+    sat_opts.threads = opts.threads;
+    sat_opts.bench_name = opts.bench_name + "_saturate";
+    const std::vector<RunResult> sat = runSweep(sat_points, sat_opts);
+
+    // Phase 2: p99 at 95% of each max; writes the requested artifacts.
+    std::vector<SweepPoint> lat_points;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        lat_points.push_back(point(configFor(rows[i], Mode::SnicOnly),
+                                   sat[2 * i].delivered_gbps * 0.95,
+                                   10 * kMs, 60 * kMs,
+                                   "snic:" + rows[i].label));
+        lat_points.push_back(point(configFor(rows[i], Mode::HostOnly),
+                                   sat[2 * i + 1].delivered_gbps * 0.95,
+                                   10 * kMs, 60 * kMs,
+                                   "host:" + rows[i].label));
+    }
+    const std::vector<RunResult> lat = runSweep(lat_points, opts);
+
     banner("Fig. 2: max throughput and p99 latency, SNIC vs host (MTU)");
     std::printf("%-10s %8s %8s %8s | %9s %9s %8s\n", "function",
                 "snicGbps", "hostGbps", "tpRatio", "snicP99us",
                 "hostP99us", "p99Ratio");
-
-    for (funcs::FunctionId fn : funcs::allFunctions()) {
-        if (fn == funcs::FunctionId::Rem)
-            continue;   // printed per ruleset below
-        print(measure(fn, alg::RulesetKind::Teakettle));
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const double snic_tp = sat[2 * i].delivered_gbps;
+        const double host_tp = sat[2 * i + 1].delivered_gbps;
+        const double snic_p99 = lat[2 * i].p99_us;
+        const double host_p99 = lat[2 * i + 1].p99_us;
+        std::printf("%-10s %8.2f %8.2f %8.3f | %9.1f %9.1f %8.2f\n",
+                    rows[i].label.c_str(), snic_tp, host_tp,
+                    snic_tp / host_tp, snic_p99, host_p99,
+                    snic_p99 / host_p99);
     }
-    print(measure(funcs::FunctionId::Rem, alg::RulesetKind::Teakettle),
-          "rem-tea");
-    print(measure(funcs::FunctionId::Rem, alg::RulesetKind::SnortLiterals),
-          "rem-lite");
 
     banner("Fig. 2 inset: PKA micro-operations (QAT vs BF-2 PKA)");
     std::printf("%-10s %10s %10s %8s | %9s %9s %8s\n", "op", "host_ops",
                 "snic_ops", "tpRatio", "hostLatUs", "snicLatUs",
                 "latCut%");
     std::size_t n = 0;
-    const auto *rows = funcs::pkaCalib(&n);
+    const auto *pka = funcs::pkaCalib(&n);
     for (std::size_t i = 0; i < n; ++i) {
         std::printf("%-10s %10.0f %10.0f %8.1f | %9.0f %9.0f %8.1f\n",
-                    rows[i].op, rows[i].host_ops_per_s,
-                    rows[i].snic_ops_per_s,
-                    rows[i].host_ops_per_s / rows[i].snic_ops_per_s,
-                    ticksToUs(rows[i].host_latency),
-                    ticksToUs(rows[i].snic_latency),
+                    pka[i].op, pka[i].host_ops_per_s,
+                    pka[i].snic_ops_per_s,
+                    pka[i].host_ops_per_s / pka[i].snic_ops_per_s,
+                    ticksToUs(pka[i].host_latency),
+                    ticksToUs(pka[i].snic_latency),
                     100.0 * (1.0 - static_cast<double>(
-                                       rows[i].host_latency) /
-                                       rows[i].snic_latency));
+                                       pka[i].host_latency) /
+                                       pka[i].snic_latency));
     }
     return 0;
 }

@@ -11,16 +11,20 @@
  *              [--seed N] [--split token|rr|flow] [--dvfs]
  *              [--no-coherence] [--slb-cores N] [--slb-th GBPS]
  *              [--ruleset tea|lite]
+ *              [--slo-p99 US] [--stats-out PATH]
  *
  * Examples:
  *   halsim_cli --mode hal --function nat --rate 80
  *   halsim_cli --mode snic --function rem --ruleset lite --trace hadoop
  *   halsim_cli --mode hal --function count --second crypto --trace cache
+ *   halsim_cli --mode hal --function nat --rate 60 --slo-p99 300 \
+ *              --stats-out stats.json
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <optional>
 #include <string>
@@ -53,7 +57,8 @@ usage(const char *argv0)
                  "web|cache|hadoop] [--frame BYTES]\n"
                  "  [--measure MS] [--warmup MS] [--seed N]\n"
                  "  [--split token|rr|flow] [--dvfs] [--no-coherence]\n"
-                 "  [--slb-cores N] [--slb-th GBPS] [--ruleset tea|lite]\n",
+                 "  [--slb-cores N] [--slb-th GBPS] [--ruleset tea|lite]\n"
+                 "  [--slo-p99 US] [--stats-out PATH]\n",
                  argv0);
     std::exit(2);
 }
@@ -68,6 +73,7 @@ main(int argc, char **argv)
     std::optional<net::TraceKind> trace;
     Tick measure = 200 * kMs;
     Tick warmup = 20 * kMs;
+    std::string stats_out;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -141,6 +147,13 @@ main(int argc, char **argv)
                 static_cast<unsigned>(std::atoi(next().c_str()));
         } else if (arg == "--slb-th") {
             cfg.slb_fwd_th_gbps = std::atof(next().c_str());
+        } else if (arg == "--slo-p99") {
+            cfg.slo.target_p99_us = std::atof(next().c_str());
+            if (cfg.slo.target_p99_us <= 0.0)
+                usage(argv[0]);
+        } else if (arg == "--stats-out") {
+            stats_out = next();
+            cfg.obs.stats = true;
         } else if (arg == "--ruleset") {
             const std::string r = next();
             if (r == "tea")
@@ -182,5 +195,56 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(r.host_frames));
     if (cfg.mode == Mode::Hal)
         std::printf("final FwdTh  %8.1f Gbps\n", r.final_fwd_th_gbps);
+
+    // --- per-component energy breakdown (measurement window) ---------
+    {
+        struct Row
+        {
+            const char *name;
+            double j;
+        };
+        const Row rows[] = {
+            {"snic cpu", r.energy_snic_cpu_j},
+            {"snic accel", r.energy_snic_accel_j},
+            {"host cpu", r.energy_host_cpu_j},
+            {"host accel", r.energy_host_accel_j},
+            {"hlb/lbp/slb", r.energy_extra_j},
+            {"static base", r.energy_static_j},
+        };
+        std::printf("energy breakdown (window):\n");
+        for (const Row &row : rows) {
+            if (row.j == 0.0)
+                continue;
+            std::printf("  %-12s %10.3f J  (%5.1f %%)\n", row.name,
+                        row.j,
+                        r.energy_total_j > 0.0
+                            ? 100.0 * row.j / r.energy_total_j
+                            : 0.0);
+        }
+        std::printf("  %-12s %10.3f J  (%.3e J/req, %.3f J/Gb)\n",
+                    "total", r.energy_total_j, r.j_per_request,
+                    r.j_per_gb);
+    }
+
+    if (cfg.slo.enabled()) {
+        std::printf("slo          %llu/%llu epochs violated "
+                    "(target p99 %.1f us, worst %.1f us)\n",
+                    static_cast<unsigned long long>(
+                        r.slo_violation_epochs),
+                    static_cast<unsigned long long>(r.slo_epochs),
+                    r.slo_target_p99_us, r.slo_worst_p99_us);
+    }
+
+    if (!stats_out.empty() && sys.obs() != nullptr) {
+        std::ofstream os(stats_out);
+        if (!os) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         stats_out.c_str());
+            return 1;
+        }
+        sys.obs()->writeStatsJson(os);
+        os << "\n";
+        std::printf("stats written to %s\n", stats_out.c_str());
+    }
     return 0;
 }

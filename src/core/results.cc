@@ -81,6 +81,32 @@ constexpr Field kFields[] = {
      [](const RunResult &r) { return r.failover_drops; }},
     {"ctrl_updates_dropped", Field::Type::U64, nullptr,
      [](const RunResult &r) { return r.ctrl_updates_dropped; }},
+    {"energy_snic_cpu_j", Field::Type::F64,
+     [](const RunResult &r) { return r.energy_snic_cpu_j; }, nullptr},
+    {"energy_snic_accel_j", Field::Type::F64,
+     [](const RunResult &r) { return r.energy_snic_accel_j; }, nullptr},
+    {"energy_host_cpu_j", Field::Type::F64,
+     [](const RunResult &r) { return r.energy_host_cpu_j; }, nullptr},
+    {"energy_host_accel_j", Field::Type::F64,
+     [](const RunResult &r) { return r.energy_host_accel_j; }, nullptr},
+    {"energy_extra_j", Field::Type::F64,
+     [](const RunResult &r) { return r.energy_extra_j; }, nullptr},
+    {"energy_static_j", Field::Type::F64,
+     [](const RunResult &r) { return r.energy_static_j; }, nullptr},
+    {"energy_total_j", Field::Type::F64,
+     [](const RunResult &r) { return r.energy_total_j; }, nullptr},
+    {"j_per_request", Field::Type::F64,
+     [](const RunResult &r) { return r.j_per_request; }, nullptr},
+    {"j_per_gb", Field::Type::F64,
+     [](const RunResult &r) { return r.j_per_gb; }, nullptr},
+    {"slo_target_p99_us", Field::Type::F64,
+     [](const RunResult &r) { return r.slo_target_p99_us; }, nullptr},
+    {"slo_worst_p99_us", Field::Type::F64,
+     [](const RunResult &r) { return r.slo_worst_p99_us; }, nullptr},
+    {"slo_epochs", Field::Type::U64, nullptr,
+     [](const RunResult &r) { return r.slo_epochs; }},
+    {"slo_violation_epochs", Field::Type::U64, nullptr,
+     [](const RunResult &r) { return r.slo_violation_epochs; }},
 };
 
 } // namespace

@@ -70,6 +70,11 @@ ServerConfig::validate() const
             fail("slb_fwd_th_gbps must be >= 0");
     }
 
+    if (slo.target_p99_us < 0.0)
+        fail("slo.target_p99_us must be >= 0");
+    if (slo.enabled() && slo.epoch <= 0)
+        fail("slo.epoch must be > 0 when monitoring is on");
+
     if (obs.enabled()) {
         if (obs.stats && obs.sample_epoch == 0)
             fail("obs.sample_epoch must be > 0 when obs.stats is on");
@@ -391,6 +396,41 @@ ServerSystem::ServerSystem(EventQueue &eq, ServerConfig cfg)
         eq_, net::Link::Config{100.0, 500 * kNs, 4096, "client"},
         *ingress_);
 
+    // --- Energy ledger (§V-B / Fig. 3) -------------------------------
+    // Dynamic accounts bind the processors' monotone per-component
+    // watt integrators; "extra" is the HLB/LBP/SLB meter (reset at the
+    // warmup boundary, snapshot taken after that reset); "static" is
+    // the idle-server baseline integrated analytically.
+    if (snic_ != nullptr) {
+        energy_.addDynamic(
+            "snic_cpu", [this] { return snic_->cpuJoulesNow(); },
+            [this] { return snic_->cpuCurrentW(); });
+        energy_.addDynamic(
+            "snic_accel", [this] { return snic_->accelJoulesNow(); },
+            [this] { return snic_->accelCurrentW(); });
+    }
+    if (host_ != nullptr) {
+        energy_.addDynamic(
+            "host_cpu", [this] { return host_->cpuJoulesNow(); },
+            [this] { return host_->cpuCurrentW(); });
+        energy_.addDynamic(
+            "host_accel", [this] { return host_->accelJoulesNow(); },
+            [this] { return host_->accelCurrentW(); });
+    }
+    energy_.addDynamic(
+        "extra", [this] { return extraPower_.joules(); },
+        [this] { return extraPower_.currentW(); });
+    energy_.addStatic("static", funcs::kServerBasePowerW);
+
+    // --- SLO monitor (Table 2) ---------------------------------------
+    // Always constructed when configured, independent of cfg_.obs, so
+    // the SLO RunResult fields do not depend on whether stats/tracing
+    // are enabled.
+    if (cfg_.slo.enabled()) {
+        slo_ = std::make_unique<obs::SloMonitor>(cfg_.slo);
+        client_.setSlo(slo_.get());
+    }
+
     buildObs();
 }
 
@@ -526,6 +566,43 @@ ServerSystem::buildObs()
         reg->fnCounter("server.slb.drops",
                        [this] { return slb_->drops(); });
     }
+
+    // Per-component energy accounts: lazy joules gauges plus
+    // epoch-sampled power probes.
+    energy_.attachObs(reg, "server.energy", cfg_.obs.series);
+
+    if (slo_ != nullptr) {
+        reg->fnCounter("server.slo.epochs",
+                       [this] { return slo_->epochs(); });
+        reg->fnCounter("server.slo.violation_epochs",
+                       [this] { return slo_->violationEpochs(); });
+        reg->fnGauge("server.slo.target_p99_us",
+                     [this] { return slo_->targetP99Us(); });
+        reg->fnGauge("server.slo.worst_epoch_p99_us",
+                     [this] { return slo_->worstEpochP99Us(); });
+
+        obs::PacketTracer *tracer = obs_->tracer();
+        if (tracer != nullptr) {
+            // Tail attribution recomputes from the tracer ring at
+            // serialization time; deterministic for a given ring, and
+            // stats-tree-only (RunResult must not depend on tracing).
+            const Tick target = static_cast<Tick>(
+                cfg_.slo.target_p99_us * static_cast<double>(kUs));
+            auto tail = [tracer, target] {
+                return obs::attributeTail(*tracer, target);
+            };
+            reg->fnCounter("server.slo.tail_dispatch",
+                           [tail] { return tail().dispatch; });
+            reg->fnCounter("server.slo.tail_queue_wait",
+                           [tail] { return tail().queue_wait; });
+            reg->fnCounter("server.slo.tail_service",
+                           [tail] { return tail().service; });
+            reg->fnCounter("server.slo.tail_egress",
+                           [tail] { return tail().egress; });
+            reg->fnCounter("server.slo.tail_attributed",
+                           [tail] { return tail().attributed; });
+        }
+    }
 }
 
 ServerSystem::~ServerSystem() = default;
@@ -632,6 +709,13 @@ ServerSystem::run(std::unique_ptr<net::RateProcess> rate, Tick warmup,
         host_ != nullptr ? host_->processedFrames() : 0;
     const std::uint64_t drops_base = totalDrops();
 
+    // Energy/SLO windows open at the same boundary the meters were
+    // just reset at (the ledger snapshots extraPower_'s freshly
+    // zeroed integral, and the per-core watt mirrors by differencing).
+    energy_.beginWindow(eq_.now());
+    if (slo_ != nullptr)
+        slo_->beginWindow(measure_start, end);
+
     // Observability covers the measurement window only: discard
     // warmup samples/records and start the probe sampler. All of it
     // is read-only, so results are identical with obs off.
@@ -679,6 +763,14 @@ ServerSystem::run(std::unique_ptr<net::RateProcess> rate, Tick warmup,
     RunResult r;
     r.dynamic_power_w = totalDynamicW();
     r.system_power_w = funcs::kServerBasePowerW + r.dynamic_power_w;
+
+    // Close the energy/SLO windows at the same boundary the power
+    // averages were read — before the drain, so drained packets'
+    // draw and latencies stay out of the window (record() also
+    // clamps at windowEnd_, making the drain doubly excluded).
+    energy_.endWindow(eq_.now());
+    if (slo_ != nullptr)
+        slo_->finishWindow();
     r.offered_gbps =
         gbps(gen.sentBytes() - sent_bytes_base, end - measure_start);
     r.delivered_gbps = client_.deliveredGbps();
@@ -735,6 +827,29 @@ ServerSystem::run(std::unique_ptr<net::RateProcess> rate, Tick warmup,
     }
     if (lbp_ != nullptr)
         r.ctrl_updates_dropped = lbp_->updatesDropped();
+
+    // --- energy breakdown (window fixed above, pre-drain) ------------
+    r.energy_snic_cpu_j = energy_.joules("snic_cpu");
+    r.energy_snic_accel_j = energy_.joules("snic_accel");
+    r.energy_host_cpu_j = energy_.joules("host_cpu");
+    r.energy_host_accel_j = energy_.joules("host_accel");
+    r.energy_extra_j = energy_.joules("extra");
+    r.energy_static_j = energy_.joules("static");
+    r.energy_total_j = energy_.totalJ();
+    r.j_per_request = r.responses > 0
+                          ? r.energy_total_j /
+                                static_cast<double>(r.responses)
+                          : 0.0;
+    const double window_gb =
+        r.delivered_gbps * energy_.windowSeconds();
+    r.j_per_gb = window_gb > 0.0 ? r.energy_total_j / window_gb : 0.0;
+
+    if (slo_ != nullptr) {
+        r.slo_target_p99_us = slo_->targetP99Us();
+        r.slo_worst_p99_us = slo_->worstEpochP99Us();
+        r.slo_epochs = slo_->epochs();
+        r.slo_violation_epochs = slo_->violationEpochs();
+    }
 
     if (monitor_ != nullptr)
         monitor_->stop();

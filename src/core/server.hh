@@ -39,7 +39,9 @@
 #include "net/link.hh"
 #include "net/traffic.hh"
 #include "nic/eswitch.hh"
+#include "obs/energy.hh"
 #include "obs/obs.hh"
+#include "obs/slo.hh"
 #include "proc/processor.hh"
 #include "sim/event_queue.hh"
 
@@ -112,6 +114,10 @@ struct ServerConfig
      *  them on must not change simulation results). */
     obs::ObsConfig obs;
 
+    /** SLO monitoring (off by default; independent of `obs` so the
+     *  RunResult SLO fields exist even with stats/tracing disabled). */
+    obs::SloConfig slo;
+
     // --- named presets ------------------------------------------------
     // The paper's four standard operating points, so benches and
     // tests stop copy-pasting field assignments.
@@ -178,6 +184,23 @@ struct RunResult
     double time_to_recover_us = 0.0;     //!< last detect->recover span
     std::uint64_t failover_drops = 0;    //!< drops while degraded
     std::uint64_t ctrl_updates_dropped = 0; //!< lost LBP->FPGA messages
+
+    // --- energy ledger (measurement window, §V-B / Fig. 3) -----------
+    double energy_snic_cpu_j = 0.0;   //!< SNIC wimpy cores / accel feed
+    double energy_snic_accel_j = 0.0; //!< SNIC accelerator block
+    double energy_host_cpu_j = 0.0;   //!< host brawny cores / accel feed
+    double energy_host_accel_j = 0.0; //!< host accelerator block
+    double energy_extra_j = 0.0;      //!< HLB + LBP / SLB cores
+    double energy_static_j = 0.0;     //!< idle-server baseline (194 W)
+    double energy_total_j = 0.0;      //!< literal sum of the above
+    double j_per_request = 0.0;       //!< energy_total_j / responses
+    double j_per_gb = 0.0;            //!< energy_total_j per gigabit
+
+    // --- SLO monitor (Table 2) ---------------------------------------
+    double slo_target_p99_us = 0.0;      //!< 0 when monitoring is off
+    double slo_worst_p99_us = 0.0;       //!< worst per-epoch p99
+    std::uint64_t slo_epochs = 0;        //!< epochs in the window
+    std::uint64_t slo_violation_epochs = 0; //!< epochs with p99 > target
 
     /**
      * Loss fraction over the measurement window. Packets in flight at
@@ -307,6 +330,13 @@ class ServerSystem
 
     /** SLB balancer cores, the LBP core, and the HLB itself. */
     proc::PowerMeter extraPower_;
+
+    /** Per-component energy accounts over the measurement window
+     *  (always on; pull-based, nothing on the hot path). */
+    obs::EnergyLedger energy_;
+
+    /** SLO violation-window monitor (null unless cfg.slo enabled). */
+    std::unique_ptr<obs::SloMonitor> slo_;
 
     /** Stats registry + packet tracer (null when disabled). */
     std::unique_ptr<obs::Observability> obs_;

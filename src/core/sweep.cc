@@ -40,6 +40,8 @@ runSweep(const std::vector<SweepPoint> &points, const SweepOptions &opts)
         SweepPoint p = points[i];
         p.cfg.obs.stats = p.cfg.obs.stats || want_stats;
         p.cfg.obs.trace = p.cfg.obs.trace || want_trace;
+        if (opts.slo_p99_us > 0.0 && !p.cfg.slo.enabled())
+            p.cfg.slo.target_p99_us = opts.slo_p99_us;
         EventQueue eq;
         ServerSystem sys(eq, p.cfg);
         auto rate = p.trace
@@ -104,14 +106,28 @@ parseSweepArgs(int argc, char **argv, std::string bench_name)
             opts.stats_path = argv[++i];
         } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
             opts.trace_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--slo-p99") == 0 &&
+                   i + 1 < argc) {
+            char *end = nullptr;
+            const double us = std::strtod(argv[++i], &end);
+            if (end == nullptr || *end != '\0' || !(us > 0.0)) {
+                std::fprintf(stderr,
+                             "%s: --slo-p99 needs a positive "
+                             "microsecond target, got '%s'\n",
+                             argv[0], argv[i]);
+                std::exit(2);
+            }
+            opts.slo_p99_us = us;
         } else {
             std::fprintf(
                 stderr,
                 "usage: %s [--threads N|all] [--json PATH]\n"
                 "          [--stats-out PATH] [--trace PATH]\n"
+                "          [--slo-p99 US]\n"
                 "  --threads all uses every hardware thread\n"
                 "  --stats-out writes the per-point stats trees\n"
-                "  --trace writes a Chrome trace_event JSON\n",
+                "  --trace writes a Chrome trace_event JSON\n"
+                "  --slo-p99 arms the SLO monitor at a p99 target\n",
                 argv[0]);
             std::exit(2);
         }

@@ -52,6 +52,9 @@ struct SweepOptions
     /** When non-empty, enable tracing and write a Chrome
      *  trace_event JSON here (one pid per sweep point). */
     std::string trace_path;
+    /** When > 0, arm the SLO monitor at this p99 target for every
+     *  point that does not already set its own target. */
+    double slo_p99_us = 0.0;
     /** Bench name recorded in the artifact. */
     std::string bench_name = "sweep";
 };
@@ -68,7 +71,8 @@ std::vector<RunResult> runSweep(const std::vector<SweepPoint> &points,
 
 /**
  * Parse the standard bench flags: `--threads N|all`, `--json PATH`,
- * `--stats-out PATH`, and `--trace PATH`. The HALSIM_THREADS
+ * `--stats-out PATH`, `--trace PATH`, and `--slo-p99 US`. The
+ * HALSIM_THREADS
  * environment variable (same grammar, see core::envDefaultThreads)
  * supplies the default thread count when the flag is absent.
  * Malformed thread counts — negative, zero, or non-numeric — are

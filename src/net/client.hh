@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "net/packet.hh"
+#include "obs/slo.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -34,9 +35,14 @@ class Client : public PacketSink
         const Tick now = eq_.now();
         const Tick lat = now - pkt->clientTx;
         latency_.sample(static_cast<double>(lat));
+        obs::sloRecord(slo_, now, lat);
         delivered_.add(pkt->size());
         byProcessor_[static_cast<std::size_t>(pkt->processedBy)]++;
     }
+
+    /** Attach (or detach with nullptr) the per-run SLO monitor; the
+     *  client feeds it every measured end-to-end latency. */
+    void setSlo(obs::SloMonitor *m) { slo_ = m; }
 
     /** Drop all measurements and restart the throughput window. */
     void
@@ -72,6 +78,7 @@ class Client : public PacketSink
 
   private:
     EventQueue &eq_;
+    obs::SloMonitor *slo_ = nullptr;
     Histogram latency_;
     RateMeter delivered_;
     std::array<std::uint64_t, 5> byProcessor_{};

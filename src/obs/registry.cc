@@ -155,6 +155,16 @@ StatsRegistry::fnCounter(const std::string &path,
 }
 
 void
+StatsRegistry::fnGauge(const std::string &path,
+                       std::function<double()> read)
+{
+    if (!read)
+        throw std::invalid_argument("fnGauge '" + path +
+                                    "' needs a read function");
+    addEntry(path, Kind::FnGauge).readGauge = std::move(read);
+}
+
+void
 StatsRegistry::probe(const std::string &path,
                      std::function<double()> read)
 {
@@ -232,6 +242,20 @@ StatsRegistry::counterValue(const std::string &path) const
     return 0;
 }
 
+double
+StatsRegistry::gaugeValue(const std::string &path) const
+{
+    for (const auto &e : entries_) {
+        if (e->path != path)
+            continue;
+        if (e->kind == Kind::Gauge)
+            return e->gauge.value();
+        if (e->kind == Kind::FnGauge)
+            return e->readGauge();
+    }
+    return 0.0;
+}
+
 const Accumulator *
 StatsRegistry::probeSummary(const std::string &path) const
 {
@@ -295,6 +319,9 @@ StatsRegistry::writeLeafJson(std::ostream &os, const Entry &e) const
         break;
       case Kind::Gauge:
         os << jsonNumber(e.gauge.value());
+        break;
+      case Kind::FnGauge:
+        os << jsonNumber(e.readGauge());
         break;
       case Kind::Accum:
         os << "{\"count\":" << e.accum.count()
@@ -402,6 +429,9 @@ StatsRegistry::writeText(std::ostream &os) const
             break;
           case Kind::Gauge:
             os << jsonNumber(e->gauge.value());
+            break;
+          case Kind::FnGauge:
+            os << jsonNumber(e->readGauge());
             break;
           case Kind::Accum:
             os << "count " << e->accum.count() << " mean "

@@ -123,6 +123,13 @@ class StatsRegistry
     void fnCounter(const std::string &path,
                    std::function<std::uint64_t()> read);
 
+    /** Scalar whose value is read from the component lazily at
+     *  serialization time (the double-valued sibling of fnCounter;
+     *  the energy ledger uses it to expose per-component joules
+     *  without any hot-path hook). */
+    void fnGauge(const std::string &path,
+                 std::function<double()> read);
+
     /** Scalar sampled every epoch into a summary + histogram. */
     void probe(const std::string &path, std::function<double()> read);
     void probe(const std::string &path, std::function<double()> read,
@@ -146,6 +153,10 @@ class StatsRegistry
     /** Counter value by path, resolving fnCounter bindings too;
      *  returns 0 for unknown paths. */
     std::uint64_t counterValue(const std::string &path) const;
+
+    /** Gauge value by path, resolving fnGauge bindings too; returns
+     *  0.0 for unknown paths. */
+    double gaugeValue(const std::string &path) const;
 
     /** Probe summary by path (null when @p path is not a probe). */
     const Accumulator *probeSummary(const std::string &path) const;
@@ -182,6 +193,7 @@ class StatsRegistry
         Accum,
         Histogram,
         FnCounter,
+        FnGauge,
         Probe,
     };
 
@@ -194,6 +206,7 @@ class StatsRegistry
         Accumulator accum;
         std::unique_ptr<Histogram> hist;
         std::function<std::uint64_t()> readCounter;
+        std::function<double()> readGauge;
         std::function<double()> readProbe;
         bool series = false;
         std::vector<std::pair<Tick, double>> samples;

@@ -69,8 +69,15 @@ PollCore::setPowerLevel(double frac)
     const double f = freqScale();
     const double watts = frac * f * f * cfg_.profile.core_active_w;
     power_.add(watts - currentW_);
+    wattsTw_.set(watts, eq_.now());
     currentW_ = watts;
     powerLevel_ = frac;
+}
+
+double
+PollCore::joulesNow() const
+{
+    return wattsTw_.integral(eq_.now()) / static_cast<double>(kSec);
 }
 
 double
@@ -272,8 +279,23 @@ Accelerator::setPowerLevel(double frac)
     // currently-charged watts, not the previous fraction.
     const double watts = frac * activeBlockW();
     power_.add(watts - currentW_);
+    feedTw_.set(frac * cfg_.feed_power_w, eq_.now());
+    accelTw_.set(frac * (failed_ ? 0.0 : cfg_.profile.accel_w),
+                 eq_.now());
     currentW_ = watts;
     powerLevel_ = frac;
+}
+
+double
+Accelerator::feedJoulesNow() const
+{
+    return feedTw_.integral(eq_.now()) / static_cast<double>(kSec);
+}
+
+double
+Accelerator::accelJoulesNow() const
+{
+    return accelTw_.integral(eq_.now()) / static_cast<double>(kSec);
 }
 
 void
@@ -491,6 +513,39 @@ Processor::drops() const
     for (const auto &r : rings_)
         n += r->drops();
     return n - statDropBase_;
+}
+
+double
+Processor::cpuJoulesNow() const
+{
+    if (accel_ != nullptr)
+        return accel_->feedJoulesNow();
+    double j = 0.0;
+    for (const auto &c : cores_)
+        j += c->joulesNow();
+    return j;
+}
+
+double
+Processor::accelJoulesNow() const
+{
+    return accel_ != nullptr ? accel_->accelJoulesNow() : 0.0;
+}
+
+double
+Processor::cpuCurrentW() const
+{
+    if (accel_ != nullptr)
+        return accel_->feedCurrentW();
+    // The shared meter carries exactly the per-core watts in CPU
+    // mode, and reading it is O(1).
+    return power_.currentW();
+}
+
+double
+Processor::accelCurrentW() const
+{
+    return accel_ != nullptr ? accel_->accelCurrentW() : 0.0;
 }
 
 void

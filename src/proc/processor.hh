@@ -87,6 +87,13 @@ class PowerMeter
     /** Time-averaged watts since the last reset. */
     double averageW() const { return tw_.average(eq_.now()); }
 
+    /** Integrated energy since the last reset, joules. */
+    double
+    joules() const
+    {
+        return tw_.integral(eq_.now()) / static_cast<double>(kSec);
+    }
+
     void reset() { tw_.resetAt(eq_.now()); }
 
   private:
@@ -159,6 +166,14 @@ class PollCore
     /** Fraction of time spent actively processing since reset. */
     double utilization() const;
 
+    /**
+     * Integrated dynamic energy of this core since construction,
+     * joules. Monotone (never reset); window accounting is done by
+     * snapshot differencing in the energy ledger, so warmup resets
+     * cannot bias it.
+     */
+    double joulesNow() const;
+
     /** Attach the packet tracer: dequeue-to-service records
      *  ServiceStart and completion ServiceEnd, arg = @p core index. */
     void
@@ -196,6 +211,7 @@ class PollCore
     std::uint64_t frames_ = 0;
     std::uint64_t bytes_ = 0;
     TimeWeighted busyTime_;   //!< 1.0 while processing, for utilization
+    TimeWeighted wattsTw_;    //!< per-core watts mirror (energy ledger)
 
     // Observability (null/inert unless attached).
     obs::PacketTracer *trace_ = nullptr;
@@ -265,6 +281,19 @@ class Accelerator
 
     bool dead() const { return queue_.disabled(); }
 
+    /**
+     * Integrated energy split since construction, joules: the cores
+     * feeding the pipeline vs. the accelerator block itself (a failed
+     * accelerator integrates nothing while the cores stay hot). Both
+     * are monotone; the energy ledger windows them by snapshots.
+     */
+    double feedJoulesNow() const;
+    double accelJoulesNow() const;
+
+    /** Current watts split matching the joules split. */
+    double feedCurrentW() const { return feedTw_.value(); }
+    double accelCurrentW() const { return accelTw_.value(); }
+
     /** Attach the packet tracer: the input queue records
      *  RingEnqueue/Drop on @p ring_lane; pipeline entry and exit
      *  record ServiceStart/ServiceEnd on @p core_lane. */
@@ -298,6 +327,8 @@ class Accelerator
     bool failed_ = false;       //!< software fallback active
     double powerLevel_ = 0.0;   //!< fraction of (feed + accel) power
     double currentW_ = 0.0;     //!< absolute watts currently charged
+    TimeWeighted feedTw_;       //!< feeding-core watts (energy ledger)
+    TimeWeighted accelTw_;      //!< accelerator watts (energy ledger)
     std::uint64_t frames_ = 0;
     std::uint64_t bytes_ = 0;
 
@@ -352,6 +383,20 @@ class Processor
     double averageDynamicW() const { return power_.averageW(); }
 
     double currentDynamicW() const { return power_.currentW(); }
+
+    // --- energy-ledger taps (monotone since construction; the
+    // ledger windows them by snapshot differencing) ------------------
+
+    /** CPU-side dynamic energy, joules: the poll cores, or in accel
+     *  mode the cores feeding the pipeline. */
+    double cpuJoulesNow() const;
+
+    /** Accelerator-block dynamic energy, joules (0 in CPU mode). */
+    double accelJoulesNow() const;
+
+    /** Current watts matching the cpu/accel joules split. */
+    double cpuCurrentW() const;
+    double accelCurrentW() const;
 
     /**
      * Register this processor's stats under @p prefix

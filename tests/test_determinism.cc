@@ -79,6 +79,26 @@ expectIdentical(const RunResult &a, const RunResult &b)
                    "time_to_recover_us");
     EXPECT_EQ(a.failover_drops, b.failover_drops);
     EXPECT_EQ(a.ctrl_updates_dropped, b.ctrl_updates_dropped);
+    expectBitEqual(a.energy_snic_cpu_j, b.energy_snic_cpu_j,
+                   "energy_snic_cpu_j");
+    expectBitEqual(a.energy_snic_accel_j, b.energy_snic_accel_j,
+                   "energy_snic_accel_j");
+    expectBitEqual(a.energy_host_cpu_j, b.energy_host_cpu_j,
+                   "energy_host_cpu_j");
+    expectBitEqual(a.energy_host_accel_j, b.energy_host_accel_j,
+                   "energy_host_accel_j");
+    expectBitEqual(a.energy_extra_j, b.energy_extra_j, "energy_extra_j");
+    expectBitEqual(a.energy_static_j, b.energy_static_j,
+                   "energy_static_j");
+    expectBitEqual(a.energy_total_j, b.energy_total_j, "energy_total_j");
+    expectBitEqual(a.j_per_request, b.j_per_request, "j_per_request");
+    expectBitEqual(a.j_per_gb, b.j_per_gb, "j_per_gb");
+    expectBitEqual(a.slo_target_p99_us, b.slo_target_p99_us,
+                   "slo_target_p99_us");
+    expectBitEqual(a.slo_worst_p99_us, b.slo_worst_p99_us,
+                   "slo_worst_p99_us");
+    EXPECT_EQ(a.slo_epochs, b.slo_epochs);
+    EXPECT_EQ(a.slo_violation_epochs, b.slo_violation_epochs);
 }
 
 /** A HAL point with a transient fault so that every fault/watchdog
@@ -91,6 +111,9 @@ faultedHalConfig()
     cfg.function = funcs::FunctionId::Nat;
     cfg.faults.processorFailure(fault::FaultTarget::Host, 15 * kMs,
                                 8 * kMs);
+    // Arm the SLO monitor so its epoch/violation counters are part of
+    // every identity check below, not trivially zero.
+    cfg.slo.target_p99_us = 200.0;
     return cfg;
 }
 
@@ -142,6 +165,10 @@ TEST(Determinism, ObsOnVsOffIdentical)
     const RunResult r_off = runOnce(off, 60.0, true);
     const RunResult r_on = runOnce(on, 60.0, true);
     ASSERT_GT(r_on.faults_injected, 0u);
+    // Energy and SLO accounting run whether or not obs is enabled, so
+    // they must agree too (and actually measure something).
+    ASSERT_GT(r_on.energy_total_j, 0.0);
+    ASSERT_GT(r_on.slo_epochs, 0u);
     expectIdentical(r_off, r_on);
 
     // The serialized form must match byte for byte too.

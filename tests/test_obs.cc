@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <memory>
@@ -17,9 +18,12 @@
 
 #include "core/server.hh"
 #include "net/traffic.hh"
+#include "obs/energy.hh"
 #include "obs/obs.hh"
 #include "obs/registry.hh"
+#include "obs/slo.hh"
 #include "obs/trace.hh"
+#include "proc/processor.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
 
@@ -76,6 +80,38 @@ TEST(StatsRegistry, FnCounterReadsLazily)
     EXPECT_EQ(reg.counterValue("live.value"), 7u);
     live = 1000;
     EXPECT_EQ(reg.counterValue("live.value"), 1000u);
+}
+
+TEST(StatsRegistry, FnGaugeReadsLazily)
+{
+    StatsRegistry reg;
+    double live = 1.5;
+    reg.fnGauge("live.gauge", [&live] { return live; });
+    EXPECT_DOUBLE_EQ(reg.gaugeValue("live.gauge"), 1.5);
+    live = -7.25;
+    EXPECT_DOUBLE_EQ(reg.gaugeValue("live.gauge"), -7.25);
+    EXPECT_DOUBLE_EQ(reg.gaugeValue("no.such.path"), 0.0);
+
+    std::ostringstream os;
+    reg.writeJson(os);
+    EXPECT_NE(os.str().find("\"gauge\":-7.25"), std::string::npos)
+        << os.str();
+}
+
+TEST(StatsRegistry, FnGaugeRejectsNullAndDuplicates)
+{
+    StatsRegistry reg;
+    EXPECT_THROW(reg.fnGauge("g", nullptr), std::invalid_argument);
+    reg.fnGauge("g", [] { return 0.0; });
+    EXPECT_THROW(reg.fnGauge("g", [] { return 1.0; }),
+                 std::invalid_argument);
+}
+
+TEST(StatsRegistry, GaugeValueResolvesPlainGaugesToo)
+{
+    StatsRegistry reg;
+    reg.gauge("plain")->set(3.5);
+    EXPECT_DOUBLE_EQ(reg.gaugeValue("plain"), 3.5);
 }
 
 // --- probes and sampling ----------------------------------------------
@@ -321,4 +357,345 @@ TEST(ObsIntegration, HalRunEmitsStatsTreeAndTrace)
     EXPECT_NE(json.str().find("\"busy_frac\""), std::string::npos);
     EXPECT_NE(text.str().find("server.snic.core0.busy_frac"),
               std::string::npos);
+}
+
+// --- power meter window edges ------------------------------------------
+
+TEST(PowerMeter, AverageAndJoulesRespectResetBoundary)
+{
+    EventQueue eq;
+    proc::PowerMeter pm(eq);
+
+    // A contribution added and removed entirely before the reset must
+    // not leak into the post-reset average or integral.
+    pm.add(10.0);
+    eq.runUntil(1 * kSec);
+    pm.add(-10.0);
+    pm.reset();
+    eq.runUntil(2 * kSec);
+    EXPECT_DOUBLE_EQ(pm.averageW(), 0.0);
+    EXPECT_DOUBLE_EQ(pm.joules(), 0.0);
+
+    // A level held across the reset persists (reset zeroes the
+    // integral, not the current draw).
+    pm.add(5.0);
+    pm.reset();
+    eq.runUntil(4 * kSec);
+    EXPECT_DOUBLE_EQ(pm.currentW(), 5.0);
+    EXPECT_DOUBLE_EQ(pm.averageW(), 5.0);
+    EXPECT_DOUBLE_EQ(pm.joules(), 10.0);
+}
+
+TEST(PowerMeter, AverageIsTimeWeightedNotSampleWeighted)
+{
+    EventQueue eq;
+    proc::PowerMeter pm(eq);
+    pm.add(2.0);
+    eq.runUntil(3 * kSec);   // 2 W for 3 s
+    pm.add(6.0);
+    eq.runUntil(4 * kSec);   // 8 W for 1 s
+    EXPECT_DOUBLE_EQ(pm.joules(), 14.0);
+    EXPECT_DOUBLE_EQ(pm.averageW(), 3.5);
+}
+
+// --- energy ledger ------------------------------------------------------
+
+TEST(EnergyLedger, WindowsBySnapshotDifferencing)
+{
+    // Synthetic monotone integrator standing in for a power meter.
+    double j = 5.0;
+    EnergyLedger ledger;
+    ledger.addDynamic(
+        "dyn", [&j] { return j; }, [] { return 2.0; });
+    ledger.addStatic("base", 10.0);
+
+    ledger.beginWindow(1 * kSec);
+    j = 9.0;   // 4 J accumulated inside the window
+    ledger.endWindow(3 * kSec);
+
+    EXPECT_DOUBLE_EQ(ledger.windowSeconds(), 2.0);
+    EXPECT_DOUBLE_EQ(ledger.joules("dyn"), 4.0);
+    EXPECT_DOUBLE_EQ(ledger.joules("base"), 20.0);
+    EXPECT_DOUBLE_EQ(ledger.joules("nope"), 0.0);
+    EXPECT_DOUBLE_EQ(ledger.totalJ(), 24.0);
+
+    // Re-windowing snapshots afresh: pre-window joules never leak.
+    ledger.beginWindow(3 * kSec);
+    j = 10.0;
+    ledger.endWindow(4 * kSec);
+    EXPECT_DOUBLE_EQ(ledger.joules("dyn"), 1.0);
+    EXPECT_DOUBLE_EQ(ledger.joules("base"), 10.0);
+}
+
+TEST(EnergyLedger, RejectsMissingReaders)
+{
+    EnergyLedger ledger;
+    EXPECT_THROW(
+        ledger.addDynamic("a", nullptr, [] { return 0.0; }),
+        std::invalid_argument);
+    EXPECT_THROW(
+        ledger.addDynamic("a", [] { return 0.0; }, nullptr),
+        std::invalid_argument);
+}
+
+TEST(EnergyLedger, AttachObsExposesGaugesAndProbes)
+{
+    double j = 0.0;
+    double w = 3.0;
+    EnergyLedger ledger;
+    ledger.addDynamic(
+        "dyn", [&j] { return j; }, [&w] { return w; });
+    ledger.addStatic("base", 194.0);
+
+    StatsRegistry reg;
+    ledger.attachObs(&reg, "server.energy", false);
+
+    ledger.beginWindow(0);
+    j = 6.0;
+    ledger.endWindow(2 * kSec);
+
+    EXPECT_DOUBLE_EQ(reg.gaugeValue("server.energy.dyn.joules"), 6.0);
+    EXPECT_DOUBLE_EQ(reg.gaugeValue("server.energy.base.joules"),
+                     388.0);
+    EXPECT_DOUBLE_EQ(reg.gaugeValue("server.energy.base.power_w"),
+                     194.0);
+    EXPECT_DOUBLE_EQ(reg.gaugeValue("server.energy.total_j"), 394.0);
+    EXPECT_DOUBLE_EQ(reg.gaugeValue("server.energy.window_seconds"),
+                     2.0);
+
+    // Dynamic power is an epoch-sampled probe, not a gauge.
+    reg.sampleProbes(1 * kMs);
+    const Accumulator *p = reg.probeSummary("server.energy.dyn.power_w");
+    ASSERT_NE(p, nullptr);
+    EXPECT_DOUBLE_EQ(p->mean(), 3.0);
+}
+
+// --- SLO monitor --------------------------------------------------------
+
+TEST(SloMonitor, MatchesExactReferencePerEpoch)
+{
+    SloConfig cfg;
+    cfg.target_p99_us = 100.0;
+    cfg.epoch = 1 * kMs;
+    SloMonitor mon(cfg);
+    mon.beginWindow(0, 10 * kMs);
+
+    // Epochs 0-4: 50 us latencies (compliant); epochs 5-9: 200 us
+    // (violating). Identically-binned reference histograms give the
+    // exact per-epoch p99 the monitor must reproduce.
+    Histogram ref_low, ref_high;
+    for (int e = 0; e < 10; ++e) {
+        const Tick lat = (e < 5 ? 50 : 200) * kUs;
+        for (int i = 0; i < 20; ++i) {
+            const Tick now = static_cast<Tick>(e) * kMs +
+                             static_cast<Tick>(i) * 40 * kUs;
+            mon.record(now, lat);
+            (e < 5 ? ref_low : ref_high)
+                .sample(static_cast<double>(lat));
+        }
+    }
+    mon.finishWindow();
+
+    EXPECT_EQ(mon.epochs(), 10u);
+    EXPECT_EQ(mon.violationEpochs(), 5u);
+    // Each violating epoch saw the same 20 samples as 1/5th of
+    // ref_high; quantiles of identical multisets are identical.
+    Histogram one_epoch;
+    for (int i = 0; i < 20; ++i)
+        one_epoch.sample(static_cast<double>(200 * kUs));
+    EXPECT_DOUBLE_EQ(mon.worstEpochP99Us(),
+                     one_epoch.p99() / static_cast<double>(kUs));
+    EXPECT_GT(mon.worstEpochP99Us(), cfg.target_p99_us);
+}
+
+TEST(SloMonitor, CountsEmptyEpochsAndClampsOutsideWindow)
+{
+    SloConfig cfg;
+    cfg.target_p99_us = 10.0;
+    cfg.epoch = 1 * kMs;
+    SloMonitor mon(cfg);
+    mon.beginWindow(2 * kMs, 7 * kMs);
+
+    // Before the window and at/after its end: ignored.
+    mon.record(1 * kMs, 500 * kUs);
+    mon.record(7 * kMs, 500 * kUs);
+    mon.record(9 * kMs, 500 * kUs);
+    mon.finishWindow();
+
+    EXPECT_EQ(mon.epochs(), 5u);   // silent epochs still count
+    EXPECT_EQ(mon.violationEpochs(), 0u);
+    EXPECT_DOUBLE_EQ(mon.worstEpochP99Us(), 0.0);
+}
+
+TEST(SloMonitor, PartialTrailingEpochIsClosed)
+{
+    SloConfig cfg;
+    cfg.target_p99_us = 10.0;
+    cfg.epoch = 2 * kMs;
+    SloMonitor mon(cfg);
+    mon.beginWindow(0, 5 * kMs);   // 2.5 epochs
+    mon.record(4500 * kUs, 50 * kUs);
+    mon.finishWindow();
+    EXPECT_EQ(mon.epochs(), 3u);   // ceil(5 / 2)
+    EXPECT_EQ(mon.violationEpochs(), 1u);
+}
+
+// --- tail attribution ---------------------------------------------------
+
+TEST(SloAttribution, PicksSlowestStagePerPacket)
+{
+    PacketTracer t(PacketTracer::Config{64, 1});
+    const Tick target = 100 * kUs;
+
+    // pkt 1: 300 us span dominated by queue wait.
+    t.record(0, 1, TracePoint::Ingress, 0);
+    t.record(10 * kUs, 1, TracePoint::RingEnqueue, 1);
+    t.record(260 * kUs, 1, TracePoint::ServiceStart, 2);
+    t.record(280 * kUs, 1, TracePoint::ServiceEnd, 2);
+    t.record(300 * kUs, 1, TracePoint::Egress, 3);
+
+    // pkt 2: 250 us span dominated by service time.
+    t.record(0, 2, TracePoint::Ingress, 0);
+    t.record(10 * kUs, 2, TracePoint::RingEnqueue, 1);
+    t.record(20 * kUs, 2, TracePoint::ServiceStart, 2);
+    t.record(240 * kUs, 2, TracePoint::ServiceEnd, 2);
+    t.record(250 * kUs, 2, TracePoint::Egress, 3);
+
+    // pkt 3: fast packet, inside the target.
+    t.record(0, 3, TracePoint::Ingress, 0);
+    t.record(1 * kUs, 3, TracePoint::RingEnqueue, 1);
+    t.record(2 * kUs, 3, TracePoint::ServiceStart, 2);
+    t.record(3 * kUs, 3, TracePoint::ServiceEnd, 2);
+    t.record(4 * kUs, 3, TracePoint::Egress, 3);
+
+    // pkt 4: incomplete span (no egress) — skipped.
+    t.record(0, 4, TracePoint::Ingress, 0);
+    t.record(10 * kUs, 4, TracePoint::RingEnqueue, 1);
+
+    const SloAttribution a = attributeTail(t, target);
+    EXPECT_EQ(a.attributed, 2u);
+    EXPECT_EQ(a.queue_wait, 1u);
+    EXPECT_EQ(a.service, 1u);
+    EXPECT_EQ(a.dispatch, 0u);
+    EXPECT_EQ(a.egress, 0u);
+}
+
+// --- end-to-end: energy conservation and SLO accounting -----------------
+
+TEST(ObsIntegration, EnergyComponentsSumAndConserve)
+{
+    core::ServerConfig cfg = core::ServerConfig::halDefault();
+    EventQueue eq;
+    core::ServerSystem sys(eq, cfg);
+    const Tick measure = 40 * kMs;
+    const core::RunResult r = sys.run(
+        std::make_unique<net::ConstantRate>(60.0), 5 * kMs, measure);
+
+    ASSERT_GT(r.responses, 0u);
+    ASSERT_GT(r.energy_total_j, 0.0);
+
+    // The total is the literal sum of the components.
+    const double sum = r.energy_snic_cpu_j + r.energy_snic_accel_j +
+                       r.energy_host_cpu_j + r.energy_host_accel_j +
+                       r.energy_extra_j + r.energy_static_j;
+    EXPECT_DOUBLE_EQ(sum, r.energy_total_j);
+
+    // Conservation: the ledger's per-component integrals agree with
+    // the independently averaged system power x window length. Both
+    // derive from the same piecewise-constant levels, so only
+    // floating-point association error separates them.
+    const double secs =
+        static_cast<double>(measure) / static_cast<double>(kSec);
+    const double via_power = r.system_power_w * secs;
+    EXPECT_NEAR(r.energy_total_j, via_power,
+                1e-9 * std::max(r.energy_total_j, 1.0));
+
+    // Paper anchors: the static baseline dominates, the SNIC's share
+    // of system power is small (0.5-2 %), and per-request energy is
+    // total over responses.
+    EXPECT_GT(r.energy_static_j, 0.5 * r.energy_total_j);
+    EXPECT_GT(r.energy_snic_cpu_j, 0.0);
+    EXPECT_LT(r.energy_snic_cpu_j, 0.1 * r.energy_total_j);
+    EXPECT_DOUBLE_EQ(
+        r.j_per_request,
+        r.energy_total_j / static_cast<double>(r.responses));
+    EXPECT_GT(r.j_per_gb, 0.0);
+}
+
+TEST(ObsIntegration, SloEpochAndViolationAccounting)
+{
+    // A 1 us target no real run can meet: every epoch violates.
+    core::ServerConfig cfg = core::ServerConfig::halDefault();
+    cfg.slo.target_p99_us = 1.0;
+    {
+        EventQueue eq;
+        core::ServerSystem sys(eq, cfg);
+        const core::RunResult r = sys.run(
+            std::make_unique<net::ConstantRate>(60.0), 5 * kMs,
+            30 * kMs);
+        EXPECT_EQ(r.slo_epochs, 6u);   // 30 ms / 5 ms default epoch
+        EXPECT_EQ(r.slo_violation_epochs, r.slo_epochs);
+        EXPECT_DOUBLE_EQ(r.slo_target_p99_us, 1.0);
+        EXPECT_GT(r.slo_worst_p99_us, 1.0);
+    }
+    // A 1 s target nothing violates.
+    cfg.slo.target_p99_us = 1e6;
+    {
+        EventQueue eq;
+        core::ServerSystem sys(eq, cfg);
+        const core::RunResult r = sys.run(
+            std::make_unique<net::ConstantRate>(60.0), 5 * kMs,
+            30 * kMs);
+        EXPECT_EQ(r.slo_epochs, 6u);
+        EXPECT_EQ(r.slo_violation_epochs, 0u);
+    }
+    // Monitoring off: fields stay zero.
+    cfg.slo.target_p99_us = 0.0;
+    {
+        EventQueue eq;
+        core::ServerSystem sys(eq, cfg);
+        const core::RunResult r = sys.run(
+            std::make_unique<net::ConstantRate>(60.0), 5 * kMs,
+            30 * kMs);
+        EXPECT_EQ(r.slo_epochs, 0u);
+        EXPECT_DOUBLE_EQ(r.slo_target_p99_us, 0.0);
+    }
+}
+
+TEST(ObsIntegration, SloStatsTreeAndTailAttribution)
+{
+    core::ServerConfig cfg = core::ServerConfig::halDefault();
+    cfg.obs.stats = true;
+    cfg.obs.trace = true;
+    cfg.obs.trace_sample_every = 4;
+    cfg.slo.target_p99_us = 40.0;
+
+    EventQueue eq;
+    core::ServerSystem sys(eq, cfg);
+    const core::RunResult r = sys.run(
+        std::make_unique<net::ConstantRate>(70.0), 5 * kMs, 30 * kMs);
+    ASSERT_GT(r.responses, 0u);
+
+    const StatsRegistry &reg = sys.obs()->registry();
+    EXPECT_EQ(reg.counterValue("server.slo.epochs"), r.slo_epochs);
+    EXPECT_EQ(reg.counterValue("server.slo.violation_epochs"),
+              r.slo_violation_epochs);
+    EXPECT_DOUBLE_EQ(reg.gaugeValue("server.slo.target_p99_us"), 40.0);
+    EXPECT_DOUBLE_EQ(reg.gaugeValue("server.slo.worst_epoch_p99_us"),
+                     r.slo_worst_p99_us);
+
+    // Energy appears in the same tree, and its lazy total matches the
+    // RunResult field exactly.
+    EXPECT_DOUBLE_EQ(reg.gaugeValue("server.energy.total_j"),
+                     r.energy_total_j);
+
+    // Tail attribution: every attributed packet lands in exactly one
+    // stage bucket.
+    const std::uint64_t attributed =
+        reg.counterValue("server.slo.tail_attributed");
+    EXPECT_EQ(reg.counterValue("server.slo.tail_dispatch") +
+                  reg.counterValue("server.slo.tail_queue_wait") +
+                  reg.counterValue("server.slo.tail_service") +
+                  reg.counterValue("server.slo.tail_egress"),
+              attributed);
 }

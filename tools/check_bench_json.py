@@ -72,6 +72,31 @@ def resolve(tree, dotted):
     return node
 
 
+ENERGY_COMPONENTS = (
+    "energy_snic_cpu_j",
+    "energy_snic_accel_j",
+    "energy_host_cpu_j",
+    "energy_host_accel_j",
+    "energy_extra_j",
+    "energy_static_j",
+)
+
+
+def check_energy_sum(row, where):
+    """Per-component joules must sum to the reported total (the
+    EnergyLedger defines the total as the literal sum, so anything
+    beyond serialization round-off means the breakdown is broken)."""
+    values = [row.get(name) for name in ENERGY_COMPONENTS]
+    total = row.get("energy_total_j")
+    if not all(isinstance(v, (int, float)) and not isinstance(v, bool)
+               for v in values + [total]):
+        return  # missing/mistyped fields already reported
+    sigma = sum(values)
+    if abs(total - sigma) > 1e-9 * max(abs(total), 1.0):
+        fail("%s: energy components sum to %r but energy_total_j is %r"
+             % (where, sigma, total))
+
+
 def check_results(path, schema):
     doc = load(path)
     if doc is None:
@@ -87,6 +112,7 @@ def check_results(path, schema):
             fail(where + ": not an object")
             continue
         check_fields(row, schema["point_fields"], where)
+        check_energy_sum(row, where)
 
 
 def check_stats(path, schema):
