@@ -107,6 +107,32 @@ constexpr Field kFields[] = {
      [](const RunResult &r) { return r.slo_epochs; }},
     {"slo_violation_epochs", Field::Type::U64, nullptr,
      [](const RunResult &r) { return r.slo_violation_epochs; }},
+    {"fleet_backends", Field::Type::U64, nullptr,
+     [](const RunResult &r) { return r.fleet_backends; }},
+    {"fleet_retries", Field::Type::U64, nullptr,
+     [](const RunResult &r) { return r.fleet_retries; }},
+    {"fleet_timeouts", Field::Type::U64, nullptr,
+     [](const RunResult &r) { return r.fleet_timeouts; }},
+    {"fleet_duplicates", Field::Type::U64, nullptr,
+     [](const RunResult &r) { return r.fleet_duplicates; }},
+    {"fleet_sheds", Field::Type::U64, nullptr,
+     [](const RunResult &r) { return r.fleet_sheds; }},
+    {"fleet_requests_failed", Field::Type::U64, nullptr,
+     [](const RunResult &r) { return r.fleet_requests_failed; }},
+    {"fleet_failovers", Field::Type::U64, nullptr,
+     [](const RunResult &r) { return r.fleet_failovers; }},
+    {"fleet_flows_migrated", Field::Type::U64, nullptr,
+     [](const RunResult &r) { return r.fleet_flows_migrated; }},
+    {"fleet_drain_timeouts", Field::Type::U64, nullptr,
+     [](const RunResult &r) { return r.fleet_drain_timeouts; }},
+    {"fleet_probes_failed", Field::Type::U64, nullptr,
+     [](const RunResult &r) { return r.fleet_probes_failed; }},
+    {"fleet_backend_served_min", Field::Type::U64, nullptr,
+     [](const RunResult &r) { return r.fleet_backend_served_min; }},
+    {"fleet_backend_served_max", Field::Type::U64, nullptr,
+     [](const RunResult &r) { return r.fleet_backend_served_max; }},
+    {"energy_fleet_j", Field::Type::F64,
+     [](const RunResult &r) { return r.energy_fleet_j; }, nullptr},
 };
 
 } // namespace

@@ -72,8 +72,11 @@ ServerConfig::validate() const
 
     if (slo.target_p99_us < 0.0)
         fail("slo.target_p99_us must be >= 0");
-    if (slo.enabled() && slo.epoch <= 0)
-        fail("slo.epoch must be > 0 when monitoring is on");
+    // Unconditional: a zero epoch is degenerate whether or not the
+    // monitor is armed, and arming it later (e.g. via --slo-p99)
+    // must not suddenly discover a bad epoch mid-sweep.
+    if (slo.epoch <= 0)
+        fail("slo.epoch must be > 0");
 
     if (obs.enabled()) {
         if (obs.stats && obs.sample_epoch == 0)

@@ -202,6 +202,21 @@ struct RunResult
     std::uint64_t slo_epochs = 0;        //!< epochs in the window
     std::uint64_t slo_violation_epochs = 0; //!< epochs with p99 > target
 
+    // --- fleet resilience layer (all zero for single-server runs) ----
+    std::uint64_t fleet_backends = 0;    //!< backends in the fleet
+    std::uint64_t fleet_retries = 0;     //!< client retransmissions
+    std::uint64_t fleet_timeouts = 0;    //!< client attempt timeouts
+    std::uint64_t fleet_duplicates = 0;  //!< late responses suppressed
+    std::uint64_t fleet_sheds = 0;       //!< admission-control drops
+    std::uint64_t fleet_requests_failed = 0; //!< retry budget exhausted
+    std::uint64_t fleet_failovers = 0;   //!< health down-transitions
+    std::uint64_t fleet_flows_migrated = 0; //!< pins moved on failover
+    std::uint64_t fleet_drain_timeouts = 0; //!< drains written off
+    std::uint64_t fleet_probes_failed = 0;  //!< failed health probes
+    std::uint64_t fleet_backend_served_min = 0; //!< least-loaded backend
+    std::uint64_t fleet_backend_served_max = 0; //!< most-loaded backend
+    double energy_fleet_j = 0.0;         //!< sum of per-backend accounts
+
     /**
      * Loss fraction over the measurement window. Packets in flight at
      * the window boundary are accounted explicitly (they were neither

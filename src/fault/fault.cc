@@ -1,5 +1,7 @@
 #include "fault/fault.hh"
 
+#include <algorithm>
+
 namespace halsim::fault {
 
 const char *
@@ -16,6 +18,9 @@ faultKindName(FaultKind k)
       case FaultKind::ControlDelay: return "control-delay";
       case FaultKind::LbpStall: return "lbp-stall";
       case FaultKind::SwitchPortDown: return "switch-port-down";
+      case FaultKind::BackendCrash: return "backend-crash";
+      case FaultKind::BackendStall: return "backend-stall";
+      case FaultKind::ProbeLoss: return "probe-loss";
     }
     return "?";
 }
@@ -136,6 +141,39 @@ FaultPlan::switchPortDown(FaultTarget t, Tick at, Tick duration)
     return add(ev);
 }
 
+FaultPlan &
+FaultPlan::backendCrash(unsigned backend, Tick at, Tick duration)
+{
+    FaultEvent ev;
+    ev.kind = FaultKind::BackendCrash;
+    ev.index = backend;
+    ev.at = at;
+    ev.duration = duration;
+    return add(ev);
+}
+
+FaultPlan &
+FaultPlan::backendStall(unsigned backend, Tick at, Tick duration)
+{
+    FaultEvent ev;
+    ev.kind = FaultKind::BackendStall;
+    ev.index = backend;
+    ev.at = at;
+    ev.duration = duration;
+    return add(ev);
+}
+
+FaultPlan &
+FaultPlan::probeLoss(double drop_prob, Tick at, Tick duration)
+{
+    FaultEvent ev;
+    ev.kind = FaultKind::ProbeLoss;
+    ev.magnitude = drop_prob;
+    ev.at = at;
+    ev.duration = duration;
+    return add(ev);
+}
+
 FaultInjector::FaultInjector(EventQueue &eq, const FaultPlan &plan,
                              FaultHooks hooks)
     : eq_(eq), hooks_(std::move(hooks)),
@@ -145,9 +183,6 @@ FaultInjector::FaultInjector(EventQueue &eq, const FaultPlan &plan,
     for (const FaultEvent &ev : plan.events()) {
         auto s = std::make_unique<Scheduled>();
         s->ev = ev;
-        Scheduled *sp = s.get();
-        s->apply.setCallback([this, sp] { fire(*sp); });
-        s->revert.setCallback([this, sp] { unfire(*sp); });
         sched_.push_back(std::move(s));
     }
 }
@@ -160,23 +195,64 @@ FaultInjector::~FaultInjector()
 void
 FaultInjector::start(Tick base)
 {
+    buckets_.clear();
+
+    // Collect every action in plan order — each event's apply, then
+    // (if bounded) its revert — and stable-sort by time alone. Actions
+    // due at the same tick keep their plan-relative order and share
+    // one bucket timer, so same-tick firing order is the plan's, not
+    // whatever the event heap happens to do with ties.
+    struct Timed
+    {
+        Tick when;
+        Bucket::Action act;
+    };
+    std::vector<Timed> timed;
+    timed.reserve(sched_.size() * 2);
     for (auto &s : sched_) {
-        eq_.schedule(&s->apply, base + s->ev.at);
-        if (s->ev.duration > 0)
-            eq_.schedule(&s->revert, base + s->ev.at + s->ev.duration);
+        timed.push_back({base + s->ev.at, {s.get(), false}});
+        if (s->ev.duration > 0) {
+            timed.push_back(
+                {base + s->ev.at + s->ev.duration, {s.get(), true}});
+        }
     }
+    std::stable_sort(timed.begin(), timed.end(),
+                     [](const Timed &a, const Timed &b) {
+                         return a.when < b.when;
+                     });
+
+    for (const Timed &t : timed) {
+        if (buckets_.empty() || buckets_.back()->when != t.when) {
+            auto b = std::make_unique<Bucket>();
+            b->when = t.when;
+            Bucket *bp = b.get();
+            b->ev.setCallback([this, bp] {
+                for (const Bucket::Action &a : bp->actions) {
+                    if (a.revert)
+                        unfire(*a.sched);
+                    else
+                        fire(*a.sched);
+                }
+            });
+            buckets_.push_back(std::move(b));
+        }
+        buckets_.back()->actions.push_back(t.act);
+    }
+
+    for (auto &b : buckets_)
+        eq_.schedule(&b->ev, b->when);
 }
 
 void
 FaultInjector::stop()
 {
-    for (auto &s : sched_) {
-        if (s->apply.scheduled())
-            eq_.deschedule(&s->apply);
-        if (s->revert.scheduled())
-            eq_.deschedule(&s->revert);
-        unfire(*s);
+    for (auto &b : buckets_) {
+        if (b->ev.scheduled())
+            eq_.deschedule(&b->ev);
     }
+    buckets_.clear();
+    for (auto &s : sched_)
+        unfire(*s);
 }
 
 void
@@ -292,6 +368,22 @@ FaultInjector::applyFault(const FaultEvent &ev)
             return false;
         hooks_.switch_port(ev.target, false);
         return true;
+
+      case FaultKind::BackendCrash:
+        if (!hooks_.fleet_crash)
+            return false;
+        return hooks_.fleet_crash(ev.index, true);
+
+      case FaultKind::BackendStall:
+        if (!hooks_.fleet_stall)
+            return false;
+        return hooks_.fleet_stall(ev.index, true);
+
+      case FaultKind::ProbeLoss:
+        if (!hooks_.probe_impair)
+            return false;
+        hooks_.probe_impair(ev.magnitude, &rng_);
+        return true;
     }
     return false;
 }
@@ -332,6 +424,16 @@ FaultInjector::revertFault(const FaultEvent &ev)
         break;
       case FaultKind::SwitchPortDown:
         hooks_.switch_port(ev.target, true);
+        break;
+      case FaultKind::BackendCrash:
+        hooks_.fleet_crash(ev.index, false);
+        break;
+      case FaultKind::BackendStall:
+        hooks_.fleet_stall(ev.index, false);
+        break;
+      case FaultKind::ProbeLoss:
+        if (hooks_.probe_restore)
+            hooks_.probe_restore();
         break;
     }
 }

@@ -64,6 +64,16 @@ enum class FaultKind : std::uint8_t
     LbpStall,
     /** The eSwitch port toward the target processor blackholes. */
     SwitchPortDown,
+    /** Fleet backend `index` fail-stops: queued + in-service requests
+     *  are lost, new arrivals blackhole until recovery. */
+    BackendCrash,
+    /** Fleet backend `index` hangs: in-flight requests complete but
+     *  nothing new is served and health probes fail. */
+    BackendStall,
+    /** Health probes are dropped with probability `magnitude` (a lost
+     *  probe reads as a failed one — the false-positive stressor the
+     *  checker's hysteresis exists for). */
+    ProbeLoss,
 };
 
 const char *faultKindName(FaultKind k);
@@ -124,6 +134,9 @@ class FaultPlan
     FaultPlan &controlDelay(Tick extra, Tick at, Tick duration);
     FaultPlan &lbpStall(Tick at, Tick duration);
     FaultPlan &switchPortDown(FaultTarget t, Tick at, Tick duration);
+    FaultPlan &backendCrash(unsigned backend, Tick at, Tick duration = 0);
+    FaultPlan &backendStall(unsigned backend, Tick at, Tick duration = 0);
+    FaultPlan &probeLoss(double drop_prob, Tick at, Tick duration);
 
     FaultPlan &
     setSeed(std::uint64_t seed)
@@ -162,6 +175,15 @@ struct FaultHooks
     std::function<void()> control_restore;
     /** Hang / resume the LBP core. */
     std::function<void(bool)> lbp_stalled;
+    /** Crash (true) / restore (false) fleet backend `index`; returns
+     *  false when the index is out of range (fault skipped). */
+    std::function<bool(unsigned, bool)> fleet_crash;
+    /** Stall (true) / resume (false) fleet backend `index`. */
+    std::function<bool(unsigned, bool)> fleet_stall;
+    /** Impair the health-probe channel: (loss prob, rng). */
+    std::function<void(double, Rng *)> probe_impair;
+    /** Restore the health-probe channel to nominal. */
+    std::function<void()> probe_restore;
 };
 
 /**
@@ -199,10 +221,28 @@ class FaultInjector
     struct Scheduled
     {
         FaultEvent ev;
-        CallbackEvent apply;
-        CallbackEvent revert;
         bool applied = false;
         bool reverted = false;
+    };
+
+    /**
+     * One timer shared by every apply/revert action due at the same
+     * tick. Actions within a bucket run in plan order, so two events
+     * scheduled for the same tick fire exactly as the plan lists them
+     * — the plan is the ordering contract, not the event heap's
+     * same-tick internals.
+     */
+    struct Bucket
+    {
+        struct Action
+        {
+            Scheduled *sched;
+            bool revert;
+        };
+
+        Tick when = 0;
+        CallbackEvent ev;
+        std::vector<Action> actions;
     };
 
     void fire(Scheduled &s);
@@ -216,6 +256,7 @@ class FaultInjector
     FaultHooks hooks_;
     Rng rng_;
     std::vector<std::unique_ptr<Scheduled>> sched_;
+    std::vector<std::unique_ptr<Bucket>> buckets_;
     std::uint64_t injected_ = 0;
     std::uint64_t reverted_ = 0;
     std::uint64_t skipped_ = 0;

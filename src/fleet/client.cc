@@ -1,0 +1,162 @@
+#include "fleet/client.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "fleet/ring.hh"
+
+namespace halsim::fleet {
+
+FleetClient::FleetClient(EventQueue &eq, Config cfg,
+                         net::PacketSink &sink)
+    : eq_(eq), cfg_(std::move(cfg)), sink_(sink), rng_(cfg_.seed)
+{
+    assert(cfg_.flows > 0);
+    assert(cfg_.frame_bytes >= net::kFrameHeaderLen);
+    emitEvent_.setCallback([this] { emitOne(); });
+    resampleEvent_.setCallback([this] { resample(); });
+}
+
+FleetClient::~FleetClient()
+{
+    stop();
+}
+
+void
+FleetClient::start(std::unique_ptr<net::RateProcess> rate, Tick until)
+{
+    assert(rate != nullptr);
+    rate_ = std::move(rate);
+    until_ = until;
+    resample();
+    if (!emitEvent_.scheduled())
+        eq_.scheduleIn(&emitEvent_, 0);
+}
+
+void
+FleetClient::stop()
+{
+    if (emitEvent_.scheduled())
+        eq_.deschedule(&emitEvent_);
+    if (resampleEvent_.scheduled())
+        eq_.deschedule(&resampleEvent_);
+}
+
+void
+FleetClient::resample()
+{
+    rateGbps_ = std::max(rate_->sample(rng_), cfg_.min_rate_gbps);
+    if (eq_.now() + cfg_.resample_epoch <= until_)
+        eq_.scheduleIn(&resampleEvent_, cfg_.resample_epoch);
+}
+
+void
+FleetClient::emitOne()
+{
+    const Tick now = eq_.now();
+    if (now >= until_)
+        return;
+
+    const std::uint64_t id = nextId_++;
+    ++unique_;
+    const auto flow =
+        static_cast<std::uint32_t>(rng_.uniformInt(cfg_.flows));
+    Pending p;
+    p.flowHash = static_cast<std::uint32_t>(mix64(flow) >> 32);
+    p.firstTx = now;
+    // ids are strictly increasing, so the emplace always inserts.
+    auto it = pending_.emplace(id, p).first;
+    sendAttempt(id, it->second);
+
+    const Tick gap = transferTicks(cfg_.frame_bytes, rateGbps_);
+    const Tick next = now + std::max<Tick>(gap, 1);
+    if (next < until_)
+        eq_.schedule(&emitEvent_, next);
+}
+
+void
+FleetClient::sendAttempt(std::uint64_t id, Pending &p)
+{
+    static constexpr std::uint8_t kEmpty[1] = {0};
+    auto pkt = net::makeUdpPacket(
+        cfg_.endpoints.src_mac, cfg_.endpoints.dst_mac,
+        cfg_.endpoints.src_ip, cfg_.endpoints.dst_ip,
+        cfg_.endpoints.src_port, cfg_.endpoints.dst_port,
+        std::span<const std::uint8_t>(kEmpty, 0), cfg_.frame_bytes);
+    pkt->id = id;
+    // Retransmissions keep the original timestamp: latency is
+    // first-send to first-response, so retries surface in the tail.
+    pkt->clientTx = p.firstTx;
+    pkt->flowHash = p.flowHash;
+    pkt->clientMac = cfg_.endpoints.src_mac;
+    pkt->clientIp = cfg_.endpoints.src_ip;
+    pkt->clientPort = cfg_.endpoints.src_port;
+
+    ++sends_;
+    sentBytes_ += pkt->size();
+    sink_.accept(std::move(pkt));
+
+    if (cfg_.retry.enabled()) {
+        eq_.scheduleFnIn(
+            [this, id, attempt = p.attempt] { onTimeout(id, attempt); },
+            cfg_.retry.timeout);
+    }
+}
+
+void
+FleetClient::onTimeout(std::uint64_t id, unsigned attempt)
+{
+    auto it = pending_.find(id);
+    if (it == pending_.end() || it->second.attempt != attempt)
+        return; // resolved, or superseded by a newer attempt
+    ++timeouts_;
+    Pending &p = it->second;
+    if (p.retriesUsed >= cfg_.retry.max_retries) {
+        ++failed_;
+        pending_.erase(it);
+        return;
+    }
+    const Tick backoff = cfg_.retry.backoffFor(p.retriesUsed);
+    eq_.scheduleFnIn([this, id] { retransmit(id); }, backoff);
+}
+
+void
+FleetClient::retransmit(std::uint64_t id)
+{
+    auto it = pending_.find(id);
+    if (it == pending_.end())
+        return; // a straggler response resolved it during backoff
+    Pending &p = it->second;
+    ++p.retriesUsed;
+    ++p.attempt;
+    ++retries_;
+    sendAttempt(id, p);
+}
+
+void
+FleetClient::accept(net::PacketPtr pkt)
+{
+    auto it = pending_.find(pkt->id);
+    if (it == pending_.end()) {
+        // Late original racing a served retry (or a response past a
+        // failed request): suppressed, never double-counted.
+        ++duplicates_;
+        return;
+    }
+    const Tick now = eq_.now();
+    const Tick lat = now - it->second.firstTx;
+    latency_.sample(static_cast<double>(lat));
+    obs::sloRecord(slo_, now, lat);
+    delivered_.add(pkt->size());
+    ++completions_;
+    pending_.erase(it);
+}
+
+void
+FleetClient::resetMeasurement()
+{
+    latency_.reset();
+    delivered_.resetAt(eq_.now());
+}
+
+} // namespace halsim::fleet

@@ -1,0 +1,78 @@
+#include "fleet/health.hh"
+
+#include <cassert>
+#include <utility>
+
+namespace halsim::fleet {
+
+HealthChecker::HealthChecker(EventQueue &eq, Config cfg,
+                             std::vector<Backend *> targets)
+    : eq_(eq), cfg_(cfg), targets_(std::move(targets)),
+      st_(targets_.size())
+{
+    assert(cfg_.epoch > 0);
+    assert(cfg_.fall > 0);
+    assert(cfg_.rise > 0);
+    probeEvent_.setCallback([this] { probeAll(); });
+}
+
+HealthChecker::~HealthChecker()
+{
+    stop();
+}
+
+void
+HealthChecker::start(Tick until)
+{
+    until_ = until;
+    if (!probeEvent_.scheduled() &&
+        eq_.now() + cfg_.epoch <= until_)
+        eq_.scheduleIn(&probeEvent_, cfg_.epoch);
+}
+
+void
+HealthChecker::stop()
+{
+    if (probeEvent_.scheduled())
+        eq_.deschedule(&probeEvent_);
+}
+
+void
+HealthChecker::probeAll()
+{
+    for (unsigned b = 0; b < targets_.size(); ++b) {
+        ++probesSent_;
+        bool ok = targets_[b]->probeOk();
+        if (ok && probeRng_ != nullptr && probeLoss_ > 0.0 &&
+            probeRng_->chance(probeLoss_)) {
+            // A lost probe is indistinguishable from a dead backend.
+            ++probesLost_;
+            ok = false;
+        }
+        State &s = st_[b];
+        if (ok) {
+            s.consecFail = 0;
+            if (!s.healthy && ++s.consecOk >= cfg_.rise) {
+                s.healthy = true;
+                s.consecOk = 0;
+                ++upTransitions_;
+                if (onUp_)
+                    onUp_(b);
+            }
+        } else {
+            ++probesFailed_;
+            s.consecOk = 0;
+            if (s.healthy && ++s.consecFail >= cfg_.fall) {
+                s.healthy = false;
+                s.consecFail = 0;
+                ++downTransitions_;
+                if (onDown_)
+                    onDown_(b);
+            }
+        }
+    }
+    if (eq_.now() + cfg_.epoch <= until_)
+        eq_.scheduleIn(&probeEvent_, cfg_.epoch);
+}
+
+} // namespace halsim::fleet

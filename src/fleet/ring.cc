@@ -1,0 +1,72 @@
+#include "fleet/ring.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace halsim::fleet {
+
+HashRing::HashRing(unsigned backends, unsigned vnodes)
+    : up_(backends, 1), upCount_(backends)
+{
+    assert(backends > 0);
+    assert(vnodes > 0);
+    points_.reserve(static_cast<std::size_t>(backends) * vnodes);
+    for (unsigned b = 0; b < backends; ++b) {
+        for (unsigned v = 0; v < vnodes; ++v) {
+            const std::uint64_t pos = mix64(
+                (static_cast<std::uint64_t>(b) << 32) | v);
+            points_.emplace_back(pos, b);
+        }
+    }
+    std::sort(points_.begin(), points_.end());
+}
+
+void
+HashRing::setUp(unsigned backend, bool up)
+{
+    assert(backend < up_.size());
+    const char v = up ? 1 : 0;
+    if (up_[backend] == v)
+        return;
+    up_[backend] = v;
+    upCount_ += up ? 1u : -1u;
+}
+
+std::optional<unsigned>
+HashRing::lookup(std::uint64_t key) const
+{
+    if (upCount_ == 0)
+        return std::nullopt;
+    const std::uint64_t pos = mix64(key);
+    auto it = std::lower_bound(
+        points_.begin(), points_.end(), pos,
+        [](const auto &p, std::uint64_t v) { return p.first < v; });
+    // Clockwise walk (wrapping) to the first up backend.
+    for (std::size_t n = 0; n < points_.size(); ++n) {
+        if (it == points_.end())
+            it = points_.begin();
+        if (up_[it->second] != 0)
+            return it->second;
+        ++it;
+    }
+    return std::nullopt;
+}
+
+std::optional<unsigned>
+HashRing::successor(std::uint64_t key, unsigned excluding) const
+{
+    const std::uint64_t pos = mix64(key);
+    auto it = std::lower_bound(
+        points_.begin(), points_.end(), pos,
+        [](const auto &p, std::uint64_t v) { return p.first < v; });
+    for (std::size_t n = 0; n < points_.size(); ++n) {
+        if (it == points_.end())
+            it = points_.begin();
+        if (it->second != excluding && up_[it->second] != 0)
+            return it->second;
+        ++it;
+    }
+    return std::nullopt;
+}
+
+} // namespace halsim::fleet

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Consistent-hash ring over a fixed set of fleet backends.
+ *
+ * Each backend contributes `vnodes` points on a 64-bit ring; a flow
+ * key maps to the first ring point clockwise from its hash. Backends
+ * can be marked down without rebuilding the ring: lookup() simply
+ * walks past points whose backend is down, so the successor a flow
+ * fails over to is the same backend that would own the key if the
+ * dead node had never existed — the classic consistent-hashing
+ * property HNLB-style L4 balancers rely on for minimal disruption.
+ *
+ * Everything is deterministic: the point positions are a pure hash of
+ * (backend, vnode), and lookup is a binary search plus a bounded
+ * clockwise walk. No RNG, no wall clock.
+ */
+
+#ifndef HALSIM_FLEET_RING_HH
+#define HALSIM_FLEET_RING_HH
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace halsim::fleet {
+
+/** splitmix64 finalizer: the ring's point/key hash. Public so tests
+ *  and the flow-key derivation in FleetClient agree on the mixing. */
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+class HashRing
+{
+  public:
+    /**
+     * @param backends number of backends (> 0)
+     * @param vnodes   ring points per backend (> 0); more points
+     *                 smooth the load split at the cost of a larger
+     *                 sorted array
+     */
+    HashRing(unsigned backends, unsigned vnodes);
+
+    unsigned backends() const { return static_cast<unsigned>(up_.size()); }
+
+    /** Mark a backend up/down; lookups skip down backends. */
+    void setUp(unsigned backend, bool up);
+
+    bool isUp(unsigned backend) const { return up_[backend] != 0; }
+
+    /** Backends currently marked up. */
+    unsigned upCount() const { return upCount_; }
+
+    /**
+     * Owner of @p key: the first up backend clockwise from the key's
+     * ring position. Empty when every backend is down.
+     */
+    std::optional<unsigned> lookup(std::uint64_t key) const;
+
+    /**
+     * Owner of @p key ignoring backend @p excluding (also skipping
+     * down backends) — where a pinned flow migrates when its backend
+     * dies. Empty when no other backend is up.
+     */
+    std::optional<unsigned> successor(std::uint64_t key,
+                                      unsigned excluding) const;
+
+    /** Ring points (backends * vnodes). */
+    std::size_t points() const { return points_.size(); }
+
+  private:
+    /** (position, backend), sorted by position then backend. */
+    std::vector<std::pair<std::uint64_t, unsigned>> points_;
+    std::vector<char> up_;
+    unsigned upCount_ = 0;
+};
+
+} // namespace halsim::fleet
+
+#endif // HALSIM_FLEET_RING_HH

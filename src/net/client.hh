@@ -20,6 +20,41 @@
 namespace halsim::net {
 
 /**
+ * Client-side hardening knobs: per-attempt response timeout, bounded
+ * retries, and capped exponential backoff. Shared by any client that
+ * retransmits (the fleet client today); kept next to Client so the
+ * request/response contract lives in one header.
+ *
+ * A retried request keeps its original id, so a late original and
+ * the retried copy are recognized as duplicates by the receiver and
+ * never double-counted.
+ */
+struct RetryPolicy
+{
+    /** Per-attempt response timeout; 0 disables retry machinery. */
+    Tick timeout = 2 * kMs;
+    /** Retransmissions allowed after the first attempt. */
+    unsigned max_retries = 3;
+    /** Delay before the first retransmission. */
+    Tick backoff_base = 500 * kUs;
+    /** Exponential backoff saturates here. */
+    Tick backoff_cap = 8 * kMs;
+
+    bool enabled() const { return timeout > 0; }
+
+    /** Backoff before retransmission number @p retry (0-based):
+     *  base * 2^retry, capped. */
+    Tick
+    backoffFor(unsigned retry) const
+    {
+        Tick d = backoff_base;
+        for (unsigned i = 0; i < retry && d < backoff_cap; ++i)
+            d *= 2;
+        return d < backoff_cap ? d : backoff_cap;
+    }
+};
+
+/**
  * Receives response frames, attributing latency against the request
  * timestamp carried in packet metadata. Statistics can be reset at a
  * warmup boundary so measurements exclude cold-start transients.

@@ -28,6 +28,7 @@
 
 #include "core/server.hh"
 #include "core/sweep.hh"
+#include "fleet/fleet.hh"
 #include "net/packet_pool.hh"
 #include "net/traffic.hh"
 #include "obs/obs.hh"
@@ -99,6 +100,19 @@ expectIdentical(const RunResult &a, const RunResult &b)
                    "slo_worst_p99_us");
     EXPECT_EQ(a.slo_epochs, b.slo_epochs);
     EXPECT_EQ(a.slo_violation_epochs, b.slo_violation_epochs);
+    EXPECT_EQ(a.fleet_backends, b.fleet_backends);
+    EXPECT_EQ(a.fleet_retries, b.fleet_retries);
+    EXPECT_EQ(a.fleet_timeouts, b.fleet_timeouts);
+    EXPECT_EQ(a.fleet_duplicates, b.fleet_duplicates);
+    EXPECT_EQ(a.fleet_sheds, b.fleet_sheds);
+    EXPECT_EQ(a.fleet_requests_failed, b.fleet_requests_failed);
+    EXPECT_EQ(a.fleet_failovers, b.fleet_failovers);
+    EXPECT_EQ(a.fleet_flows_migrated, b.fleet_flows_migrated);
+    EXPECT_EQ(a.fleet_drain_timeouts, b.fleet_drain_timeouts);
+    EXPECT_EQ(a.fleet_probes_failed, b.fleet_probes_failed);
+    EXPECT_EQ(a.fleet_backend_served_min, b.fleet_backend_served_min);
+    EXPECT_EQ(a.fleet_backend_served_max, b.fleet_backend_served_max);
+    expectBitEqual(a.energy_fleet_j, b.energy_fleet_j, "energy_fleet_j");
 }
 
 /** A HAL point with a transient fault so that every fault/watchdog
@@ -236,6 +250,65 @@ TEST(Determinism, ObsArtifactsIdenticalAcrossSweepThreads)
     EXPECT_EQ(fromPoints(serial[0]), fromPoints(parallel[0]));
     EXPECT_EQ(serial[1], parallel[1]);   // stats trees
     EXPECT_EQ(serial[2], parallel[2]);   // Chrome trace
+}
+
+TEST(Determinism, FleetSweepThreads1VsNIdentical)
+{
+    // Fleet runs with faults armed must be bit-identical across sweep
+    // worker counts, artifacts included — same contract as the
+    // single-server sweep.
+    std::vector<fleet::FleetSweepPoint> points;
+    for (double rate : {20.0, 45.0}) {
+        fleet::FleetSweepPoint p;
+        p.cfg.backends = 3;
+        p.cfg.slo.target_p99_us = 500.0;
+        p.cfg.faults.backendCrash(1, 8 * kMs); // permanent, mid-window
+        p.cfg.faults.probeLoss(0.2, 2 * kMs, 4 * kMs);
+        p.rate_gbps = rate;
+        p.warmup = 5 * kMs;
+        p.measure = 20 * kMs;
+        p.label = "fleet" + std::to_string(static_cast<int>(rate));
+        points.push_back(std::move(p));
+    }
+
+    auto artifacts = [&points](unsigned threads) {
+        const std::string base = ::testing::TempDir() + "det_fleet_t" +
+                                 std::to_string(threads);
+        SweepOptions opts;
+        opts.threads = threads;
+        opts.json_path = base + ".json";
+        opts.stats_path = base + "_stats.json";
+        const auto results = fleet::runFleetSweep(points, opts);
+        auto slurp = [](const std::string &path) {
+            std::ifstream in(path, std::ios::binary);
+            std::ostringstream os;
+            os << in.rdbuf();
+            return os.str();
+        };
+        return std::make_pair(
+            results, std::vector<std::string>{slurp(opts.json_path),
+                                              slurp(opts.stats_path)});
+    };
+
+    const auto [rs, as] = artifacts(1);
+    const auto [rp, ap] = artifacts(4);
+    ASSERT_EQ(rs.size(), points.size());
+    // The crash must actually have fired and been failed over.
+    ASSERT_GT(rs[0].faults_injected, 0u);
+    ASSERT_GT(rs[0].fleet_failovers, 0u);
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+        SCOPED_TRACE(i);
+        expectIdentical(rs[i], rp[i]);
+    }
+    ASSERT_FALSE(as[0].empty());
+    ASSERT_FALSE(as[1].empty());
+    const auto fromPoints = [](const std::string &s) {
+        const std::size_t pos = s.find("\"points\"");
+        EXPECT_NE(pos, std::string::npos);
+        return s.substr(pos == std::string::npos ? 0 : pos);
+    };
+    EXPECT_EQ(fromPoints(as[0]), fromPoints(ap[0]));
+    EXPECT_EQ(as[1], ap[1]); // stats trees
 }
 
 TEST(Determinism, SweepThreads1VsNIdentical)

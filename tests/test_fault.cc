@@ -13,8 +13,11 @@
 #include <cmath>
 #include <memory>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "core/server.hh"
+#include "fault/fault.hh"
 
 using namespace halsim;
 using namespace halsim::core;
@@ -94,6 +97,25 @@ TEST(FaultConfig, ValidationMessageNamesField)
         FAIL() << "expected std::invalid_argument";
     } catch (const std::invalid_argument &e) {
         EXPECT_NE(std::string(e.what()).find("ring_descriptors"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(FaultConfig, RejectsNonPositiveSloEpochEvenWhenUnarmed)
+{
+    // slo.epoch is validated unconditionally: a run can arm the SLO
+    // monitor later (--slo-p99), so an unarmed config must not smuggle
+    // a zero epoch past validation.
+    EventQueue eq;
+    auto cfg = cfgFor(Mode::Hal);
+    cfg.slo.target_p99_us = 0.0; // monitor unarmed
+    cfg.slo.epoch = 0;
+    try {
+        ServerSystem sys(eq, cfg);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("slo.epoch"),
                   std::string::npos)
             << e.what();
     }
@@ -463,4 +485,89 @@ TEST(FaultDrill, TransientHostBlipRecoversWithinWatchdogWindow)
     EXPECT_LE(r.time_to_recover_us, 16e3);
     EXPECT_GT(r.host_frames, 0u)
         << "host serves again after the blip";
+}
+
+// --- satellite: same-tick fault events fire in plan order -------------
+
+TEST(FaultInjector, SameTickEventsFireInPlanOrder)
+{
+    EventQueue eq;
+    std::vector<std::string> log;
+    fault::FaultHooks fh;
+    fh.control_impair = [&log](double loss, Tick, Rng *) {
+        log.push_back("impair " + std::to_string(loss).substr(0, 4));
+    };
+    fh.control_restore = [&log] { log.push_back("restore"); };
+
+    // Three events colliding at t = 2 ms: the first event's revert
+    // plus two applies. The contract is plan order — the order the
+    // plan lists them, each event's apply before its own revert — not
+    // whatever the event heap does with same-tick ties.
+    fault::FaultPlan plan;
+    plan.controlLoss(0.25, 1 * kMs, 1 * kMs); // reverts at 2 ms
+    plan.controlLoss(0.50, 2 * kMs, 1 * kMs); // applies at 2 ms
+    plan.controlLoss(0.75, 2 * kMs, 2 * kMs); // applies at 2 ms
+
+    fault::FaultInjector inj(eq, plan, std::move(fh));
+    inj.start(eq.now());
+    eq.runUntil(10 * kMs);
+
+    ASSERT_EQ(log.size(), 6u);
+    EXPECT_EQ(log[0], "impair 0.25"); // t = 1 ms
+    EXPECT_EQ(log[1], "restore");     // t = 2 ms: revert of event 0...
+    EXPECT_EQ(log[2], "impair 0.50"); // ...then applies in plan order
+    EXPECT_EQ(log[3], "impair 0.75");
+    EXPECT_EQ(log[4], "restore");     // t = 3 ms
+    EXPECT_EQ(log[5], "restore");     // t = 4 ms
+    EXPECT_EQ(inj.injected(), 3u);
+    EXPECT_EQ(inj.reverted(), 3u);
+    EXPECT_EQ(inj.active(), 0u);
+}
+
+TEST(FaultInjector, SameTickOrderSurvivesReversedPlanInsertion)
+{
+    // The same two colliding applies inserted in the opposite order
+    // must fire in the opposite order: the plan is the contract.
+    for (const bool reversed : {false, true}) {
+        EventQueue eq;
+        std::vector<double> fired;
+        fault::FaultHooks fh;
+        fh.control_impair = [&fired](double loss, Tick, Rng *) {
+            fired.push_back(loss);
+        };
+        fh.control_restore = [] {};
+
+        fault::FaultPlan plan;
+        if (reversed) {
+            plan.controlLoss(0.75, 5 * kMs, 1 * kMs);
+            plan.controlLoss(0.25, 5 * kMs, 1 * kMs);
+        } else {
+            plan.controlLoss(0.25, 5 * kMs, 1 * kMs);
+            plan.controlLoss(0.75, 5 * kMs, 1 * kMs);
+        }
+
+        fault::FaultInjector inj(eq, plan, std::move(fh));
+        inj.start(eq.now());
+        eq.runUntil(10 * kMs);
+
+        ASSERT_EQ(fired.size(), 2u);
+        EXPECT_EQ(fired[0], reversed ? 0.75 : 0.25);
+        EXPECT_EQ(fired[1], reversed ? 0.25 : 0.75);
+    }
+}
+
+TEST(FaultInjector, FleetKindsSkippedWithoutFleetHooks)
+{
+    // A fleet plan running against a single-server hook set counts as
+    // skipped, not an error — same contract as absent processors.
+    EventQueue eq;
+    fault::FaultPlan plan;
+    plan.backendCrash(0, 1 * kMs);
+    plan.backendStall(1, 1 * kMs, 1 * kMs);
+    plan.probeLoss(0.5, 1 * kMs, 1 * kMs);
+    fault::FaultInjector inj(eq, plan, fault::FaultHooks{});
+    inj.start(eq.now());
+    eq.runUntil(5 * kMs);
+    EXPECT_EQ(inj.injected(), 0u);
+    EXPECT_EQ(inj.skipped(), 3u);
 }

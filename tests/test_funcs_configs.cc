@@ -10,8 +10,13 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "coherence/domain.hh"
+#include "core/server.hh"
+#include "fleet/fleet.hh"
 #include "funcs/analytics.hh"
 #include "funcs/content.hh"
 #include "funcs/nat.hh"
@@ -302,3 +307,69 @@ INSTANTIATE_TEST_SUITE_P(
     Mixes, KvsMixTest,
     ::testing::Values(std::pair{0.5, 0.3}, std::pair{0.9, 0.05},
                       std::pair{0.1, 0.8}));
+
+// --- Config validation (degenerate SLO / fleet settings) --------------
+//
+// validate() collects every violation in one pass; the system ctors
+// throw std::invalid_argument joining them, so a degenerate config
+// dies loudly instead of silently misbehaving.
+
+namespace {
+
+bool
+mentions(const std::vector<std::string> &errors, const std::string &what)
+{
+    for (const auto &e : errors)
+        if (e.find(what) != std::string::npos)
+            return true;
+    return false;
+}
+
+} // namespace
+
+TEST(ConfigValidation, DefaultServerConfigIsValid)
+{
+    EXPECT_TRUE(core::ServerConfig{}.validate().empty());
+}
+
+TEST(ConfigValidation, ServerRejectsNonPositiveSloEpoch)
+{
+    core::ServerConfig cfg;
+    cfg.slo.epoch = 0;
+    const auto errors = cfg.validate();
+    ASSERT_FALSE(errors.empty());
+    EXPECT_TRUE(mentions(errors, "slo.epoch"));
+
+    EventQueue eq;
+    EXPECT_THROW(core::ServerSystem(eq, cfg), std::invalid_argument);
+}
+
+TEST(ConfigValidation, DefaultFleetConfigIsValid)
+{
+    EXPECT_TRUE(fleet::FleetConfig{}.validate().empty());
+}
+
+TEST(ConfigValidation, FleetRejectsZeroBackends)
+{
+    fleet::FleetConfig cfg;
+    cfg.backends = 0;
+    EXPECT_TRUE(mentions(cfg.validate(), "backends"));
+
+    EventQueue eq;
+    EXPECT_THROW(fleet::FleetSystem(eq, cfg), std::invalid_argument);
+}
+
+TEST(ConfigValidation, FleetRejectsRetryBudgetWithZeroTimeout)
+{
+    fleet::FleetConfig cfg;
+    cfg.client.retry.timeout = 0;
+    cfg.client.retry.max_retries = 3;
+    EXPECT_TRUE(mentions(cfg.validate(), "retry budget"));
+}
+
+TEST(ConfigValidation, FleetRejectsNonPositiveSloEpoch)
+{
+    fleet::FleetConfig cfg;
+    cfg.slo.epoch = 0;
+    EXPECT_TRUE(mentions(cfg.validate(), "slo.epoch"));
+}

@@ -77,6 +77,7 @@ ENERGY_COMPONENTS = (
     "energy_snic_accel_j",
     "energy_host_cpu_j",
     "energy_host_accel_j",
+    "energy_fleet_j",
     "energy_extra_j",
     "energy_static_j",
 )
@@ -131,16 +132,30 @@ def check_stats(path, schema):
             continue
         check_fields(row, schema["point_fields"], where)
         stats = row.get("stats")
-        if isinstance(stats, dict) and "server" not in stats:
-            fail(where + ": stats tree has no 'server' root")
+        if isinstance(stats, dict) and "server" not in stats \
+                and "fleet" not in stats:
+            fail(where + ": stats tree has no 'server' or 'fleet' root")
+
+    def some_point_has(dotted):
+        return any(isinstance(row, dict) and
+                   resolve(row.get("stats"), dotted) is not None
+                   for row in points)
+
     # Each required dotted path must resolve in at least one point
     # (mode-specific subtrees, e.g. server.snic.*, are absent from
-    # points that have no such component).
-    for dotted in schema.get("required_stat_paths", []):
-        if not any(isinstance(row, dict) and
-                   resolve(row.get("stats"), dotted) is not None
-                   for row in points):
-            fail("%s: no point exposes stat path %r" % (path, dotted))
+    # points that have no such component). Single-server and fleet
+    # artifacts carry different roots, so each root's paths are
+    # required only when some point actually exposes that root.
+    if some_point_has("server"):
+        for dotted in schema.get("required_stat_paths", []):
+            if not some_point_has(dotted):
+                fail("%s: no point exposes stat path %r" %
+                     (path, dotted))
+    if some_point_has("fleet"):
+        for dotted in schema.get("required_fleet_stat_paths", []):
+            if not some_point_has(dotted):
+                fail("%s: no point exposes stat path %r" %
+                     (path, dotted))
 
 
 def check_trace(path, schema):
