@@ -3,25 +3,37 @@
  * Simulator-core microbenchmark: the machine-readable perf baseline
  * every hot-path PR is measured against.
  *
- * Three metrics, all wall-clock:
- *  - events/sec: one-shot scheduleFn chains plus intrusive-event
- *    reschedule churn (the rate-limiter retimer pattern that creates
- *    heap tombstones);
+ * Metrics, all wall-clock:
+ *  - events/sec (headline): burst-scheduled one-shot callables
+ *    coalesced through scheduleBatch — the post-batching hot path;
+ *    events_unbatched_per_sec is the identical workload with
+ *    batching disabled, so their ratio isolates the coalescing win;
+ *  - events_chain/sec: the legacy chain + retimer churn workload kept
+ *    for continuity with the pre/post_overhaul baselines;
  *  - packets/sec: full traffic-generation fast path — makeUdpPacket,
  *    link serialization, packet teardown — at line rate;
- *  - checksum MB/s: RFC 1071 one's-complement sum over MTU frames.
+ *  - checksum MB/s: RFC 1071 one's-complement sum over MTU frames;
+ *  - single_run_events_per_sec_*: one full HAL ServerSystem run
+ *    (DpdkFwd, watchdog off) on the monolithic engine with batching
+ *    on/off and on the partitioned engine with 1 and 3 threads.
  *
  * `--json PATH` writes the metrics as a BENCH_simcore.json-style
  * artifact for CI trend tracking; `--quick` shrinks the workloads for
- * smoke runs.
+ * smoke runs. `--batch on|off` and `--run-threads N` restrict the
+ * matrix to one cell for manual A/B runs (the restricted artifact
+ * then carries only the measured fields).
  */
 
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "core/server.hh"
 #include "net/checksum.hh"
 #include "net/link.hh"
 #include "net/traffic.hh"
@@ -83,6 +95,78 @@ struct Retimer
         eq->scheduleIn(&self, 32 + (rng->next() & 63));
     }
 };
+
+/**
+ * Burst producer: each firing schedules a same-tick burst of trivial
+ * callables through scheduleBatch (the eswitch/link fan-out shape),
+ * then re-arms itself. With batching on, each burst coalesces into
+ * one heap entry; off, every callable pays its own heap round-trip —
+ * same event count either way.
+ */
+struct BurstProducer
+{
+    EventQueue *eq;
+    std::uint64_t *budget;
+    Rng *rng;
+
+    void
+    operator()()
+    {
+        if (*budget == 0)
+            return;
+        const std::size_t n =
+            *budget < EventQueue::kBatchCapacity
+                ? static_cast<std::size_t>(*budget)
+                : EventQueue::kBatchCapacity;
+        *budget -= n;
+        const Tick at = eq->now() + 1 + (rng->next() & 255);
+        for (std::size_t i = 0; i < n; ++i)
+            eq->scheduleBatch([] {}, at);
+        eq->scheduleFnIn(BurstProducer{*this}, 1 + (rng->next() & 255));
+    }
+};
+
+double
+benchEventsBurst(std::uint64_t target, bool batched)
+{
+    EventQueue eq;
+    eq.setBatchingEnabled(batched);
+    Rng rng(42);
+    std::uint64_t budget = target;
+
+    constexpr int kProducers = 16;
+    for (int i = 0; i < kProducers; ++i)
+        eq.scheduleFn(BurstProducer{&eq, &budget, &rng},
+                      1 + (rng.next() & 255));
+
+    const auto t0 = std::chrono::steady_clock::now();
+    eq.run();
+    const double dt = secondsSince(t0);
+    return static_cast<double>(eq.executed()) / dt;
+}
+
+/**
+ * One full HAL run (DpdkFwd, watchdog off — the partitioned engine's
+ * supported surface) timed end to end; events/s over every queue the
+ * engine used. run_threads 0 is the monolithic loop.
+ */
+double
+benchSingleRun(unsigned run_threads, bool batched, Tick measure)
+{
+    core::ServerConfig cfg;
+    cfg.mode = core::Mode::Hal;
+    cfg.function = funcs::FunctionId::DpdkFwd;
+    cfg.watchdog.enabled = false;
+    cfg.run_threads = run_threads;
+
+    EventQueue eq;
+    eq.setBatchingEnabled(batched);
+    core::ServerSystem sys(eq, cfg);
+    const auto t0 = std::chrono::steady_clock::now();
+    sys.run(std::make_unique<net::ConstantRate>(90.0), 5 * kMs, measure);
+    const double dt = secondsSince(t0);
+    return static_cast<double>(sys.eventsExecuted()) / dt;
+}
 
 double
 benchEvents(std::uint64_t target)
@@ -180,29 +264,87 @@ main(int argc, char **argv)
     std::string json_path;
     std::uint64_t event_target = 4'000'000;
     Tick pkt_sim = 60 * kMs;
+    Tick run_measure = 40 * kMs;
     std::uint64_t cksum_iters = 400'000;
+    int only_batch = -1;       // -1 = both, 0 = off, 1 = on
+    int only_threads = -1;     // -1 = full matrix, else exactly N
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
             json_path = argv[++i];
         } else if (std::strcmp(argv[i], "--quick") == 0) {
             event_target /= 10;
             pkt_sim /= 10;
+            run_measure /= 4;
             cksum_iters /= 10;
+        } else if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc) {
+            const char *v = argv[++i];
+            if (std::strcmp(v, "on") == 0)
+                only_batch = 1;
+            else if (std::strcmp(v, "off") == 0)
+                only_batch = 0;
+            else {
+                std::fprintf(stderr, "--batch wants on|off\n");
+                return 2;
+            }
+        } else if (std::strcmp(argv[i], "--run-threads") == 0 &&
+                   i + 1 < argc) {
+            only_threads = std::atoi(argv[++i]);
         } else {
-            std::fprintf(stderr,
-                         "usage: %s [--quick] [--json PATH]\n", argv[0]);
+            std::fprintf(
+                stderr,
+                "usage: %s [--quick] [--json PATH] [--batch on|off] "
+                "[--run-threads N]\n",
+                argv[0]);
             return 2;
         }
     }
 
-    const double ev_s = benchEvents(event_target);
-    const double pkt_s = benchPackets(pkt_sim);
-    const double ck_mb_s = benchChecksum(cksum_iters);
+    // (name, value) in emission order; restriction flags simply leave
+    // cells out.
+    std::vector<std::pair<std::string, double>> metrics;
+    const bool want_on = only_batch != 0;
+    const bool want_off = only_batch != 1;
+
+    if (want_on)
+        metrics.emplace_back("events_per_sec",
+                             benchEventsBurst(event_target, true));
+    if (want_off)
+        metrics.emplace_back("events_unbatched_per_sec",
+                             benchEventsBurst(event_target, false));
+    if (want_on)
+        metrics.emplace_back("events_chain_per_sec",
+                             benchEvents(event_target));
+    metrics.emplace_back("sim_packets_per_sec", benchPackets(pkt_sim));
+    metrics.emplace_back("checksum_mb_per_sec",
+                         benchChecksum(cksum_iters));
+
+    struct Cell
+    {
+        const char *name;
+        unsigned threads;
+        bool batched;
+    };
+    static constexpr Cell kCells[] = {
+        {"single_run_events_per_sec_mono", 0, true},
+        {"single_run_events_per_sec_mono_nobatch", 0, false},
+        {"single_run_events_per_sec_part1", 1, true},
+        {"single_run_events_per_sec_part3", 3, true},
+    };
+    for (const Cell &c : kCells) {
+        if (only_threads >= 0 &&
+            c.threads != static_cast<unsigned>(only_threads))
+            continue;
+        if ((only_batch == 1 && !c.batched) ||
+            (only_batch == 0 && c.batched))
+            continue;
+        metrics.emplace_back(c.name,
+                             benchSingleRun(c.threads, c.batched,
+                                            run_measure));
+    }
 
     std::printf("bench_sim_core\n");
-    std::printf("  events/sec            %12.0f\n", ev_s);
-    std::printf("  sim-packets/sec       %12.0f\n", pkt_s);
-    std::printf("  checksum MB/s         %12.0f\n", ck_mb_s);
+    for (const auto &[name, value] : metrics)
+        std::printf("  %-40s %14.0f\n", name.c_str(), value);
 
     if (!json_path.empty()) {
         std::FILE *f = std::fopen(json_path.c_str(), "w");
@@ -210,22 +352,25 @@ main(int argc, char **argv)
             std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
             return 1;
         }
+        std::fprintf(f, "{\n"
+                        "  \"bench\": \"sim_core\",\n"
+                        "  \"metrics\": {\n");
+        for (std::size_t i = 0; i < metrics.size(); ++i)
+            std::fprintf(f, "    \"%s\": %.0f%s\n",
+                         metrics[i].first.c_str(), metrics[i].second,
+                         i + 1 < metrics.size() ? "," : "");
         std::fprintf(f,
-                     "{\n"
-                     "  \"bench\": \"sim_core\",\n"
-                     "  \"metrics\": {\n"
-                     "    \"events_per_sec\": %.0f,\n"
-                     "    \"sim_packets_per_sec\": %.0f,\n"
-                     "    \"checksum_mb_per_sec\": %.0f\n"
                      "  },\n"
                      "  \"workload\": {\n"
                      "    \"event_target\": %" PRIu64 ",\n"
                      "    \"packet_sim_ms\": %" PRIu64 ",\n"
+                     "    \"single_run_measure_ms\": %" PRIu64 ",\n"
                      "    \"checksum_iters\": %" PRIu64 "\n"
                      "  }\n"
                      "}\n",
-                     ev_s, pkt_s, ck_mb_s, event_target,
+                     event_target,
                      static_cast<std::uint64_t>(pkt_sim / kMs),
+                     static_cast<std::uint64_t>(run_measure / kMs),
                      cksum_iters);
         std::fclose(f);
     }

@@ -12,6 +12,7 @@
  *              [--no-coherence] [--slb-cores N] [--slb-th GBPS]
  *              [--ruleset tea|lite]
  *              [--slo-p99 US] [--stats-out PATH]
+ *              [--run-threads N]           time-parallel engine
  *
  * Examples:
  *   halsim_cli --mode hal --function nat --rate 80
@@ -58,7 +59,7 @@ usage(const char *argv0)
                  "  [--measure MS] [--warmup MS] [--seed N]\n"
                  "  [--split token|rr|flow] [--dvfs] [--no-coherence]\n"
                  "  [--slb-cores N] [--slb-th GBPS] [--ruleset tea|lite]\n"
-                 "  [--slo-p99 US] [--stats-out PATH]\n",
+                 "  [--slo-p99 US] [--stats-out PATH] [--run-threads N]\n",
                  argv0);
     std::exit(2);
 }
@@ -151,6 +152,12 @@ main(int argc, char **argv)
             cfg.slo.target_p99_us = std::atof(next().c_str());
             if (cfg.slo.target_p99_us <= 0.0)
                 usage(argv[0]);
+        } else if (arg == "--run-threads") {
+            cfg.run_threads =
+                static_cast<unsigned>(std::atoi(next().c_str()));
+            // The partitioned engine excludes the watchdog's
+            // cross-wheel probes; drop it so plain hal runs qualify.
+            cfg.watchdog.enabled = false;
         } else if (arg == "--stats-out") {
             stats_out = next();
             cfg.obs.stats = true;
@@ -181,6 +188,13 @@ main(int argc, char **argv)
                     ? funcs::functionName(*cfg.pipeline_second)
                     : "",
                 trace ? net::traceName(*trace) : "constant");
+    if (cfg.run_threads > 0)
+        std::printf("engine       %s\n",
+                    sys.partitioned()
+                        ? (cfg.run_threads >= 2
+                               ? "partitioned (3 wheels, threaded)"
+                               : "partitioned (3 wheels, sequential)")
+                        : "monolithic (config not partitionable)");
     std::printf("offered      %8.2f Gbps\n", r.offered_gbps);
     std::printf("delivered    %8.2f Gbps (max window %.2f)\n",
                 r.delivered_gbps, r.max_window_gbps);

@@ -140,13 +140,60 @@ modeName(Mode m)
     return "?";
 }
 
+funcs::FunctionPtr
+ServerSystem::makeFn(const ServerConfig &cfg)
+{
+    return cfg.pipeline_second
+               ? funcs::makePipeline(cfg.function, *cfg.pipeline_second)
+               : funcs::makeFunction(cfg.function);
+}
+
+/**
+ * The partitioned engine covers the paper's steady-state operating
+ * point: the full HAL datapath with a stateless function. Anything
+ * that couples the wheels outside the four packet edges — coherent
+ * shared state, the watchdog's cross-component probes, fault
+ * injection timers, the obs sampler — falls back to the monolithic
+ * loop instead of silently racing.
+ */
+bool
+ServerSystem::supportsPartition(const ServerConfig &cfg,
+                                const funcs::NetworkFunction &fn)
+{
+    return cfg.run_threads > 0 && cfg.mode == Mode::Hal &&
+           cfg.faults.empty() && !cfg.watchdog.enabled &&
+           !cfg.obs.enabled() && !fn.stateful();
+}
+
+namespace {
+
+std::array<std::unique_ptr<EventQueue>, 3>
+makeWheelQueues(bool partitioned)
+{
+    std::array<std::unique_ptr<EventQueue>, 3> qs;
+    if (!partitioned)
+        return qs;
+    for (std::size_t i = 0; i < qs.size(); ++i) {
+        qs[i] = std::make_unique<EventQueue>();
+        // Band 0 stays the monolithic queue's; wheels take 1..3 so
+        // merged same-tick keys keep the (tick, band, seq) order.
+        qs[i]->setBand(static_cast<std::uint8_t>(i + 1));
+    }
+    return qs;
+}
+
+} // namespace
+
 ServerSystem::ServerSystem(EventQueue &eq, ServerConfig cfg)
     : eq_(eq), cfg_(cfg), rng_(cfg.seed ^ 0x5E57E4),
       clientMac_(net::MacAddr::fromUint(0x020000000001)),
       snicMac_(net::MacAddr::fromUint(0x020000000002)),
       hostMac_(net::MacAddr::fromUint(0x020000000003)),
       clientIp_(10, 0, 0, 1), snicIp_(10, 0, 0, 2), hostIp_(10, 0, 0, 3),
-      client_(eq), extraPower_(eq)
+      fn_(makeFn(cfg_)),
+      partitioned_(supportsPartition(cfg_, *fn_)),
+      wheelEq_(makeWheelQueues(partitioned_)),
+      client_(clientEq()), extraPower_(snicEq())
 {
     const std::vector<std::string> errors = cfg_.validate();
     if (!errors.empty()) {
@@ -161,10 +208,13 @@ ServerSystem::ServerSystem(EventQueue &eq, ServerConfig cfg)
 
     const auto &paths = funcs::pathLatencies();
 
-    // --- Function (single or two-stage pipeline) ---------------------
-    fn_ = cfg_.pipeline_second
-              ? funcs::makePipeline(cfg_.function, *cfg_.pipeline_second)
-              : funcs::makeFunction(cfg_.function);
+    if (partitioned_) {
+        // The SNIC and host wheels run concurrently; give each its
+        // own function instance instead of sharing fn_ (which stays
+        // the client-side request builder).
+        fnSnic_ = makeFn(cfg_);
+        fnHost_ = makeFn(cfg_);
+    }
 
     const bool cooperative = cfg_.mode != Mode::HostOnly &&
                              cfg_.mode != Mode::SnicOnly;
@@ -173,14 +223,14 @@ ServerSystem::ServerSystem(EventQueue &eq, ServerConfig cfg)
 
     // --- Egress: processors -> (merger) -> return link -> client ----
     returnLink_ = std::make_unique<net::Link>(
-        eq_, net::Link::Config{100.0, 500 * kNs, 4096, "return"},
+        snicEq(), net::Link::Config{100.0, 500 * kNs, 4096, "return"},
         client_);
 
     net::PacketSink *egress = returnLink_.get();
     if (cfg_.mode == Mode::Hal) {
         // Responses also traverse the HLB FPGA on the way out.
         mergerDelay_ = std::make_unique<nic::FixedDelay>(
-            eq_, paths.hlb_per_direction, *returnLink_);
+            snicEq(), paths.hlb_per_direction, *returnLink_);
         egress = mergerDelay_.get();
     }
     merger_ = std::make_unique<TrafficMerger>(
@@ -188,7 +238,7 @@ ServerSystem::ServerSystem(EventQueue &eq, ServerConfig cfg)
 
     // Host responses cross PCIe back to the eSwitch first.
     hostTxDelay_ = std::make_unique<nic::FixedDelay>(
-        eq_, paths.pcie_extra, *merger_);
+        hostEq(), paths.pcie_extra, *merger_);
 
     // --- Profiles -----------------------------------------------------
     auto profileFor = [&](funcs::Platform p) {
@@ -246,7 +296,8 @@ ServerSystem::ServerSystem(EventQueue &eq, ServerConfig cfg)
         // In host-only mode the host IS the service identity.
         hc.service_ip = cfg_.mode == Mode::HostOnly ? snicIp_ : hostIp_;
         host_ = std::make_unique<proc::Processor>(
-            eq_, hc, *fn_, domain_.get(), *hostTxDelay_);
+            hostEq(), hc, partitioned_ ? *fnHost_ : *fn_, domain_.get(),
+            *hostTxDelay_);
     }
 
     if (wants_snic) {
@@ -268,7 +319,8 @@ ServerSystem::ServerSystem(EventQueue &eq, ServerConfig cfg)
         sc.service_mac = snicMac_;
         sc.service_ip = snicIp_;
         snic_ = std::make_unique<proc::Processor>(
-            eq_, sc, *fn_, domain_.get(), *merger_);
+            snicEq(), sc, partitioned_ ? *fnSnic_ : *fn_, domain_.get(),
+            *merger_);
     }
 
     // --- Ingress paths -------------------------------------------------
@@ -280,11 +332,14 @@ ServerSystem::ServerSystem(EventQueue &eq, ServerConfig cfg)
 
     if (wants_snic) {
         snicPathDelay_ = std::make_unique<nic::FixedDelay>(
-            eq_, paths.eswitch_to_snic, snic_->input());
+            snicEq(), paths.eswitch_to_snic, snic_->input());
     }
     if (wants_host) {
+        // In partitioned mode this is the SNIC wheel's egress toward
+        // the host wheel: it stamps now + host_hop and hands the
+        // packet to the cross-wheel edge (buildPartition()).
         hostPathDelay_ = std::make_unique<nic::FixedDelay>(
-            eq_, host_hop, host_->input());
+            snicEq(), host_hop, host_->input());
     }
 
     switch (cfg_.mode) {
@@ -298,18 +353,20 @@ ServerSystem::ServerSystem(EventQueue &eq, ServerConfig cfg)
         eswitch_ = std::make_unique<nic::ESwitch>();
         eswitch_->addRule(snicIp_, snicPathDelay_.get());
         eswitch_->addRule(hostIp_, hostPathDelay_.get());
-        monitor_ = std::make_unique<TrafficMonitor>(eq_, cfg_.monitor);
+        monitor_ = std::make_unique<TrafficMonitor>(snicEq(),
+                                                    cfg_.monitor);
         TrafficDirector::Config dc;
         dc.snic_ip = snicIp_;
         dc.host_ip = hostIp_;
         dc.host_mac = hostMac_;
         dc.mode = cfg_.split_mode;
         dc.initial_fwd_th_gbps = cfg_.lbp.initial_fwd_gbps;
-        director_ = std::make_unique<TrafficDirector>(eq_, dc, *monitor_,
-                                                      *eswitch_);
+        director_ = std::make_unique<TrafficDirector>(
+            snicEq(), dc, *monitor_, *eswitch_);
         hlbDelay_ = std::make_unique<nic::FixedDelay>(
-            eq_, funcs::pathLatencies().hlb_per_direction, *director_);
-        lbp_ = std::make_unique<LoadBalancingPolicy>(eq_, cfg_.lbp,
+            snicEq(), funcs::pathLatencies().hlb_per_direction,
+            *director_);
+        lbp_ = std::make_unique<LoadBalancingPolicy>(snicEq(), cfg_.lbp,
                                                      *snic_, *director_);
         if (cfg_.watchdog.enabled) {
             HealthWatchdog::Config wc = cfg_.watchdog;
@@ -396,8 +453,11 @@ ServerSystem::ServerSystem(EventQueue &eq, ServerConfig cfg)
 
     // --- Client link ----------------------------------------------------
     clientLink_ = std::make_unique<net::Link>(
-        eq_, net::Link::Config{100.0, 500 * kNs, 4096, "client"},
+        clientEq(), net::Link::Config{100.0, 500 * kNs, 4096, "client"},
         *ingress_);
+
+    if (partitioned_)
+        buildPartition();
 
     // --- Energy ledger (§V-B / Fig. 3) -------------------------------
     // Dynamic accounts bind the processors' monotone per-component
@@ -608,6 +668,66 @@ ServerSystem::buildObs()
     }
 }
 
+void
+ServerSystem::buildPartition()
+{
+    // The four cross-wheel hops. Each edge's sender reserves keys on
+    // its own (banded) queue, so merged same-tick work keeps the
+    // fixed (tick, band, seq) order across thread counts.
+    edgeClientToSnic_ = std::make_unique<net::WheelEdge>(
+        clientEq(), snicEq(), *ingress_, "edge:client->snic");
+    clientLink_->setEgressEdge(edgeClientToSnic_.get());
+
+    edgeSnicToClient_ = std::make_unique<net::WheelEdge>(
+        snicEq(), clientEq(), client_, "edge:snic->client");
+    returnLink_->setEgressEdge(edgeSnicToClient_.get());
+
+    edgeSnicToHost_ = std::make_unique<net::WheelEdge>(
+        snicEq(), hostEq(), host_->input(), "edge:snic->host");
+    hostPathDelay_->setEgressEdge(edgeSnicToHost_.get());
+
+    edgeHostToSnic_ = std::make_unique<net::WheelEdge>(
+        hostEq(), snicEq(), *merger_, "edge:host->snic");
+    hostTxDelay_->setEgressEdge(edgeHostToSnic_.get());
+
+    // Lookahead: the smallest latency any packet pays to cross
+    // between wheels. Link deliveries add serialization on top of
+    // propagation, so propagation alone is a safe lower bound there.
+    const Tick lookahead = std::min(
+        std::min(clientLink_->config().propagation,
+                 returnLink_->config().propagation),
+        std::min(hostPathDelay_->delay(), hostTxDelay_->delay()));
+
+    std::vector<WheelRunner::Wheel> wheels(3);
+    wheels[0].eq = &clientEq();
+    wheels[0].ingest = [this](Tick before) {
+        edgeSnicToClient_->ingest(before);
+    };
+    wheels[0].pendingTick = [this] {
+        return edgeSnicToClient_->pendingTick();
+    };
+    wheels[1].eq = &snicEq();
+    wheels[1].ingest = [this](Tick before) {
+        edgeClientToSnic_->ingest(before);
+        edgeHostToSnic_->ingest(before);
+    };
+    wheels[1].pendingTick = [this] {
+        return std::min(edgeClientToSnic_->pendingTick(),
+                        edgeHostToSnic_->pendingTick());
+    };
+    wheels[2].eq = &hostEq();
+    wheels[2].ingest = [this](Tick before) {
+        edgeSnicToHost_->ingest(before);
+    };
+    wheels[2].pendingTick = [this] {
+        return edgeSnicToHost_->pendingTick();
+    };
+
+    runner_ = std::make_unique<WheelRunner>(std::move(wheels),
+                                            lookahead,
+                                            cfg_.run_threads);
+}
+
 ServerSystem::~ServerSystem() = default;
 
 double
@@ -646,9 +766,19 @@ ServerSystem::run(std::unique_ptr<net::RateProcess> rate, Tick warmup,
     gc.resample_epoch = resample_epoch;
     gc.seed = cfg_.seed;
 
-    net::TrafficGenerator gen(eq_, gc, std::move(rate), *clientLink_);
+    net::TrafficGenerator gen(clientEq(), gc, std::move(rate),
+                              *clientLink_);
     gen.setPayloadFn(
         [this](net::Packet &pkt) { fn_->makeRequest(pkt, rng_); });
+
+    // Engine selector: the monolithic loop or the wheel runner; both
+    // advance every component to exactly `until`.
+    auto advance = [this](Tick until) {
+        if (runner_ != nullptr)
+            runner_->runUntil(until);
+        else
+            eq_.runUntil(until);
+    };
 
     if (monitor_ != nullptr)
         monitor_->start();
@@ -686,12 +816,12 @@ ServerSystem::run(std::unique_ptr<net::RateProcess> rate, Tick warmup,
         injector_->start(eq_.now());
     }
 
-    const Tick start = eq_.now();
+    const Tick start = clientEq().now();
     const Tick measure_start = start + warmup;
     const Tick end = measure_start + measure;
     gen.start(end);
 
-    eq_.runUntil(measure_start);
+    advance(measure_start);
 
     // Reset all statistics at the warmup boundary.
     client_.resetStats();
@@ -715,7 +845,7 @@ ServerSystem::run(std::unique_ptr<net::RateProcess> rate, Tick warmup,
     // Energy/SLO windows open at the same boundary the meters were
     // just reset at (the ledger snapshots extraPower_'s freshly
     // zeroed integral, and the per-core watt mirrors by differencing).
-    energy_.beginWindow(eq_.now());
+    energy_.beginWindow(measure_start);
     if (slo_ != nullptr)
         slo_->beginWindow(measure_start, end);
 
@@ -744,19 +874,40 @@ ServerSystem::run(std::unique_ptr<net::RateProcess> rate, Tick warmup,
     };
     std::uint64_t last_bytes_snapshot = delivered_bytes();
     CallbackEvent sampler;
-    sampler.setCallback([&] {
-        const std::uint64_t b = delivered_bytes();
-        max_window =
-            std::max(max_window, gbps(b - last_bytes_snapshot, window));
-        last_bytes_snapshot = b;
-        if (eq_.now() + window <= end)
-            eq_.scheduleIn(&sampler, window);
-    });
-    eq_.scheduleIn(&sampler, window);
+    Tick sample_at = measure_start + window;
+    if (runner_ != nullptr) {
+        // Partitioned runs sample via the runner's between-window
+        // callback: every wheel is quiesced when it fires, so the
+        // cross-wheel processedBytes reads are safe. Same fire ticks
+        // and re-arm rule as the event-based sampler below.
+        runner_->setGlobalCallback(sample_at, [&]() -> Tick {
+            const std::uint64_t b = delivered_bytes();
+            max_window = std::max(max_window,
+                                  gbps(b - last_bytes_snapshot, window));
+            last_bytes_snapshot = b;
+            if (sample_at + window <= end) {
+                sample_at += window;
+                return sample_at;
+            }
+            return kTickNever;
+        });
+    } else {
+        sampler.setCallback([&] {
+            const std::uint64_t b = delivered_bytes();
+            max_window = std::max(max_window,
+                                  gbps(b - last_bytes_snapshot, window));
+            last_bytes_snapshot = b;
+            if (eq_.now() + window <= end)
+                eq_.scheduleIn(&sampler, window);
+        });
+        eq_.scheduleIn(&sampler, window);
+    }
 
-    eq_.runUntil(end);
+    advance(end);
     if (sampler.scheduled())
         eq_.deschedule(&sampler);
+    if (runner_ != nullptr)
+        runner_->setGlobalCallback(kTickNever, {});
     if (obs_ != nullptr)
         obs_->stopSampling();
     gen.stop();
@@ -771,7 +922,7 @@ ServerSystem::run(std::unique_ptr<net::RateProcess> rate, Tick warmup,
     // averages were read — before the drain, so drained packets'
     // draw and latencies stay out of the window (record() also
     // clamps at windowEnd_, making the drain doubly excluded).
-    energy_.endWindow(eq_.now());
+    energy_.endWindow(end);
     if (slo_ != nullptr)
         slo_->finishWindow();
     r.offered_gbps =
@@ -788,7 +939,7 @@ ServerSystem::run(std::unique_ptr<net::RateProcess> rate, Tick warmup,
             sent_w > resolved ? sent_w - resolved : 0;
     }
 
-    eq_.runUntil(end + 10 * kMs);
+    advance(end + 10 * kMs);
 
     r.sent = gen.sentFrames() - sent_base;
     r.responses = client_.responses();

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * PacketBatch: a fixed-capacity burst of packets moved through the
+ * pipeline as one unit (the fastclick batchelement model).
+ *
+ * Layout is SoA: the packet pointers and their wire sizes live in
+ * separate parallel arrays, so batch-level accounting (byte sums,
+ * size histograms) touches one dense array instead of chasing every
+ * Packet. Entries occupy [head, tail) of the arrays; draining from
+ * the front advances the head cursor, so a stage consuming a batch
+ * in order pays O(1) per packet. Ownership is strict: a batch owns
+ * what it holds, entries leave via take()/takeFront()/split(), and
+ * whatever remains is freed on destruction.
+ */
+
+#ifndef HALSIM_NET_PACKET_BATCH_HH
+#define HALSIM_NET_PACKET_BATCH_HH
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+
+#include "net/packet.hh"
+
+namespace halsim::net {
+
+class PacketBatch
+{
+  public:
+    static constexpr std::size_t kCapacity = 64;
+
+    PacketBatch() = default;
+
+    ~PacketBatch()
+    {
+        for (std::size_t i = head_; i < tail_; ++i)
+            delete pkts_[i];
+    }
+
+    PacketBatch(PacketBatch &&o) noexcept { steal(o); }
+
+    PacketBatch &
+    operator=(PacketBatch &&o) noexcept
+    {
+        if (this != &o) {
+            for (std::size_t i = head_; i < tail_; ++i)
+                delete pkts_[i];
+            steal(o);
+        }
+        return *this;
+    }
+
+    PacketBatch(const PacketBatch &) = delete;
+    PacketBatch &operator=(const PacketBatch &) = delete;
+
+    std::size_t size() const { return tail_ - head_; }
+    bool empty() const { return head_ == tail_; }
+    bool full() const { return tail_ == kCapacity; }
+
+    /** Append; the batch takes ownership. @pre !full() */
+    void
+    append(PacketPtr pkt)
+    {
+        assert(!full());
+        sizes_[tail_] = static_cast<std::uint32_t>(pkt->size());
+        pkts_[tail_] = pkt.release();
+        ++tail_;
+    }
+
+    /** Borrow entry @p i (still owned by the batch). */
+    Packet *
+    operator[](std::size_t i) const
+    {
+        assert(i < size());
+        return pkts_[head_ + i];
+    }
+
+    /** Wire size of entry @p i without touching the Packet. */
+    std::uint32_t
+    sizeOf(std::size_t i) const
+    {
+        assert(i < size());
+        return sizes_[head_ + i];
+    }
+
+    /** Sum of wire sizes (one dense-array pass — the SoA payoff). */
+    std::uint64_t
+    totalBytes() const
+    {
+        std::uint64_t sum = 0;
+        for (std::size_t i = head_; i < tail_; ++i)
+            sum += sizes_[i];
+        return sum;
+    }
+
+    /** Remove and return the first entry, preserving order; O(1). */
+    PacketPtr
+    takeFront()
+    {
+        assert(!empty());
+        return PacketPtr(pkts_[head_++]);
+    }
+
+    /**
+     * Remove and return entry @p i, swapping the last entry into its
+     * slot (order-preserving only at the ends).
+     */
+    PacketPtr
+    take(std::size_t i)
+    {
+        assert(i < size());
+        Packet *p = pkts_[head_ + i];
+        --tail_;
+        pkts_[head_ + i] = pkts_[tail_];
+        sizes_[head_ + i] = sizes_[tail_];
+        return PacketPtr(p);
+    }
+
+    /**
+     * Split off the tail [at, size()) into a new batch, keeping
+     * [0, at) here; order is preserved on both sides.
+     */
+    PacketBatch
+    split(std::size_t at)
+    {
+        assert(at <= size());
+        PacketBatch rest;
+        for (std::size_t i = head_ + at; i < tail_; ++i) {
+            rest.pkts_[rest.tail_] = pkts_[i];
+            rest.sizes_[rest.tail_] = sizes_[i];
+            ++rest.tail_;
+        }
+        tail_ = head_ + at;
+        return rest;
+    }
+
+    /**
+     * Append all of @p other (emptied) after this batch's entries.
+     * @pre size() + other.size() <= remaining capacity
+     */
+    void
+    merge(PacketBatch &&other)
+    {
+        assert(tail_ + other.size() <= kCapacity);
+        for (std::size_t i = other.head_; i < other.tail_; ++i) {
+            pkts_[tail_] = other.pkts_[i];
+            sizes_[tail_] = other.sizes_[i];
+            ++tail_;
+        }
+        other.head_ = other.tail_ = 0;
+    }
+
+    /** SoA views over the live entries, for vectorizable passes. */
+    std::span<Packet *const>
+    packets() const
+    {
+        return {pkts_ + head_, size()};
+    }
+
+    std::span<const std::uint32_t>
+    sizes() const
+    {
+        return {sizes_ + head_, size()};
+    }
+
+  private:
+    void
+    steal(PacketBatch &o) noexcept
+    {
+        head_ = o.head_;
+        tail_ = o.tail_;
+        for (std::size_t i = head_; i < tail_; ++i) {
+            pkts_[i] = o.pkts_[i];
+            sizes_[i] = o.sizes_[i];
+        }
+        o.head_ = o.tail_ = 0;
+    }
+
+    Packet *pkts_[kCapacity];
+    std::uint32_t sizes_[kCapacity];
+    std::size_t head_ = 0;
+    std::size_t tail_ = 0;
+};
+
+} // namespace halsim::net
+
+#endif // HALSIM_NET_PACKET_BATCH_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Cross-wheel packet edge for time-parallel runs (DESIGN.md §13).
+ *
+ * A WheelEdge replaces the local TimedChannel delivery of one
+ * directed component-to-component hop when sender and receiver live
+ * on different event wheels. The sender reserves the key on its own
+ * queue at the send point — exactly where the local path would have —
+ * so merged same-tick work keeps the fixed (tick, band, seq) order
+ * that makes --run-threads 1 and N bit-identical. Entries ride an
+ * SPSC mailbox to the receiving wheel, which drains them into an
+ * ordinary TimedChannel during the window-barrier ingest step.
+ */
+
+#ifndef HALSIM_NET_WHEEL_EDGE_HH
+#define HALSIM_NET_WHEEL_EDGE_HH
+
+#include <cstdint>
+
+#include "net/packet.hh"
+#include "net/timed_channel.hh"
+#include "sim/event_queue.hh"
+#include "sim/mailbox.hh"
+#include "sim/types.hh"
+
+namespace halsim::net {
+
+class WheelEdge : public DeliveryEdge, private TimedChannel::Receiver
+{
+  public:
+    /**
+     * @param sender_eq the sending wheel's queue (keys + band).
+     * @param rx_eq     the receiving wheel's queue.
+     * @param sink      delivery target on the receiving wheel.
+     */
+    WheelEdge(EventQueue &sender_eq, EventQueue &rx_eq,
+              PacketSink &sink, const char *name)
+        : senderEq_(sender_eq), sink_(sink), chan_(rx_eq, *this, name)
+    {}
+
+    ~WheelEdge() override
+    {
+        Slot s;
+        while (box_.pop(s))
+            delete s.pkt;
+    }
+
+    /** Sender side (sender's thread, inside a window). */
+    void
+    send(Tick when, PacketPtr pkt) override
+    {
+        // halint: mailbox
+        box_.push(Slot{when, senderEq_.reserveKey(), pkt.release()});
+    }
+
+    /**
+     * Receiver side (between windows): move everything scheduled to
+     * arrive before @p before into the receiving wheel's channel.
+     */
+    void
+    ingest(Tick before)
+    {
+        // halint: mailbox
+        for (;;) {
+            const Slot *head = box_.peek();
+            if (head == nullptr || head->when >= before)
+                return;
+            Slot s;
+            box_.pop(s);
+            chan_.pushKeyed(s.when, s.key, PacketPtr(s.pkt));
+        }
+    }
+
+    /** Earliest un-ingested arrival, or kTickNever (receiver side). */
+    Tick
+    pendingTick() const
+    {
+        // halint: mailbox
+        const Slot *head = box_.peek();
+        return head != nullptr ? head->when : kTickNever;
+    }
+
+  private:
+    struct Slot
+    {
+        Tick when = 0;
+        std::uint64_t key = 0;
+        Packet *pkt = nullptr;
+    };
+
+    void
+    channelDeliver(PacketPtr pkt) override
+    {
+        sink_.accept(std::move(pkt));
+    }
+
+    EventQueue &senderEq_;
+    PacketSink &sink_;
+    TimedChannel chan_;
+    SpscMailbox<Slot> box_;
+};
+
+} // namespace halsim::net
+
+#endif // HALSIM_NET_WHEEL_EDGE_HH

@@ -16,6 +16,7 @@
 #include <functional>
 
 #include "net/packet.hh"
+#include "net/packet_batch.hh"
 #include "obs/hooks.hh"
 #include "sim/event_queue.hh"
 
@@ -69,6 +70,17 @@ class DpdkRing : public net::PacketSink
             notify_();
     }
 
+    /** Burst enqueue (rte_eth_tx_burst): identical per-packet
+     *  semantics — tail-drop per frame, the empty->nonempty notify
+     *  fires at most once — without a virtual dispatch per frame. */
+    // halint: hotpath
+    void
+    acceptBatch(net::PacketBatch &&batch) override
+    {
+        while (!batch.empty())
+            DpdkRing::accept(batch.takeFront());
+    }
+
     /** rte_eth_rx_burst(1): take the head packet, or null. */
     net::PacketPtr
     dequeue()
@@ -78,6 +90,21 @@ class DpdkRing : public net::PacketSink
         net::PacketPtr pkt = std::move(q_.front());
         q_.pop_front();
         return pkt;
+    }
+
+    /**
+     * rte_eth_rx_burst(n): drain up to @p max head packets into a
+     * batch, preserving FIFO order.
+     */
+    net::PacketBatch
+    dequeueBurst(std::size_t max = net::PacketBatch::kCapacity)
+    {
+        net::PacketBatch b;
+        while (!q_.empty() && b.size() < max && !b.full()) {
+            b.append(std::move(q_.front()));
+            q_.pop_front();
+        }
+        return b;
     }
 
     /** rte_eth_rx_queue_count analog. */

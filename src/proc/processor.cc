@@ -46,6 +46,7 @@ PollCore::PollCore(EventQueue &eq, Config cfg, nic::DpdkRing &ring,
       domain_(domain), tx_(tx), power_(power)
 {
     sleepEvent_.setCallback([this] { maybeSleep(); });
+    finishEvent_.setCallback([this] { finish(std::move(inflight_)); });
     // Without power management a poll-mode core burns full power from
     // the start (§III-B: DPDK busy-waiting keeps the CPU hot even
     // when idle); with it, waiting costs only the umwait fraction.
@@ -90,6 +91,8 @@ PollCore::~PollCore()
 {
     if (sleepEvent_.scheduled())
         eq_.deschedule(&sleepEvent_);
+    if (finishEvent_.scheduled())
+        eq_.deschedule(&finishEvent_);
 }
 
 void
@@ -177,9 +180,10 @@ PollCore::startNext()
             static_cast<double>(cfg_.profile.serviceTicks(pkt->size())) /
             (freqScale() * speedFactor_)) +
         ctx.latency() + extra;
-    eq_.scheduleFnIn(
-        [this, p = std::move(pkt)]() mutable { finish(std::move(p)); },
-        service);
+    // One packet is in service at a time (guarded by busy_), so the
+    // completion is an intrusive event instead of a fresh one-shot.
+    inflight_ = std::move(pkt);
+    eq_.scheduleIn(&finishEvent_, service);
 }
 
 void

@@ -201,6 +201,10 @@ class PollCore
     PowerMeter &power_;
 
     CallbackEvent sleepEvent_;
+    /** Service completion for the single in-flight packet: intrusive
+     *  (recycled in place) instead of a per-service one-shot. */
+    CallbackEvent finishEvent_;
+    net::PacketPtr inflight_;
     bool busy_ = false;
     bool sleeping_ = false;    //!< deep sleep (wake penalty applies)
     bool stalled_ = false;     //!< fault-injected hang/crash

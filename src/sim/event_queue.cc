@@ -41,19 +41,63 @@ class EventQueue::OneShot : public Event
     UniqueFn fn_;
 };
 
+/**
+ * Coalesced same-tick batch for scheduleBatch(). One heap entry
+ * carries up to kBatchCapacity callables that run back-to-back in
+ * submission order, amortizing the heap round-trip; each callable
+ * still counts as one executed event.
+ */
+class EventQueue::Batch : public Event
+{
+  public:
+    explicit Batch(EventQueue &q) : Event("batch"), q_(q) {}
+
+    bool full() const { return n_ == kBatchCapacity; }
+
+    void add(UniqueFn fn) { fns_[n_++] = std::move(fn); }
+
+    void
+    execute() override
+    {
+        // Close the coalescing window first: a nested scheduleBatch
+        // at the same tick must open a fresh batch (which then sorts
+        // after every already-scheduled same-tick event, exactly as a
+        // fresh schedule() would).
+        if (q_.openBatch_ == this)
+            q_.openBatch_ = nullptr;
+        const std::size_t n = n_;
+        q_.executed_ += n - 1;   // step() already counted one
+        for (std::size_t i = 0; i < n; ++i) {
+            UniqueFn fn = std::move(fns_[i]);
+            fn();
+        }
+        n_ = 0;
+        q_.releaseBatch(this);
+    }
+
+  private:
+    EventQueue &q_;
+    UniqueFn fns_[kBatchCapacity];
+    std::size_t n_ = 0;
+};
+
 EventQueue::~EventQueue()
 {
     // Drop tombstones and orphan any still-scheduled events so their
-    // destructors don't assert; delete owned one-shot wrappers.
+    // destructors don't assert; delete owned one-shot and batch
+    // wrappers.
     for (Entry &e : heap_) {
         if (e.ev != nullptr) {
             e.ev->scheduled_ = false;
-            if (dynamic_cast<OneShot *>(e.ev) != nullptr)
+            if (dynamic_cast<OneShot *>(e.ev) != nullptr ||
+                dynamic_cast<Batch *>(e.ev) != nullptr)
                 delete e.ev;
         }
     }
     for (OneShot *os : pool_)
         delete os;
+    for (Batch *b : batchPool_)
+        delete b;
 }
 
 // halint: hotpath
@@ -63,11 +107,36 @@ EventQueue::schedule(Event *ev, Tick when)
     assert(ev != nullptr);
     assert(!ev->scheduled_ && "event already scheduled");
     assert(when >= now_ && "scheduling into the past");
+    if (when < now_) {
+        // Release builds clamp instead of time-traveling: the event
+        // runs immediately-next and the counter records the bug.
+        ++pastClamps_;
+        when = now_;
+    }
 
     ev->when_ = when;
-    ev->seq_ = ++seq_;
+    ev->seq_ = bandBits_ | ++seq_;
     ev->scheduled_ = true;
     heapPush(Entry{when, ev->seq_, ev});
+    ++live_;
+}
+
+// halint: hotpath
+void
+EventQueue::scheduleKeyed(Event *ev, Tick when, std::uint64_t key)
+{
+    assert(ev != nullptr);
+    assert(!ev->scheduled_ && "event already scheduled");
+    assert(when >= now_ && "scheduling into the past");
+    if (when < now_) {
+        ++pastClamps_;
+        when = now_;
+    }
+
+    ev->when_ = when;
+    ev->seq_ = key;
+    ev->scheduled_ = true;
+    heapPush(Entry{when, key, ev});
     ++live_;
 }
 
@@ -120,6 +189,9 @@ EventQueue::setPoolingEnabled(bool on)
         for (OneShot *os : pool_)
             delete os;
         pool_.clear();
+        for (Batch *b : batchPool_)
+            delete b;
+        batchPool_.clear();
     }
 }
 
@@ -148,6 +220,44 @@ EventQueue::scheduleFn(UniqueFn fn, Tick when)
     }
     os->arm(std::move(fn));
     schedule(os, when);
+}
+
+// halint: hotpath
+void
+EventQueue::releaseBatch(Batch *b)
+{
+    if (pooling_)
+        // halint: allow(HAL-W004) freelist push reuses retained
+        batchPool_.push_back(b); // capacity after warmup
+    else
+        delete b;
+}
+
+// halint: hotpath
+void
+EventQueue::scheduleBatch(UniqueFn fn, Tick when)
+{
+    if (!batching_) {
+        scheduleFn(std::move(fn), when);
+        return;
+    }
+    if (openBatch_ != nullptr && openBatchWhen_ == when &&
+        !openBatch_->full()) {
+        openBatch_->add(std::move(fn));
+        return;
+    }
+    Batch *b;
+    if (!batchPool_.empty()) {
+        b = batchPool_.back();
+        batchPool_.pop_back();
+    } else {
+        // halint: allow(HAL-W004) pool-miss cold path; steady state
+        b = new Batch(*this); // is served from the freelist
+    }
+    b->add(std::move(fn));
+    schedule(b, when);
+    openBatch_ = b;
+    openBatchWhen_ = when;
 }
 
 Tick
@@ -192,7 +302,11 @@ EventQueue::step()
 std::uint64_t
 EventQueue::runUntil(Tick until)
 {
-    std::uint64_t n = 0;
+    // Bound inline drains to this call's window (restored on exit so
+    // nested runUntil calls compose).
+    const Tick prev_limit = limit_;
+    limit_ = until;
+    const std::uint64_t before = executed_;
     while (!heap_.empty()) {
         // Peek past tombstones.
         while (!heap_.empty() && heap_.front().ev == nullptr) {
@@ -204,14 +318,15 @@ EventQueue::runUntil(Tick until)
         if (heap_.front().when > until) {
             if (until != kTickNever)
                 now_ = until;
-            return n;
+            limit_ = prev_limit;
+            return executed_ - before;
         }
-        if (step())
-            ++n;
+        step();
     }
     if (until != kTickNever && until > now_)
         now_ = until;
-    return n;
+    limit_ = prev_limit;
+    return executed_ - before;
 }
 
 // halint: hotpath

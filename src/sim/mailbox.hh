@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Bounded single-producer/single-consumer mailbox for cross-wheel
+ * event traffic in time-parallel runs (DESIGN.md §13).
+ *
+ * One wheel thread pushes, exactly one other wheel thread pops; the
+ * window-barrier protocol guarantees the producer only writes while
+ * the consumer is parked at a barrier (and vice versa), so the
+ * acquire/release pair below is all the synchronization the data
+ * needs. Capacity is fixed; the producer asserts on overflow because
+ * a full mailbox means the lookahead window admitted more in-flight
+ * messages than the edge can carry — a protocol bug, not load.
+ */
+
+#ifndef HALSIM_SIM_MAILBOX_HH
+#define HALSIM_SIM_MAILBOX_HH
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+
+namespace halsim {
+
+// halint: mailbox
+template <typename T, std::size_t Cap = 4096>
+class SpscMailbox
+{
+  public:
+    static constexpr std::size_t kCapacity = Cap;
+
+    /** Producer side. @pre not full. */
+    void
+    push(T v)
+    {
+        const std::size_t t = tail_.load(std::memory_order_relaxed);
+        assert(t - head_.load(std::memory_order_acquire) < Cap &&
+               "mailbox overflow: lookahead window too wide");
+        slots_[t % Cap] = std::move(v);
+        tail_.store(t + 1, std::memory_order_release);
+    }
+
+    /** Consumer side: pop into @p out; false when empty. */
+    bool
+    pop(T &out)
+    {
+        const std::size_t h = head_.load(std::memory_order_relaxed);
+        if (h == tail_.load(std::memory_order_acquire))
+            return false;
+        out = std::move(slots_[h % Cap]);
+        head_.store(h + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Consumer side: peek at the head without consuming. */
+    const T *
+    peek() const
+    {
+        const std::size_t h = head_.load(std::memory_order_relaxed);
+        if (h == tail_.load(std::memory_order_acquire))
+            return nullptr;
+        return &slots_[h % Cap];
+    }
+
+    /** Consumer side: drop the head after a successful peek(). */
+    void
+    popFront()
+    {
+        const std::size_t h = head_.load(std::memory_order_relaxed);
+        assert(h != tail_.load(std::memory_order_acquire));
+        slots_[h % Cap] = T{};
+        head_.store(h + 1, std::memory_order_release);
+    }
+
+    bool
+    empty() const
+    {
+        return head_.load(std::memory_order_relaxed) ==
+               tail_.load(std::memory_order_acquire);
+    }
+
+    std::size_t
+    size() const
+    {
+        return tail_.load(std::memory_order_acquire) -
+               head_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    T slots_[Cap] = {};
+    alignas(64) std::atomic<std::size_t> head_{0};
+    alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+} // namespace halsim
+
+#endif // HALSIM_SIM_MAILBOX_HH

@@ -1,0 +1,130 @@
+#include "sim/wheels.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace halsim {
+
+WheelRunner::WheelRunner(std::vector<Wheel> wheels, Tick lookahead,
+                         unsigned threads)
+    : wheels_(std::move(wheels)), lookahead_(lookahead),
+      threaded_(threads >= 2 && wheels_.size() > 1),
+      start_(threaded_ ? static_cast<std::ptrdiff_t>(wheels_.size()) : 1),
+      finish_(threaded_ ? static_cast<std::ptrdiff_t>(wheels_.size()) : 1)
+{
+    assert(!wheels_.empty());
+    assert(lookahead_ > 0 && "zero lookahead cannot window");
+    if (threaded_)
+        startWorkers();
+}
+
+WheelRunner::~WheelRunner()
+{
+    if (!threaded_)
+        return;
+    // Workers are parked at the start barrier between rounds; release
+    // them once more with the exit flag raised.
+    exit_ = true;
+    start_.arrive_and_wait();
+    for (auto &t : workers_)
+        t.join();
+}
+
+void
+WheelRunner::startWorkers()
+{
+    workers_.reserve(wheels_.size() - 1);
+    for (std::size_t i = 1; i < wheels_.size(); ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+void
+WheelRunner::workerLoop(std::size_t wheel)
+{
+    for (;;) {
+        start_.arrive_and_wait();
+        if (exit_)
+            return;
+        runWheel(wheel);
+        finish_.arrive_and_wait();
+    }
+}
+
+void
+WheelRunner::runWheel(std::size_t wheel)
+{
+    // round_ was published before the start barrier; the barrier's
+    // synchronization makes it (and all pre-round wheel state)
+    // visible here.
+    const Round r = round_;
+    Wheel &w = wheels_[wheel];
+    if (w.ingest) {
+        const Tick before =
+            r.stop == kTickNever ? kTickNever : r.stop + 1;
+        w.ingest(before);
+    }
+    w.eq->runUntil(r.stop);
+}
+
+std::uint64_t
+WheelRunner::runUntil(Tick until)
+{
+    std::uint64_t before = 0;
+    for (const Wheel &w : wheels_)
+        before += w.eq->executed();
+
+    for (;;) {
+        // All wheels are quiesced here (initially, or parked at the
+        // barriers), so reading every queue and mailbox is safe.
+        Tick horizon = kTickNever;
+        for (const Wheel &w : wheels_) {
+            horizon = std::min(horizon, w.eq->nextTick());
+            if (w.pendingTick)
+                horizon = std::min(horizon, w.pendingTick());
+        }
+        const Tick g = globalNext_;
+
+        Round r;
+        if (horizon > until && g > until) {
+            // Nothing left inside the run: one clamp round advances
+            // every wheel's clock to the end time.
+            r.stop = until;
+            r.done = true;
+        } else {
+            // Anything sent during [horizon, stop] lands at or after
+            // horizon + lookahead > stop, so every cross-wheel input
+            // for this window is already in a mailbox.
+            Tick stop = until;
+            if (horizon < until && horizon + lookahead_ - 1 < until)
+                stop = horizon + lookahead_ - 1;
+            if (g <= stop) {
+                r.stop = g;
+                r.fire = true;
+            } else {
+                r.stop = stop;
+            }
+        }
+
+        round_ = r;
+        if (threaded_) {
+            start_.arrive_and_wait();
+            runWheel(0);
+            finish_.arrive_and_wait();
+        } else {
+            for (std::size_t i = 0; i < wheels_.size(); ++i)
+                runWheel(i);
+        }
+
+        if (r.fire)
+            globalNext_ = globalFire_ ? globalFire_() : kTickNever;
+        if (r.done)
+            break;
+    }
+
+    std::uint64_t after = 0;
+    for (const Wheel &w : wheels_)
+        after += w.eq->executed();
+    return after - before;
+}
+
+} // namespace halsim

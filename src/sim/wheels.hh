@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Conservative time-parallel execution of one simulation split across
+ * several event wheels (DESIGN.md §13).
+ *
+ * Each wheel owns an EventQueue plus the components bound to it;
+ * wheels exchange packets only through cross-wheel edges backed by
+ * SPSC mailboxes. Every edge has a fixed minimum latency, and the
+ * smallest of them is the run's lookahead L: an event executed at
+ * tick t can influence another wheel no earlier than t + L. The
+ * runner exploits that with a window-barrier protocol — all wheels
+ * run [T, stop] rounds concurrently, where T is the global minimum
+ * pending tick and stop < T + L, so anything a wheel sends during a
+ * round lands strictly after the round and cross-wheel inputs are
+ * always fully known before a window opens.
+ *
+ * Determinism: merged cross-wheel entries carry the sender's reserved
+ * key, whose top byte is the sender's wheel band, so all same-tick
+ * work has the fixed total order (tick, band, seq) regardless of
+ * thread interleaving. The single-threaded path executes the exact
+ * same window sequence, which is what makes --run-threads 1 and
+ * --run-threads N bit-identical (test_determinism holds the bar).
+ */
+
+#ifndef HALSIM_SIM_WHEELS_HH
+#define HALSIM_SIM_WHEELS_HH
+
+#include <barrier>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace halsim {
+
+/**
+ * Drives N wheels through lookahead-bounded windows, sequentially or
+ * with one thread per wheel. The caller's thread acts as the
+ * coordinator and always runs wheel 0.
+ */
+// halint: mailbox window-barrier coordinator (DESIGN.md §13)
+class WheelRunner
+{
+  public:
+    /** One wheel: its queue plus the hooks that surface cross-wheel
+     *  input waiting in this wheel's incoming mailboxes. */
+    struct Wheel
+    {
+        EventQueue *eq = nullptr;
+        /** Move mailbox entries with tick < @p before into the wheel
+         *  (null when the wheel has no incoming edges). */
+        std::function<void(Tick before)> ingest;
+        /** Earliest tick still waiting in an incoming mailbox, or
+         *  kTickNever (null means no incoming edges). */
+        std::function<Tick()> pendingTick;
+    };
+
+    /**
+     * @param wheels   the partition; wheel 0 runs on the caller.
+     * @param lookahead  minimum cross-wheel edge latency (ticks > 0).
+     * @param threads  <=1 runs every window on the calling thread;
+     *                 >=2 runs one persistent thread per extra wheel.
+     */
+    WheelRunner(std::vector<Wheel> wheels, Tick lookahead,
+                unsigned threads);
+
+    ~WheelRunner();
+
+    WheelRunner(const WheelRunner &) = delete;
+    WheelRunner &operator=(const WheelRunner &) = delete;
+
+    /**
+     * Register a coordinator-side callback fired between windows the
+     * first time global time reaches @p first; it returns the next
+     * fire tick (or kTickNever to stop). Runs while every wheel is
+     * quiesced, so it may read any wheel's state — the partitioned
+     * run's stand-in for a global sampler event.
+     */
+    void
+    setGlobalCallback(Tick first, std::function<Tick()> fire)
+    {
+        globalNext_ = first;
+        globalFire_ = std::move(fire);
+    }
+
+    /**
+     * Advance every wheel to @p until (inclusive), honoring lookahead
+     * windows and the global callback.
+     * @return events executed across all wheels.
+     */
+    std::uint64_t runUntil(Tick until);
+
+    Tick lookahead() const { return lookahead_; }
+    bool threaded() const { return threaded_; }
+    std::size_t wheelCount() const { return wheels_.size(); }
+
+  private:
+    /** Window parameters the coordinator publishes to the workers. */
+    struct Round
+    {
+        Tick stop = 0;
+        bool fire = false;
+        bool done = false;
+    };
+
+    void startWorkers();
+    void workerLoop(std::size_t wheel);
+    void runWheel(std::size_t wheel);
+
+    std::vector<Wheel> wheels_;
+    Tick lookahead_;
+    bool threaded_;
+
+    Tick globalNext_ = kTickNever;
+    std::function<Tick()> globalFire_;
+
+    // Threaded mode. The coordinator publishes round_ before the
+    // start barrier and reads wheel state only after the finish
+    // barrier; workers touch shared state only between the two.
+    Round round_;
+    bool exit_ = false;
+    std::barrier<> start_;
+    std::barrier<> finish_;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace halsim
+
+#endif // HALSIM_SIM_WHEELS_HH

@@ -146,6 +146,32 @@ runOnce(const ServerConfig &cfg, double rate_gbps, bool pooling)
     return r;
 }
 
+/** A HAL point eligible for the partitioned (time-parallel) engine:
+ *  stateless function, no faults, watchdog off, obs off. */
+ServerConfig
+partitionableHalConfig(unsigned run_threads)
+{
+    ServerConfig cfg;
+    cfg.mode = Mode::Hal;
+    cfg.function = funcs::FunctionId::DpdkFwd;
+    cfg.watchdog.enabled = false;
+    cfg.slo.target_p99_us = 200.0;
+    cfg.run_threads = run_threads;
+    return cfg;
+}
+
+RunResult
+runPartitioned(const ServerConfig &cfg, double rate_gbps,
+               bool expect_partitioned, bool batching = true)
+{
+    EventQueue eq;
+    eq.setBatchingEnabled(batching);
+    ServerSystem sys(eq, cfg);
+    EXPECT_EQ(sys.partitioned(), expect_partitioned);
+    return sys.run(std::make_unique<net::ConstantRate>(rate_gbps),
+                   5 * kMs, 30 * kMs);
+}
+
 } // namespace
 
 TEST(Determinism, PoolingOnVsOffIdentical)
@@ -309,6 +335,85 @@ TEST(Determinism, FleetSweepThreads1VsNIdentical)
     };
     EXPECT_EQ(fromPoints(as[0]), fromPoints(ap[0]));
     EXPECT_EQ(as[1], ap[1]); // stats trees
+}
+
+TEST(Determinism, BatchOnVsOffIdentical)
+{
+    // Event batching (burst coalescing + channel inline drains) is a
+    // pure dispatch optimisation; turning it off must be
+    // observationally invisible — RunResult, serialized form, and the
+    // full stats tree, faults and all.
+    ServerConfig cfg = faultedHalConfig();
+    cfg.obs.stats = true;
+    net::PacketPool::local().clear();
+    EventQueue eqOn, eqOff;
+    eqOff.setBatchingEnabled(false);
+    ServerSystem sysOn(eqOn, cfg);
+    const RunResult on = sysOn.run(
+        std::make_unique<net::ConstantRate>(60.0), 5 * kMs, 30 * kMs);
+    std::ostringstream statsOn;
+    ASSERT_NE(sysOn.obs(), nullptr);
+    sysOn.obs()->writeStatsJson(statsOn);
+    ServerSystem sysOff(eqOff, cfg);
+    const RunResult off = sysOff.run(
+        std::make_unique<net::ConstantRate>(60.0), 5 * kMs, 30 * kMs);
+    std::ostringstream statsOff;
+    ASSERT_NE(sysOff.obs(), nullptr);
+    sysOff.obs()->writeStatsJson(statsOff);
+    ASSERT_GT(on.faults_injected, 0u);
+    expectIdentical(on, off);
+    std::ostringstream ja, jb;
+    on.toJson(ja);
+    off.toJson(jb);
+    EXPECT_EQ(ja.str(), jb.str());
+    ASSERT_FALSE(statsOn.str().empty());
+    EXPECT_EQ(statsOn.str(), statsOff.str());
+}
+
+TEST(Determinism, RunThreadsPartitionedIdentical)
+{
+    // The time-parallel engine must be bit-identical across its own
+    // thread counts (same window sequence, (tick, band, seq) merge
+    // order) AND against the monolithic single-queue run.
+    const RunResult mono =
+        runPartitioned(partitionableHalConfig(0), 60.0, false);
+    const RunResult part1 =
+        runPartitioned(partitionableHalConfig(1), 60.0, true);
+    const RunResult part3 =
+        runPartitioned(partitionableHalConfig(3), 60.0, true);
+    ASSERT_GT(part1.responses, 0u);
+    ASSERT_GT(part1.slo_epochs, 0u);
+    expectIdentical(part1, part3);
+    expectIdentical(mono, part1);
+}
+
+TEST(Determinism, PartitionedIdenticalWithBatchingOff)
+{
+    // Orthogonality: wheels x batching. Same answer in every cell.
+    const RunResult a =
+        runPartitioned(partitionableHalConfig(3), 80.0, true, true);
+    const RunResult b =
+        runPartitioned(partitionableHalConfig(3), 80.0, true, false);
+    ASSERT_GT(a.responses, 0u);
+    expectIdentical(a, b);
+}
+
+TEST(Determinism, UnsupportedConfigFallsBackToMonolithic)
+{
+    // run_threads on a config the partitioned engine cannot take
+    // (faults armed, watchdog on) must coerce to the monolithic loop
+    // and change nothing.
+    ServerConfig threaded = faultedHalConfig();
+    threaded.run_threads = 3;
+    net::PacketPool::local().clear();
+    EventQueue eqA, eqB;
+    ServerSystem sysA(eqA, threaded);
+    EXPECT_FALSE(sysA.partitioned());
+    const RunResult a = sysA.run(
+        std::make_unique<net::ConstantRate>(60.0), 5 * kMs, 30 * kMs);
+    const RunResult b = runOnce(faultedHalConfig(), 60.0, true);
+    ASSERT_GT(a.faults_injected, 0u);
+    expectIdentical(a, b);
 }
 
 TEST(Determinism, SweepThreads1VsNIdentical)

@@ -242,6 +242,58 @@ TEST(HalintW006, UsingNamespaceInHeaderFlagged)
         lint("src/a.hh", "#pragma once\nusing T = int;\n").empty());
 }
 
+// ---- HAL-W007 ------------------------------------------------------
+
+TEST(HalintW007, ThreadPrimitiveInDesCoreFlagged)
+{
+    const auto d = lint("src/sim/engine.cc",
+                        "void f() {\n"
+                        "    std::mutex mu;\n"
+                        "    std::atomic<int> n{0};\n"
+                        "}\n");
+    EXPECT_EQ(linesOf(d, halint::kRuleCrossWheel),
+              (std::vector<int>{2, 3}));
+}
+
+TEST(HalintW007, MailboxBlockCoversPrimitives)
+{
+    const auto d = lint("src/sim/box.hh",
+                        "#pragma once\n"
+                        "// halint: mailbox SPSC ring, DESIGN.md §13\n"
+                        "class Box {\n"
+                        "    std::atomic<std::size_t> head_{0};\n"
+                        "    std::atomic<std::size_t> tail_{0};\n"
+                        "};\n"
+                        "std::mutex outside;\n");
+    EXPECT_EQ(linesOf(d, halint::kRuleCrossWheel),
+              (std::vector<int>{7}));
+}
+
+TEST(HalintW007, OutsideDesCoreNotFlagged)
+{
+    EXPECT_TRUE(
+        lint("src/core/pool.cc", "std::mutex mu;\n").empty());
+    EXPECT_TRUE(lint("bench/b.cc", "std::thread t;\n").empty());
+}
+
+TEST(HalintW007, MailboxWithNoBlockIsMalformed)
+{
+    const auto d = lint("src/sim/a.cc",
+                        "// halint: mailbox dangling\n"
+                        "int x;\n");
+    EXPECT_EQ(linesOf(d, halint::kRuleDirective),
+              (std::vector<int>{1}));
+}
+
+TEST(HalintW007, AllowSuppresses)
+{
+    const auto d =
+        lint("src/sim/pool.cc",
+             "// halint: allow(HAL-W007) sweep pool, not the DES core\n"
+             "std::thread worker;\n");
+    EXPECT_TRUE(d.empty());
+}
+
 // ---- suppression grammar ------------------------------------------
 
 TEST(HalintSuppress, TrailingAllowSuppressesSameLine)

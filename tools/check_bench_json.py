@@ -158,6 +158,24 @@ def check_stats(path, schema):
                      (path, dotted))
 
 
+def check_simcore(path, schema):
+    """The bench_sim_core artifact: full metric matrix present and
+    numeric (a --batch/--run-threads-restricted run writes a partial
+    artifact, which must not be committed or gated)."""
+    doc = load(path)
+    if doc is None:
+        return
+    check_fields(doc, schema["header"], path)
+    metrics = doc.get("metrics")
+    if isinstance(metrics, dict):
+        check_fields(metrics, schema["metric_fields"],
+                     "%s: metrics" % path)
+    workload = doc.get("workload")
+    if isinstance(workload, dict):
+        check_fields(workload, schema["workload_fields"],
+                     "%s: workload" % path)
+
+
 def check_trace(path, schema):
     doc = load(path)
     if doc is None:
@@ -202,9 +220,12 @@ def main():
     ap.add_argument("--results", help="results artifact (--json)")
     ap.add_argument("--stats", help="stats artifact (--stats-out)")
     ap.add_argument("--trace", help="trace artifact (--trace)")
+    ap.add_argument("--simcore",
+                    help="bench_sim_core artifact (--json)")
     args = ap.parse_args()
-    if not (args.results or args.stats or args.trace):
-        ap.error("give at least one of --results/--stats/--trace")
+    if not (args.results or args.stats or args.trace or args.simcore):
+        ap.error("give at least one of "
+                 "--results/--stats/--trace/--simcore")
 
     schema = load(args.schema)
     if schema is None:
@@ -217,13 +238,16 @@ def main():
         check_stats(args.stats, schema["stats"])
     if args.trace:
         check_trace(args.trace, schema["trace"])
+    if args.simcore:
+        check_simcore(args.simcore, schema["simcore"])
 
     if ERRORS:
         for e in ERRORS:
             print("error: " + e, file=sys.stderr)
         print("%d schema violation(s)" % len(ERRORS), file=sys.stderr)
         return 1
-    checked = [p for p in (args.results, args.stats, args.trace) if p]
+    checked = [p for p in (args.results, args.stats, args.trace,
+                           args.simcore) if p]
     print("schema OK: " + ", ".join(checked))
     return 0
 

@@ -33,6 +33,7 @@ struct Directive
 {
     int line = 0;
     bool hotpath = false;
+    bool mailbox = false;
     std::vector<std::string> allow; //!< rule ids for allow(...)
     bool malformed = false;
     std::string error;
@@ -66,9 +67,9 @@ bool
 validRuleId(const std::string &r)
 {
     static const std::set<std::string> kKnown{
-        kRuleDirective,      kRuleWallClock, kRuleRng,
+        kRuleDirective,      kRuleWallClock,     kRuleRng,
         kRuleUnordered,      kRuleHotpathAlloc,
-        kRuleParallelPurity, kRuleHeaderHygiene};
+        kRuleParallelPurity, kRuleHeaderHygiene, kRuleCrossWheel};
     return kKnown.count(r) != 0;
 }
 
@@ -78,6 +79,7 @@ validRuleId(const std::string &r)
  * merely mention the tag are ignored):
  *
  *   halint: hotpath [note]
+ *   halint: mailbox [note]
  *   halint: allow(HAL-Wnnn[, HAL-Wnnn...]) <reason>
  *
  * The reason after allow(...) is mandatory: a suppression that does
@@ -97,6 +99,8 @@ parseDirective(std::string_view text, int line, std::size_t tokenIndex,
     std::string rest = trim(lead.substr(kTag.size()));
     if (rest.rfind("hotpath", 0) == 0) {
         d.hotpath = true;
+    } else if (rest.rfind("mailbox", 0) == 0) {
+        d.mailbox = true;
     } else if (rest.rfind("allow", 0) == 0) {
         const std::size_t open = rest.find('(');
         const std::size_t close = rest.find(')');
@@ -545,6 +549,87 @@ struct Scanner
         }
     }
 
+    // ---- HAL-W007: cross-wheel state outside mailbox sections -------
+    /**
+     * The time-parallel engine's safety argument (DESIGN.md §13)
+     * rests on wheels sharing state ONLY through SPSC mailboxes
+     * drained at window barriers. Any thread-synchronization
+     * primitive in the DES core (src/sim/, src/net/) is therefore a
+     * protocol extension and must sit inside a block annotated
+     * '// halint: mailbox' (the annotation covers the next
+     * brace-balanced block, e.g. a class or function body).
+     */
+    void
+    crossWheel()
+    {
+        const bool scoped =
+            path.rfind("src/sim/", 0) == 0 ||
+            path.find("/src/sim/") != std::string::npos ||
+            path.rfind("src/net/", 0) == 0 ||
+            path.find("/src/net/") != std::string::npos;
+        if (!scoped)
+            return;
+        static const std::set<std::string> kPrims{
+            "atomic",        "atomic_flag",
+            "atomic_ref",    "mutex",
+            "shared_mutex",  "recursive_mutex",
+            "timed_mutex",   "condition_variable",
+            "condition_variable_any", "thread",
+            "jthread",       "barrier",
+            "latch",         "counting_semaphore",
+            "binary_semaphore",       "promise",
+            "async"};
+
+        // Token ranges covered by a mailbox annotation: the next
+        // brace-balanced block after each directive.
+        std::vector<std::pair<std::size_t, std::size_t>> covered;
+        for (const Directive &d : lx.directives) {
+            if (!d.mailbox)
+                continue;
+            std::size_t i = d.tokenIndexAfter;
+            while (i < lx.toks.size() &&
+                   !(lx.toks[i].kind == TokKind::Punct &&
+                     lx.toks[i].text == "{"))
+                ++i;
+            if (i == lx.toks.size()) {
+                add(kRuleDirective, d.line,
+                    "mailbox annotation with no block after it");
+                continue;
+            }
+            const std::size_t start = i;
+            int depth = 0;
+            for (; i < lx.toks.size(); ++i) {
+                const Tok &t = lx.toks[i];
+                if (t.kind != TokKind::Punct)
+                    continue;
+                if (t.text == "{")
+                    ++depth;
+                else if (t.text == "}" && --depth == 0)
+                    break;
+            }
+            covered.emplace_back(start, i);
+        }
+
+        for (std::size_t i = 0; i < lx.toks.size(); ++i) {
+            const Tok &t = lx.toks[i];
+            if (t.kind != TokKind::Ident || kPrims.count(t.text) == 0)
+                continue;
+            bool inside = false;
+            for (const auto &[b, e] : covered)
+                if (i >= b && i <= e) {
+                    inside = true;
+                    break;
+                }
+            if (!inside)
+                add(kRuleCrossWheel, t.line,
+                    "thread primitive '" + t.text +
+                        "' outside a '// halint: mailbox' section — "
+                        "wheels may share state only through SPSC "
+                        "mailboxes drained at window barriers "
+                        "(DESIGN.md §13)");
+        }
+    }
+
     // ---- HAL-W006: header hygiene -----------------------------------
     void
     headerHygiene()
@@ -594,6 +679,7 @@ lintSource(const std::string &path, std::string_view content)
     s.hotpathAlloc();
     s.parallelPurity();
     s.headerHygiene();
+    s.crossWheel();
 
     // Suppressions: an allow(HAL-Wnnn) covers its own line (trailing
     // comment) and the next line (comment above the statement).
@@ -635,6 +721,8 @@ ruleTable()
            "HAL-W004  allocation inside a '// halint: hotpath' function\n"
            "HAL-W005  impure parallelFor/runSweep callback\n"
            "HAL-W006  header hygiene (guard, 'using namespace')\n"
+           "HAL-W007  thread primitive in the DES core outside a "
+           "'// halint: mailbox' section\n"
            "Suppress with: // halint: allow(HAL-Wnnn) <reason>\n";
 }
 

@@ -43,6 +43,7 @@ inline constexpr const char *kRuleUnordered = "HAL-W003";
 inline constexpr const char *kRuleHotpathAlloc = "HAL-W004";
 inline constexpr const char *kRuleParallelPurity = "HAL-W005";
 inline constexpr const char *kRuleHeaderHygiene = "HAL-W006";
+inline constexpr const char *kRuleCrossWheel = "HAL-W007";
 
 /**
  * Lint one translation unit. @p path decides which rules apply
