@@ -133,6 +133,8 @@ constexpr Field kFields[] = {
      [](const RunResult &r) { return r.fleet_backend_served_max; }},
     {"energy_fleet_j", Field::Type::F64,
      [](const RunResult &r) { return r.energy_fleet_j; }, nullptr},
+    {"past_clamps", Field::Type::U64, nullptr,
+     [](const RunResult &r) { return r.past_clamps; }},
 };
 
 } // namespace

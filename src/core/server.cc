@@ -173,11 +173,14 @@ makeWheelQueues(bool partitioned)
     std::array<std::unique_ptr<EventQueue>, 3> qs;
     if (!partitioned)
         return qs;
+    // WheelBand::Mono stays the monolithic queue's; wheels take
+    // Client/Snic/Host so merged same-tick keys keep the
+    // (tick, band, seq) order (registry: src/sim/wheels.hh).
+    static constexpr std::array<WheelBand, 3> kBands{
+        WheelBand::Client, WheelBand::Snic, WheelBand::Host};
     for (std::size_t i = 0; i < qs.size(); ++i) {
         qs[i] = std::make_unique<EventQueue>();
-        // Band 0 stays the monolithic queue's; wheels take 1..3 so
-        // merged same-tick keys keep the (tick, band, seq) order.
-        qs[i]->setBand(static_cast<std::uint8_t>(i + 1));
+        qs[i]->setBand(static_cast<std::uint8_t>(kBands[i]));
     }
     return qs;
 }
@@ -564,6 +567,8 @@ ServerSystem::buildObs()
                    [this] { return returnLink_->drops(); });
     reg->fnCounter("server.return_link.fault_drops",
                    [this] { return returnLink_->faultDrops(); });
+    reg->fnCounter("server.eq.past_clamps",
+                   [this] { return pastClamps(); });
 
     if (eswitch_ != nullptr) {
         reg->fnCounter("server.eswitch.matched",
@@ -981,6 +986,7 @@ ServerSystem::run(std::unique_ptr<net::RateProcess> rate, Tick warmup,
     }
     if (lbp_ != nullptr)
         r.ctrl_updates_dropped = lbp_->updatesDropped();
+    r.past_clamps = pastClamps();
 
     // --- energy breakdown (window fixed above, pre-drain) ------------
     r.energy_snic_cpu_j = energy_.joules("snic_cpu");

@@ -236,6 +236,15 @@ struct RunResult
     double energy_fleet_j = 0.0;         //!< sum of per-backend accounts
 
     /**
+     * Schedule-into-past clamps across every event queue in the run
+     * (release builds clamp instead of asserting; see
+     * EventQueue::pastClamps). Nonzero means a component computed a
+     * delivery tick before now — a causality bug that debug builds
+     * would have caught — so benches and tests gate on zero.
+     */
+    std::uint64_t past_clamps = 0;
+
+    /**
      * Loss fraction over the measurement window. Packets in flight at
      * the window boundary are accounted explicitly (they were neither
      * delivered nor lost when the window closed), so the ratio needs
@@ -334,6 +343,20 @@ class ServerSystem
         std::uint64_t n = 0;
         for (const auto &q : wheelEq_)
             n += q->executed();
+        return n;
+    }
+
+    /** Schedule-into-past clamps across the engine's queue(s); any
+     *  nonzero value is a latent causality bug (RunResult carries it
+     *  as past_clamps and tests gate on zero). */
+    std::uint64_t
+    pastClamps() const
+    {
+        if (!partitioned_)
+            return eq_.pastClamps();
+        std::uint64_t n = eq_.pastClamps();
+        for (const auto &q : wheelEq_)
+            n += q->pastClamps();
         return n;
     }
 

@@ -482,6 +482,7 @@ FleetSystem::run(std::unique_ptr<net::RateProcess> rate, Tick warmup,
     }
     r.fleet_backend_served_min = smin;
     r.fleet_backend_served_max = smax;
+    r.past_clamps = eq_.pastClamps();
 
     if (injector_ != nullptr) {
         r.faults_injected = injector_->injected();

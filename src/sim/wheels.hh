@@ -37,6 +37,35 @@
 namespace halsim {
 
 /**
+ * Wheel-band registry: who owns which slice of the partitioned
+ * simulation. The value is the top byte of every reserved event key
+ * (EventQueue::setBand), so same-tick cross-wheel work always orders
+ * (tick, band, seq) — client before SNIC before host. halint's
+ * `// halint: band(client|snic|host)` annotations name these bands,
+ * and its HAL-W009 escape analysis flags state crossing them outside
+ * a mailbox (DESIGN.md §13, §14).
+ */
+enum class WheelBand : std::uint8_t {
+    Mono = 0,   //!< single-wheel run, no partition
+    Client = 1, //!< load generators
+    Snic = 2,   //!< SNIC datapath (eswitch, rings, accelerators)
+    Host = 3,   //!< host cores and software stack
+};
+
+/** Stable lowercase name for a band (the halint directive spelling). */
+constexpr const char *
+wheelBandName(WheelBand b)
+{
+    switch (b) {
+    case WheelBand::Mono: return "mono";
+    case WheelBand::Client: return "client";
+    case WheelBand::Snic: return "snic";
+    case WheelBand::Host: return "host";
+    }
+    return "?";
+}
+
+/**
  * Drives N wheels through lookahead-bounded windows, sequentially or
  * with one thread per wheel. The caller's thread acts as the
  * coordinator and always runs wheel 0.

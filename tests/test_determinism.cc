@@ -113,6 +113,7 @@ expectIdentical(const RunResult &a, const RunResult &b)
     EXPECT_EQ(a.fleet_backend_served_min, b.fleet_backend_served_min);
     EXPECT_EQ(a.fleet_backend_served_max, b.fleet_backend_served_max);
     expectBitEqual(a.energy_fleet_j, b.energy_fleet_j, "energy_fleet_j");
+    EXPECT_EQ(a.past_clamps, b.past_clamps);
 }
 
 /** A HAL point with a transient fault so that every fault/watchdog
@@ -142,6 +143,10 @@ runOnce(const ServerConfig &cfg, double rate_gbps, bool pooling)
     RunResult r =
         sys.run(std::make_unique<net::ConstantRate>(rate_gbps), 5 * kMs,
                 30 * kMs);
+    // A release-mode schedule-into-past clamp is a silent causality
+    // bug (debug builds assert); every run in this suite must be
+    // clamp-free.
+    EXPECT_EQ(r.past_clamps, 0u);
     net::PacketPool::local().setEnabled(true);
     return r;
 }

@@ -14,8 +14,10 @@
 
 #include "halint.hh"
 
+using halint::analyzeSources;
 using halint::Diagnostic;
 using halint::lintSource;
+using halint::SourceFile;
 
 namespace {
 
@@ -392,4 +394,469 @@ TEST(HalintLexer, LineNumbersSurviveMultilineConstructs)
                         "   spanning lines */\n"
                         "int f() { return std::rand(); }\n");
     EXPECT_EQ(linesOf(d, halint::kRuleRng), (std::vector<int>{4}));
+}
+
+// ---- HAL-W008: transitive hotpath allocation -----------------------
+
+namespace {
+
+/** All diagnostics for one rule in one file. */
+std::vector<Diagnostic>
+diagsOf(const std::vector<Diagnostic> &diags, const std::string &rule)
+{
+    std::vector<Diagnostic> out;
+    for (const Diagnostic &d : diags)
+        if (d.rule == rule)
+            out.push_back(d);
+    return out;
+}
+
+} // namespace
+
+TEST(HalintW008, DepthThreeChainReportedWithWhyChain)
+{
+    const auto d = analyzeSources({
+        {"src/sim/a.cc",
+         "void leaf() { buf.push_back(1); }\n"
+         "void mid() { leaf(); }\n"
+         "void top() { mid(); }\n"
+         "// halint: hotpath\n"
+         "void drive() { top(); }\n"},
+    });
+    const auto w = diagsOf(d, halint::kRuleTransitiveAlloc);
+    ASSERT_EQ(w.size(), 1u);
+    EXPECT_EQ(w[0].line, 1);
+    // The why-chain names every frame from the root to the allocator.
+    EXPECT_NE(w[0].message.find("drive"), std::string::npos);
+    EXPECT_NE(w[0].message.find("top"), std::string::npos);
+    EXPECT_NE(w[0].message.find("mid"), std::string::npos);
+    EXPECT_NE(w[0].message.find("leaf"), std::string::npos);
+    EXPECT_NE(w[0].message.find("call chain"), std::string::npos);
+}
+
+TEST(HalintW008, ChainCrossesTranslationUnits)
+{
+    const auto d = analyzeSources({
+        {"src/sim/hot.cc",
+         "// halint: hotpath\n"
+         "void drive() { helper(); }\n"},
+        {"src/net/helper.cc", "void helper() { T *p = new T; }\n"},
+    });
+    const auto w = diagsOf(d, halint::kRuleTransitiveAlloc);
+    ASSERT_EQ(w.size(), 1u);
+    EXPECT_EQ(w[0].file, "src/net/helper.cc");
+    EXPECT_EQ(w[0].line, 1);
+    EXPECT_NE(w[0].message.find("src/sim/hot.cc"), std::string::npos);
+}
+
+TEST(HalintW008, RecursionTerminatesAndReportsOnce)
+{
+    const auto d = analyzeSources({
+        {"src/sim/a.cc",
+         "void ping() { pong(); }\n"
+         "void pong() { v.push_back(1); ping(); }\n"
+         "// halint: hotpath\n"
+         "void drive() { ping(); }\n"},
+    });
+    const auto w = diagsOf(d, halint::kRuleTransitiveAlloc);
+    ASSERT_EQ(w.size(), 1u);
+    EXPECT_EQ(w[0].line, 2);
+}
+
+TEST(HalintW008, FunctionPointersDegradeGracefully)
+{
+    // Calls through a pointer produce no edge (documented limit):
+    // the allocation behind fp() stays unreported, and nothing
+    // crashes or misattributes.
+    const auto d = analyzeSources({
+        {"src/sim/a.cc",
+         "void target() { v.push_back(1); }\n"
+         "// halint: hotpath\n"
+         "void drive(void (*fp)()) { fp(); }\n"},
+    });
+    EXPECT_TRUE(diagsOf(d, halint::kRuleTransitiveAlloc).empty());
+}
+
+TEST(HalintW008, RootOwnAllocationsStayW004)
+{
+    // Depth-0 allocations are the per-file W004 rule's; W008 only
+    // adds the transitive ones, so one site never double-reports.
+    const auto d = analyzeSources({
+        {"src/sim/a.cc",
+         "// halint: hotpath\n"
+         "void drive() { v.push_back(1); }\n"},
+    });
+    EXPECT_EQ(diagsOf(d, halint::kRuleHotpathAlloc).size(), 1u);
+    EXPECT_TRUE(diagsOf(d, halint::kRuleTransitiveAlloc).empty());
+}
+
+TEST(HalintW008, AllowAtAllocationSiteSuppresses)
+{
+    const auto d = analyzeSources({
+        {"src/sim/a.cc",
+         "// halint: allow(HAL-W008) warmup-only growth\n"
+         "void leaf() { buf.push_back(1); }\n"
+         "// halint: hotpath\n"
+         "void drive() { leaf(); }\n"},
+    });
+    EXPECT_TRUE(diagsOf(d, halint::kRuleTransitiveAlloc).empty());
+}
+
+TEST(HalintW008, AllowW004AlsoCoversTransitivePass)
+{
+    // One justification per allocation site: a W004 allow() on a
+    // shared helper also silences W008 chains that reach it.
+    const auto d = analyzeSources({
+        {"src/sim/a.cc",
+         "// halint: allow(HAL-W004) bounded by capacity_\n"
+         "void leaf() { buf.push_back(1); }\n"
+         "// halint: hotpath\n"
+         "void drive() { leaf(); }\n"},
+    });
+    EXPECT_TRUE(diagsOf(d, halint::kRuleTransitiveAlloc).empty());
+}
+
+TEST(HalintW008, HotpathCalleeOwnsItsSubtree)
+{
+    // A callee that is itself a hotpath root reports its own body
+    // (W004) and subtree under its own shorter chain, so the outer
+    // root does not descend into it.
+    const auto d = analyzeSources({
+        {"src/sim/a.cc",
+         "// halint: hotpath\n"
+         "void inner() { v.push_back(1); }\n"
+         "// halint: hotpath\n"
+         "void outer() { inner(); }\n"},
+    });
+    EXPECT_EQ(diagsOf(d, halint::kRuleHotpathAlloc).size(), 1u);
+    EXPECT_TRUE(diagsOf(d, halint::kRuleTransitiveAlloc).empty());
+}
+
+// ---- HAL-W009: wheel-partition escape analysis ---------------------
+
+namespace {
+
+/** A band(snic) class with one mutable field, as one TU. */
+const char *kSnicOwner =
+    "#pragma once\n"
+    "// halint: band(snic) eswitch depth model\n"
+    "class Ring {\n"
+    "  public:\n"
+    "    int depth_ = 0;\n"
+    "};\n";
+
+} // namespace
+
+TEST(HalintW009, BareCrossBandWriteFlagged)
+{
+    const auto d = analyzeSources({
+        {"src/net/ring.hh", kSnicOwner},
+        {"src/net/client.cc",
+         "// halint: band(client) generator side\n"
+         "class Gen {\n"
+         "  public:\n"
+         "    void poke(Ring *r) { r->depth_ = 3; }\n"
+         "};\n"},
+    });
+    const auto w = diagsOf(d, halint::kRuleBandEscape);
+    ASSERT_EQ(w.size(), 1u);
+    EXPECT_EQ(w[0].file, "src/net/client.cc");
+    EXPECT_EQ(w[0].line, 4);
+    EXPECT_NE(w[0].message.find("write"), std::string::npos);
+    EXPECT_NE(w[0].message.find("band(snic)"), std::string::npos);
+    EXPECT_NE(w[0].message.find("band(client)"), std::string::npos);
+}
+
+TEST(HalintW009, CrossBandReadFlaggedAsRead)
+{
+    const auto d = analyzeSources({
+        {"src/net/ring.hh", kSnicOwner},
+        {"src/net/client.cc",
+         "// halint: band(client) generator side\n"
+         "class Gen {\n"
+         "  public:\n"
+         "    int peek(Ring *r) { return r->depth_; }\n"
+         "};\n"},
+    });
+    const auto w = diagsOf(d, halint::kRuleBandEscape);
+    ASSERT_EQ(w.size(), 1u);
+    EXPECT_NE(w[0].message.find("read of"), std::string::npos);
+}
+
+TEST(HalintW009, MailboxSectionExemptsAccess)
+{
+    const auto d = analyzeSources({
+        {"src/net/ring.hh", kSnicOwner},
+        {"src/net/client.cc",
+         "// halint: band(client) generator side\n"
+         "class Gen {\n"
+         "  public:\n"
+         "    // halint: mailbox drained at the window barrier\n"
+         "    void poke(Ring *r) { r->depth_ = 3; }\n"
+         "};\n"},
+    });
+    EXPECT_TRUE(diagsOf(d, halint::kRuleBandEscape).empty());
+}
+
+TEST(HalintW009, SameBandAndUnbandedAccessFine)
+{
+    const auto d = analyzeSources({
+        {"src/net/ring.hh", kSnicOwner},
+        {"src/net/snic.cc",
+         "// halint: band(snic) same side\n"
+         "class Pump {\n"
+         "  public:\n"
+         "    void poke(Ring *r) { r->depth_ = 3; }\n"
+         "};\n"},
+        // Unbanded code has no owner to attribute: out of scope.
+        {"src/net/tools.cc",
+         "void reset(Ring *r) { r->depth_ = 0; }\n"},
+    });
+    EXPECT_TRUE(diagsOf(d, halint::kRuleBandEscape).empty());
+}
+
+TEST(HalintW009, MethodCallsAreNotFieldEscapes)
+{
+    const auto d = analyzeSources({
+        {"src/net/ring.hh",
+         "#pragma once\n"
+         "// halint: band(snic) eswitch depth model\n"
+         "class Ring {\n"
+         "  public:\n"
+         "    int depth_ = 0;\n"
+         "    int depth() const { return depth_; }\n"
+         "};\n"},
+        {"src/net/client.cc",
+         "// halint: band(client) generator side\n"
+         "class Gen {\n"
+         "  public:\n"
+         "    int peek(Ring *r) { return r->depth(); }\n"
+         "};\n"},
+    });
+    EXPECT_TRUE(diagsOf(d, halint::kRuleBandEscape).empty());
+}
+
+TEST(HalintW009, UnknownBandNameIsMalformed)
+{
+    const auto d = lint("src/net/a.cc",
+                        "// halint: band(gpu) no such wheel\n"
+                        "class X {};\n");
+    EXPECT_EQ(linesOf(d, halint::kRuleDirective),
+              (std::vector<int>{1}));
+}
+
+// ---- HAL-W010: stats/results/schema drift --------------------------
+
+namespace {
+
+const char *kResultsCc =
+    "namespace {\n"
+    "struct Field { const char *name; int v; };\n"
+    "constexpr Field kFields[] = {\n"
+    "    {\"alpha\", 1},\n"
+    "    {\"beta\", 2},\n"
+    "};\n"
+    "}\n";
+
+std::string
+schemaWith(const std::string &pointFields, const std::string &paths)
+{
+    return "{\n"
+           "  \"results\": { \"point_fields\": {" + pointFields +
+           "} },\n"
+           "  \"stats\": { \"required_stat_paths\": [" + paths +
+           "] }\n"
+           "}\n";
+}
+
+} // namespace
+
+TEST(HalintW010, KFieldEntryMissingFromSchemaFlagged)
+{
+    const auto d = analyzeSources({
+        {"src/core/results.cc", kResultsCc},
+        {"tools/bench_schema.json",
+         schemaWith("\"alpha\": \"uint\"", "")},
+    });
+    const auto w = diagsOf(d, halint::kRuleSchemaDrift);
+    ASSERT_EQ(w.size(), 1u);
+    EXPECT_EQ(w[0].file, "src/core/results.cc");
+    EXPECT_EQ(w[0].line, 5); // the {"beta", ...} entry
+    EXPECT_NE(w[0].message.find("beta"), std::string::npos);
+}
+
+TEST(HalintW010, StaleSchemaFieldFlaggedAtSchemaLine)
+{
+    const auto d = analyzeSources({
+        {"src/core/results.cc", kResultsCc},
+        {"tools/bench_schema.json",
+         schemaWith("\"alpha\": \"uint\",\n    \"beta\": \"uint\",\n"
+                    "    \"gamma\": \"uint\"",
+                    "")},
+    });
+    const auto w = diagsOf(d, halint::kRuleSchemaDrift);
+    ASSERT_EQ(w.size(), 1u);
+    EXPECT_EQ(w[0].file, "tools/bench_schema.json");
+    EXPECT_NE(w[0].message.find("gamma"), std::string::npos);
+    EXPECT_NE(w[0].message.find("stale"), std::string::npos);
+}
+
+TEST(HalintW010, RequiredPathResolvedByRegistrationLiteral)
+{
+    const auto d = analyzeSources({
+        {"src/core/results.cc", kResultsCc},
+        {"src/core/obs.cc",
+         "void f(Reg *reg) {\n"
+         "    reg->fnCounter(\"server.eq.past_clamps\", [] {\n"
+         "        return 0; });\n"
+         "}\n"},
+        {"tools/bench_schema.json",
+         schemaWith("\"alpha\": \"uint\",\n    \"beta\": \"uint\"",
+                    "\"server.eq.past_clamps\"")},
+    });
+    EXPECT_TRUE(diagsOf(d, halint::kRuleSchemaDrift).empty());
+}
+
+TEST(HalintW010, UnregisteredRequiredPathFlagged)
+{
+    // The registration vocabulary is non-empty (one live counter),
+    // so a schema path matching nothing is drift. With NO dotted
+    // literals at all the pass stays conservative and silent —
+    // that's the partial-lint case, not drift.
+    const auto d = analyzeSources({
+        {"src/core/results.cc", kResultsCc},
+        {"src/core/obs.cc",
+         "void f(Reg *reg) {\n"
+         "    reg->counter(\"server.live.counter\");\n"
+         "}\n"},
+        {"tools/bench_schema.json",
+         schemaWith("\"alpha\": \"uint\",\n    \"beta\": \"uint\"",
+                    "\"server.live.counter\", "
+                    "\"server.ghost.counter\"")},
+    });
+    const auto w = diagsOf(d, halint::kRuleSchemaDrift);
+    ASSERT_EQ(w.size(), 1u);
+    EXPECT_EQ(w[0].file, "tools/bench_schema.json");
+    EXPECT_NE(w[0].message.find("server.ghost.counter"),
+              std::string::npos);
+}
+
+TEST(HalintW010, DynamicPathsResolveViaPrefixAndSuffixJoin)
+{
+    // `"fleet.backend" + std::to_string(i) + ".served"` must cover
+    // the schema's "fleet.backend0.served".
+    const auto d = analyzeSources({
+        {"src/core/results.cc", kResultsCc},
+        {"src/fleet/obs.cc",
+         "void f(Reg *reg, int i) {\n"
+         "    reg->counter(\"fleet.backend\" + std::to_string(i) +\n"
+         "                 \".served\");\n"
+         "}\n"},
+        {"tools/bench_schema.json",
+         schemaWith("\"alpha\": \"uint\",\n    \"beta\": \"uint\"",
+                    "\"fleet.backend0.served\"")},
+    });
+    EXPECT_TRUE(diagsOf(d, halint::kRuleSchemaDrift).empty());
+}
+
+TEST(HalintW010, UnparseableSchemaIsOneDiagnostic)
+{
+    const auto d = analyzeSources({
+        {"src/core/results.cc", kResultsCc},
+        {"tools/bench_schema.json", "{ not json ]"},
+    });
+    const auto w = diagsOf(d, halint::kRuleSchemaDrift);
+    ASSERT_EQ(w.size(), 1u);
+    EXPECT_NE(w[0].message.find("not parseable"), std::string::npos);
+}
+
+// ---- baseline / ratchet --------------------------------------------
+
+TEST(HalintBaseline, AbsorbsCountedFindingsExactly)
+{
+    halint::Baseline bl;
+    std::string err;
+    ASSERT_TRUE(halint::loadBaseline(
+        "{\"suppressions\": [{\"rule\": \"HAL-W002\", \"file\": "
+        "\"src/a.cc\", \"count\": 1, \"reason\": \"legacy\"}]}",
+        bl, err))
+        << err;
+    std::vector<Diagnostic> diags{
+        {"src/a.cc", 3, halint::kRuleRng, "m1"},
+        {"src/a.cc", 9, halint::kRuleRng, "m2"},
+    };
+    const auto out =
+        halint::applyBaseline(diags, bl, "tools/halint_baseline.json");
+    // count=1 absorbs one finding; the second still fails the build.
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].rule, halint::kRuleRng);
+}
+
+TEST(HalintBaseline, StaleEntryRatchetsViaW000)
+{
+    halint::Baseline bl;
+    std::string err;
+    ASSERT_TRUE(halint::loadBaseline(
+        "{\"suppressions\": [{\"rule\": \"HAL-W002\", \"file\": "
+        "\"src/a.cc\", \"count\": 2, \"reason\": \"legacy\"}]}",
+        bl, err));
+    std::vector<Diagnostic> diags{
+        {"src/a.cc", 3, halint::kRuleRng, "m1"},
+    };
+    const auto out =
+        halint::applyBaseline(diags, bl, "tools/halint_baseline.json");
+    // The one real finding is absorbed, but the over-counted entry
+    // itself becomes a diagnostic: the baseline may only shrink.
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].rule, halint::kRuleDirective);
+    EXPECT_EQ(out[0].file, "tools/halint_baseline.json");
+    EXPECT_NE(out[0].message.find("stale"), std::string::npos);
+}
+
+TEST(HalintBaseline, RejectsReasonlessAndMalformedInput)
+{
+    halint::Baseline bl;
+    std::string err;
+    EXPECT_FALSE(halint::loadBaseline("not json", bl, err));
+    EXPECT_FALSE(halint::loadBaseline(
+        "{\"suppressions\": [{\"rule\": \"HAL-W002\", \"file\": "
+        "\"src/a.cc\", \"count\": 1, \"reason\": \"\"}]}",
+        bl, err));
+    EXPECT_NE(err.find("reason"), std::string::npos);
+    EXPECT_FALSE(halint::loadBaseline(
+        "{\"suppressions\": [{\"rule\": \"HAL-W002\", \"file\": "
+        "\"src/a.cc\", \"count\": 0, \"reason\": \"x\"}]}",
+        bl, err));
+}
+
+// ---- output formats ------------------------------------------------
+
+TEST(HalintOutput, TextJsonAndSarifCarryTheFinding)
+{
+    const std::vector<Diagnostic> diags{
+        {"src/a.cc", 7, halint::kRuleRng, "msg with \"quotes\""},
+    };
+    const std::string text = halint::formatText(diags);
+    EXPECT_NE(text.find("src/a.cc:7: HAL-W002:"), std::string::npos);
+
+    const std::string json = halint::formatJson(diags);
+    EXPECT_NE(json.find("\"line\": 7"), std::string::npos);
+    EXPECT_NE(json.find("\\\"quotes\\\""), std::string::npos);
+    EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+
+    const std::string sarif = halint::formatSarif(diags);
+    EXPECT_NE(sarif.find("\"2.1.0\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"ruleId\": \"HAL-W002\""),
+              std::string::npos);
+    EXPECT_NE(sarif.find("\"startLine\": 7"), std::string::npos);
+    EXPECT_NE(sarif.find("\"name\": \"halint\""), std::string::npos);
+}
+
+TEST(HalintOutput, EmptyReportsAreWellFormed)
+{
+    EXPECT_EQ(halint::formatText({}), "");
+    EXPECT_NE(halint::formatJson({}).find("\"count\": 0"),
+              std::string::npos);
+    EXPECT_NE(halint::formatSarif({}).find("\"results\": []"),
+              std::string::npos);
 }

@@ -1,287 +1,32 @@
+/**
+ * @file
+ * halint engine core: per-file rule scanners (HAL-W001..W007), the
+ * suppression/directive machinery, and the analyzeSources()
+ * orchestration that adds the cross-TU passes (HAL-W008..W010, see
+ * passes.cc). The lexer lives in lexer.cc, the repo indexer in
+ * index.cc, output/baseline in output.cc.
+ */
+
 #include "halint.hh"
 
 #include <algorithm>
-#include <array>
-#include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <set>
 #include <sstream>
+#include <tuple>
+
+#include "index.hh"
+#include "lexer.hh"
+#include "passes.hh"
 
 namespace halint {
 
 namespace {
 
 // --------------------------------------------------------------------
-// Lexer: comments/strings/preprocessor lines never reach the rule
-// scanners as code, so a forbidden name inside a string literal (or
-// this very file's rule tables) cannot trip a rule.
-// --------------------------------------------------------------------
-
-enum class TokKind { Ident, Punct, Number, PP };
-
-struct Tok
-{
-    TokKind kind;
-    std::string text;
-    int line;
-};
-
-/** A parsed `// halint: ...` control comment. */
-struct Directive
-{
-    int line = 0;
-    bool hotpath = false;
-    bool mailbox = false;
-    std::vector<std::string> allow; //!< rule ids for allow(...)
-    bool malformed = false;
-    std::string error;
-    std::size_t tokenIndexAfter = 0; //!< tokens emitted before it
-};
-
-struct Lexed
-{
-    std::vector<Tok> toks;
-    std::vector<Directive> directives;
-};
-
-bool
-identChar(char c)
-{
-    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-std::string
-trim(std::string_view s)
-{
-    std::size_t b = 0, e = s.size();
-    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
-        ++b;
-    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
-        --e;
-    return std::string(s.substr(b, e - b));
-}
-
-bool
-validRuleId(const std::string &r)
-{
-    static const std::set<std::string> kKnown{
-        kRuleDirective,      kRuleWallClock,     kRuleRng,
-        kRuleUnordered,      kRuleHotpathAlloc,
-        kRuleParallelPurity, kRuleHeaderHygiene, kRuleCrossWheel};
-    return kKnown.count(r) != 0;
-}
-
-/**
- * Parse the text of one line comment for a halint directive. Grammar
- * (the whole comment is the directive; block comments and prose that
- * merely mention the tag are ignored):
- *
- *   halint: hotpath [note]
- *   halint: mailbox [note]
- *   halint: allow(HAL-Wnnn[, HAL-Wnnn...]) <reason>
- *
- * The reason after allow(...) is mandatory: a suppression that does
- * not say why is itself a diagnostic (HAL-W000).
- */
-void
-parseDirective(std::string_view text, int line, std::size_t tokenIndex,
-               std::vector<Directive> &out)
-{
-    const std::string_view kTag = "halint:";
-    const std::string lead = trim(text);
-    if (lead.rfind(kTag, 0) != 0)
-        return;
-    Directive d;
-    d.line = line;
-    d.tokenIndexAfter = tokenIndex;
-    std::string rest = trim(lead.substr(kTag.size()));
-    if (rest.rfind("hotpath", 0) == 0) {
-        d.hotpath = true;
-    } else if (rest.rfind("mailbox", 0) == 0) {
-        d.mailbox = true;
-    } else if (rest.rfind("allow", 0) == 0) {
-        const std::size_t open = rest.find('(');
-        const std::size_t close = rest.find(')');
-        if (open == std::string::npos || close == std::string::npos ||
-            close < open) {
-            d.malformed = true;
-            d.error = "allow directive needs (HAL-Wnnn): '" + rest + "'";
-        } else {
-            std::stringstream list(
-                rest.substr(open + 1, close - open - 1));
-            std::string id;
-            while (std::getline(list, id, ',')) {
-                id = trim(id);
-                if (!validRuleId(id)) {
-                    d.malformed = true;
-                    d.error = "unknown rule id '" + id + "' in allow()";
-                    break;
-                }
-                d.allow.push_back(id);
-            }
-            if (!d.malformed && d.allow.empty()) {
-                d.malformed = true;
-                d.error = "empty allow() list";
-            }
-            if (!d.malformed && trim(rest.substr(close + 1)).empty()) {
-                d.malformed = true;
-                d.error = "allow() without a reason; write "
-                          "'// halint: allow(HAL-Wnnn) <why>'";
-            }
-        }
-    } else {
-        d.malformed = true;
-        d.error = "unknown halint directive '" + rest + "'";
-    }
-    out.push_back(std::move(d));
-}
-
-Lexed
-lex(std::string_view src)
-{
-    Lexed out;
-    int line = 1;
-    std::size_t i = 0;
-    const std::size_t n = src.size();
-
-    auto newlineSpan = [&](std::size_t from, std::size_t to) {
-        for (std::size_t k = from; k < to; ++k)
-            if (src[k] == '\n')
-                ++line;
-    };
-
-    while (i < n) {
-        const char c = src[i];
-        if (c == '\n') {
-            ++line;
-            ++i;
-            continue;
-        }
-        if (std::isspace(static_cast<unsigned char>(c))) {
-            ++i;
-            continue;
-        }
-        // Line comment (may hold a directive).
-        if (c == '/' && i + 1 < n && src[i + 1] == '/') {
-            std::size_t e = i;
-            while (e < n && src[e] != '\n')
-                ++e;
-            parseDirective(src.substr(i + 2, e - i - 2), line,
-                           out.toks.size(), out.directives);
-            i = e;
-            continue;
-        }
-        // Block comment (never carries directives).
-        if (c == '/' && i + 1 < n && src[i + 1] == '*') {
-            std::size_t e = src.find("*/", i + 2);
-            if (e == std::string_view::npos)
-                e = n;
-            else
-                e += 2;
-            newlineSpan(i, e);
-            i = e;
-            continue;
-        }
-        // Preprocessor logical line (with backslash continuations).
-        if (c == '#' &&
-            (out.toks.empty() || out.toks.back().line != line ||
-             out.toks.back().kind == TokKind::PP)) {
-            std::size_t e = i;
-            const int start = line;
-            while (e < n) {
-                if (src[e] == '\n') {
-                    std::size_t back = e;
-                    while (back > i &&
-                           std::isspace(
-                               static_cast<unsigned char>(src[back - 1])) &&
-                           src[back - 1] != '\n')
-                        --back;
-                    if (back > i && src[back - 1] == '\\') {
-                        ++line;
-                        ++e;
-                        continue;
-                    }
-                    break;
-                }
-                ++e;
-            }
-            out.toks.push_back(
-                {TokKind::PP, std::string(src.substr(i, e - i)), start});
-            i = e;
-            continue;
-        }
-        // Raw string literal R"delim( ... )delim".
-        if (c == 'R' && i + 1 < n && src[i + 1] == '"' &&
-            (i == 0 || !identChar(src[i - 1]))) {
-            std::size_t dEnd = i + 2;
-            while (dEnd < n && src[dEnd] != '(' && src[dEnd] != '\n')
-                ++dEnd;
-            const std::string delim =
-                ")" + std::string(src.substr(i + 2, dEnd - i - 2)) + "\"";
-            std::size_t e = src.find(delim, dEnd);
-            e = (e == std::string_view::npos) ? n : e + delim.size();
-            newlineSpan(i, e);
-            i = e;
-            continue;
-        }
-        // Ordinary string / char literal.
-        if (c == '"' || c == '\'') {
-            std::size_t e = i + 1;
-            while (e < n && src[e] != c) {
-                if (src[e] == '\\' && e + 1 < n)
-                    ++e;
-                if (src[e] == '\n')
-                    ++line;
-                ++e;
-            }
-            i = (e < n) ? e + 1 : n;
-            continue;
-        }
-        // Number (consumes digit separators so 1'000 is not a char).
-        if (std::isdigit(static_cast<unsigned char>(c))) {
-            std::size_t e = i;
-            while (e < n && (identChar(src[e]) || src[e] == '.' ||
-                             (src[e] == '\'' && e + 1 < n &&
-                              identChar(src[e + 1]))))
-                ++e;
-            out.toks.push_back(
-                {TokKind::Number, std::string(src.substr(i, e - i)),
-                 line});
-            i = e;
-            continue;
-        }
-        // Identifier / keyword.
-        if (identChar(c)) {
-            std::size_t e = i;
-            while (e < n && identChar(src[e]))
-                ++e;
-            out.toks.push_back(
-                {TokKind::Ident, std::string(src.substr(i, e - i)),
-                 line});
-            i = e;
-            continue;
-        }
-        // Punctuation; '::' and '->' kept whole (qualifier checks).
-        if (c == ':' && i + 1 < n && src[i + 1] == ':') {
-            out.toks.push_back({TokKind::Punct, "::", line});
-            i += 2;
-            continue;
-        }
-        if (c == '-' && i + 1 < n && src[i + 1] == '>') {
-            out.toks.push_back({TokKind::Punct, "->", line});
-            i += 2;
-            continue;
-        }
-        out.toks.push_back({TokKind::Punct, std::string(1, c), line});
-        ++i;
-    }
-    return out;
-}
-
-// --------------------------------------------------------------------
-// Rule scanners
+// Per-file rule scanners (the v1 single-pass rules)
 // --------------------------------------------------------------------
 
 struct Scanner
@@ -448,13 +193,6 @@ struct Scanner
     void
     hotpathAlloc()
     {
-        static const std::set<std::string> kAllocCalls{
-            "malloc", "calloc", "realloc", "aligned_alloc", "strdup"};
-        static const std::set<std::string> kGrowth{
-            "push_back", "emplace_back", "emplace", "resize",
-            "reserve",   "insert",       "append"};
-        static const std::set<std::string> kMakers{"make_unique",
-                                                   "make_shared"};
         for (const Directive &d : lx.directives) {
             if (!d.hotpath)
                 continue;
@@ -470,42 +208,25 @@ struct Scanner
                     "hotpath annotation with no function body after it");
                 continue;
             }
+            std::size_t end = i;
             int depth = 0;
-            for (; i < lx.toks.size(); ++i) {
-                const Tok &t = lx.toks[i];
-                if (t.kind == TokKind::Punct) {
-                    if (t.text == "{")
-                        ++depth;
-                    else if (t.text == "}" && --depth == 0)
-                        break;
+            for (; end < lx.toks.size(); ++end) {
+                const Tok &t = lx.toks[end];
+                if (t.kind != TokKind::Punct)
                     continue;
-                }
-                if (t.kind != TokKind::Ident)
-                    continue;
-                std::string what;
-                if (t.text == "new" && !nextIs(i, "(")) {
-                    what = "operator new"; // placement new is exempt
-                } else if (kAllocCalls.count(t.text) != 0 &&
-                           nextIs(i, "(")) {
-                    what = t.text + "()";
-                } else if (kMakers.count(t.text) != 0 &&
-                           (nextIs(i, "<") || nextIs(i, "("))) {
-                    what = "std::" + t.text;
-                } else if (kGrowth.count(t.text) != 0 && i > 0 &&
-                           lx.toks[i - 1].kind == TokKind::Punct &&
-                           (lx.toks[i - 1].text == "." ||
-                            lx.toks[i - 1].text == "->")) {
-                    what = "container ." + t.text + "()";
-                }
-                if (!what.empty())
-                    add(kRuleHotpathAlloc, t.line,
-                        what +
-                            " in a '// halint: hotpath' function — "
-                            "hot paths must be allocation-free at "
-                            "steady state; preallocate, pool, or "
-                            "justify the cold path with an allow() "
-                            "(DESIGN.md §8, §9)");
+                if (t.text == "{")
+                    ++depth;
+                else if (t.text == "}" && --depth == 0)
+                    break;
             }
+            for (const AllocSite &a : findAllocations(lx, i, end))
+                add(kRuleHotpathAlloc, a.line,
+                    a.what +
+                        " in a '// halint: hotpath' function — "
+                        "hot paths must be allocation-free at "
+                        "steady state; preallocate, pool, or "
+                        "justify the cold path with an allow() "
+                        "(DESIGN.md §8, §9)");
         }
     }
 
@@ -666,12 +387,9 @@ struct Scanner
     }
 };
 
-} // namespace
-
 std::vector<Diagnostic>
-lintSource(const std::string &path, std::string_view content)
+runScanners(const std::string &path, const Lexed &lx)
 {
-    const Lexed lx = lex(content);
     Scanner s(path, lx);
     s.wallClock();
     s.rng();
@@ -680,23 +398,66 @@ lintSource(const std::string &path, std::string_view content)
     s.parallelPurity();
     s.headerHygiene();
     s.crossWheel();
+    return std::move(s.diags);
+}
 
-    // Suppressions: an allow(HAL-Wnnn) covers its own line (trailing
-    // comment) and the next line (comment above the statement).
+/**
+ * Per-file suppression map: an allow(HAL-Wnnn) covers its own line
+ * (trailing comment) and the next line (comment above the statement).
+ * allow(HAL-W004) at an allocation site also covers HAL-W008 there —
+ * one justification per site, whichever pass reached it first.
+ * Malformed directives are appended to @p diags as HAL-W000.
+ */
+std::map<int, std::set<std::string>>
+directiveMap(const std::string &path, const Lexed &lx,
+             std::vector<Diagnostic> &diags)
+{
     std::map<int, std::set<std::string>> allowAt;
     for (const Directive &d : lx.directives) {
         if (d.malformed) {
-            s.add(kRuleDirective, d.line,
-                  "malformed halint directive: " + d.error);
+            diags.push_back({path, d.line, kRuleDirective,
+                             "malformed halint directive: " + d.error});
             continue;
         }
         for (const std::string &r : d.allow) {
             allowAt[d.line].insert(r);
             allowAt[d.line + 1].insert(r);
+            if (r == kRuleHotpathAlloc) {
+                allowAt[d.line].insert(kRuleTransitiveAlloc);
+                allowAt[d.line + 1].insert(kRuleTransitiveAlloc);
+            }
         }
     }
+    return allowAt;
+}
+
+void
+sortDiags(std::vector<Diagnostic> &diags)
+{
+    std::sort(diags.begin(), diags.end(),
+              [](const Diagnostic &a, const Diagnostic &b) {
+                  return std::tie(a.file, a.line, a.rule, a.message) <
+                         std::tie(b.file, b.line, b.rule, b.message);
+              });
+}
+
+bool
+endsWith(const std::string &s, std::string_view suf)
+{
+    return s.size() >= suf.size() &&
+           s.compare(s.size() - suf.size(), suf.size(), suf) == 0;
+}
+
+} // namespace
+
+std::vector<Diagnostic>
+lintSource(const std::string &path, std::string_view content)
+{
+    const Lexed lx = lex(content);
+    std::vector<Diagnostic> diags = runScanners(path, lx);
+    const auto allowAt = directiveMap(path, lx, diags);
     std::vector<Diagnostic> kept;
-    for (Diagnostic &d : s.diags) {
+    for (Diagnostic &d : diags) {
         const auto it = allowAt.find(d.line);
         const bool suppressed = d.rule != kRuleDirective &&
                                 it != allowAt.end() &&
@@ -704,17 +465,60 @@ lintSource(const std::string &path, std::string_view content)
         if (!suppressed)
             kept.push_back(std::move(d));
     }
-    std::stable_sort(kept.begin(), kept.end(),
-                     [](const Diagnostic &a, const Diagnostic &b) {
-                         return a.line < b.line;
-                     });
+    sortDiags(kept);
+    return kept;
+}
+
+std::vector<Diagnostic>
+analyzeSources(const std::vector<SourceFile> &files)
+{
+    std::vector<SourceFile> cpp;
+    std::string schemaPath, schemaContent;
+    for (const SourceFile &f : files) {
+        if (endsWith(f.path, "bench_schema.json")) {
+            schemaPath = f.path;
+            schemaContent = f.content;
+        } else {
+            cpp.push_back(f);
+        }
+    }
+    const RepoIndex idx = buildIndex(cpp);
+
+    std::vector<Diagnostic> diags;
+    std::map<std::string, std::map<int, std::set<std::string>>> allow;
+    for (const Unit &u : idx.units) {
+        for (Diagnostic &d : runScanners(u.path, u.lx))
+            diags.push_back(std::move(d));
+        allow[u.path] = directiveMap(u.path, u.lx, diags);
+    }
+
+    passTransitiveHotpath(idx, diags);
+    passBandEscape(idx, diags);
+    passSchemaDrift(idx, schemaPath, schemaContent, diags);
+
+    std::vector<Diagnostic> kept;
+    for (Diagnostic &d : diags) {
+        bool suppressed = false;
+        if (d.rule != kRuleDirective) {
+            const auto fit = allow.find(d.file);
+            if (fit != allow.end()) {
+                const auto it = fit->second.find(d.line);
+                suppressed = it != fit->second.end() &&
+                             it->second.count(d.rule) != 0;
+            }
+        }
+        if (!suppressed)
+            kept.push_back(std::move(d));
+    }
+    sortDiags(kept);
     return kept;
 }
 
 std::string
 ruleTable()
 {
-    return "HAL-W000  malformed or reason-less halint directive\n"
+    return "HAL-W000  malformed halint directive or stale baseline "
+           "entry\n"
            "HAL-W001  wall-clock/host time source (simulated time only)\n"
            "HAL-W002  stdlib/unseeded RNG in src/ (use halsim::Rng)\n"
            "HAL-W003  unordered container in src/ (use alg::FixedMap)\n"
@@ -723,7 +527,14 @@ ruleTable()
            "HAL-W006  header hygiene (guard, 'using namespace')\n"
            "HAL-W007  thread primitive in the DES core outside a "
            "'// halint: mailbox' section\n"
-           "Suppress with: // halint: allow(HAL-Wnnn) <reason>\n";
+           "HAL-W008  allocation transitively reachable from a "
+           "'// halint: hotpath' root (call-graph pass)\n"
+           "HAL-W009  field of a '// halint: band(...)' class touched "
+           "from another band outside a mailbox section\n"
+           "HAL-W010  RunResult kFields / registered stats drifted "
+           "from tools/bench_schema.json\n"
+           "Suppress with: // halint: allow(HAL-Wnnn) <reason>, or a "
+           "counted entry in tools/halint_baseline.json\n";
 }
 
 std::vector<Diagnostic>
@@ -757,21 +568,43 @@ lintPaths(const std::string &base, const std::vector<std::string> &roots)
 
     const std::string prefix =
         base.empty() || base == "." ? "" : base + "/";
-    for (const std::string &f : files) {
-        std::ifstream in(f, std::ios::binary);
+    auto slurp = [](const std::string &p, std::string &out) {
+        std::ifstream in(p, std::ios::binary);
         std::ostringstream buf;
         buf << in.rdbuf();
-        if (!in) {
-            diags.push_back(
-                {f, 0, kRuleDirective, "cannot read file"});
+        if (!in)
+            return false;
+        out = buf.str();
+        return true;
+    };
+
+    std::vector<SourceFile> sources;
+    for (const std::string &f : files) {
+        SourceFile sf;
+        if (!slurp(f, sf.content)) {
+            diags.push_back({f, 0, kRuleDirective, "cannot read file"});
             continue;
         }
-        std::string rel = f;
-        if (!prefix.empty() && rel.rfind(prefix, 0) == 0)
-            rel = rel.substr(prefix.size());
-        for (Diagnostic &d : lintSource(rel, buf.str()))
-            diags.push_back(std::move(d));
+        sf.path = f;
+        if (!prefix.empty() && sf.path.rfind(prefix, 0) == 0)
+            sf.path = sf.path.substr(prefix.size());
+        sources.push_back(std::move(sf));
     }
+    // The committed schema rides along for the HAL-W010 drift pass.
+    {
+        const std::string schemaOnDisk =
+            (base.empty() || base == "." ? std::string()
+                                         : base + "/") +
+            "tools/bench_schema.json";
+        SourceFile sf;
+        if (slurp(schemaOnDisk, sf.content)) {
+            sf.path = "tools/bench_schema.json";
+            sources.push_back(std::move(sf));
+        }
+    }
+    for (Diagnostic &d : analyzeSources(sources))
+        diags.push_back(std::move(d));
+    sortDiags(diags);
     return diags;
 }
 

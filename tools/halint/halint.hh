@@ -1,20 +1,23 @@
 /**
  * @file
- * halint: the repo-native determinism & concurrency linter.
+ * halint: the repo-native determinism & concurrency analysis engine.
  *
  * The simulator's headline guarantee — bit-identical RunResult across
  * seeds, pooling modes, and sweep thread counts — depends on coding
  * invariants (no wall clock, no unseeded RNG, no unordered iteration,
- * allocation-free hot paths, pure parallelFor callbacks) that a
- * compiler cannot check. halint promotes them from DESIGN.md prose to
- * named, suppressible diagnostics. See DESIGN.md §9 for the rule
- * table and the suppression grammar.
+ * allocation-free hot paths, pure parallelFor callbacks, mailbox-only
+ * cross-wheel state) that a compiler cannot check. halint promotes
+ * them from DESIGN.md prose to named, suppressible diagnostics. See
+ * DESIGN.md §9 for the per-file rule table and §14 for the v2
+ * multi-pass engine (indexer, call graph, baseline/ratchet).
  *
- * The scanner is deliberately not a C++ front end: a small lexer
- * strips comments/strings/preprocessor lines into a token stream and
- * per-rule scanners pattern-match on it. That keeps the tool at a few
- * hundred lines, dependency-free, and fast enough to run as a tier-1
- * ctest on every build.
+ * The engine is deliberately not a C++ front end: a small lexer
+ * strips comments/strings/preprocessor lines into a token stream;
+ * per-rule scanners pattern-match on it, and a heuristic repo indexer
+ * (tools/halint/index.hh) recovers enough structure — functions, call
+ * sites, annotated classes — for the cross-TU passes (HAL-W008/9/10).
+ * That keeps the tool dependency-free and fast enough to run as a
+ * tier-1 ctest on every build (< 5 s over the whole repo).
  */
 
 #ifndef HALSIM_TOOLS_HALINT_HH
@@ -44,16 +47,38 @@ inline constexpr const char *kRuleHotpathAlloc = "HAL-W004";
 inline constexpr const char *kRuleParallelPurity = "HAL-W005";
 inline constexpr const char *kRuleHeaderHygiene = "HAL-W006";
 inline constexpr const char *kRuleCrossWheel = "HAL-W007";
+inline constexpr const char *kRuleTransitiveAlloc = "HAL-W008";
+inline constexpr const char *kRuleBandEscape = "HAL-W009";
+inline constexpr const char *kRuleSchemaDrift = "HAL-W010";
+
+/** One input file handed to the engine (path decides rule scope). */
+struct SourceFile
+{
+    std::string path;
+    std::string content;
+};
 
 /**
- * Lint one translation unit. @p path decides which rules apply
- * (HAL-W002/W003 fire only under "src/", HAL-W006 only on headers),
- * so tests can pass synthetic paths like "src/x.cc" with fixture
- * strings as @p content. Suppressions (`// halint: allow(...)`) are
- * already applied; malformed directives come back as HAL-W000.
+ * Lint one translation unit with the per-file rules only. @p path
+ * decides which rules apply (HAL-W002/W003 fire only under "src/",
+ * HAL-W006 only on headers), so tests can pass synthetic paths like
+ * "src/x.cc" with fixture strings as @p content. Suppressions
+ * (`// halint: allow(...)`) are already applied; malformed
+ * directives come back as HAL-W000.
  */
 std::vector<Diagnostic> lintSource(const std::string &path,
                                    std::string_view content);
+
+/**
+ * Full engine over a set of in-memory sources: per-file rules plus
+ * the cross-TU passes (HAL-W008 transitive hotpath allocation,
+ * HAL-W009 wheel-partition escape, HAL-W010 schema drift). A file
+ * whose path ends in "bench_schema.json" is consumed as the W010
+ * schema instead of being linted as C++. Diagnostics come back
+ * suppression-filtered and sorted by (file, line, rule).
+ */
+std::vector<Diagnostic>
+analyzeSources(const std::vector<SourceFile> &files);
 
 /** Human-readable one-line summary of every rule (for --list-rules). */
 std::string ruleTable();
@@ -61,11 +86,75 @@ std::string ruleTable();
 /**
  * Lint every C++ source under @p roots (files, or directories walked
  * recursively for .cc/.hh/.cpp/.h), with paths reported relative to
- * @p base when they fall under it. Unreadable paths produce a
- * HAL-W000 diagnostic rather than a crash.
+ * @p base when they fall under it, then run the cross-TU passes.
+ * When @p base holds tools/bench_schema.json it is loaded for the
+ * HAL-W010 drift pass. Unreadable paths produce a HAL-W000
+ * diagnostic rather than a crash.
  */
 std::vector<Diagnostic> lintPaths(const std::string &base,
                                   const std::vector<std::string> &roots);
+
+// --------------------------------------------------------------------
+// Baseline / ratchet (tools/halint_baseline.json)
+// --------------------------------------------------------------------
+
+/**
+ * One legacy suppression: up to @p count findings of @p rule in
+ * @p file are burned down over time instead of failing the build.
+ * The reason is mandatory, mirroring the allow() grammar.
+ */
+struct BaselineEntry
+{
+    std::string rule;
+    std::string file;
+    int count = 0;
+    std::string reason;
+};
+
+struct Baseline
+{
+    std::vector<BaselineEntry> entries;
+    int totalCount() const
+    {
+        int n = 0;
+        for (const BaselineEntry &e : entries)
+            n += e.count;
+        return n;
+    }
+};
+
+/** Parse a baseline file's JSON. Returns false (with @p err set) on
+ *  malformed input — the caller should fail loudly, not lint. */
+bool loadBaseline(const std::string &json, Baseline &out,
+                  std::string &err);
+
+/**
+ * Ratchet semantics: each entry removes up to `count` matching
+ * (rule, file) diagnostics. An entry that matches *fewer* findings
+ * than its count is stale and produces a HAL-W000 diagnostic — the
+ * baseline must shrink in lockstep with the fixes, so suppressions
+ * can only burn down, never silently linger or grow.
+ */
+std::vector<Diagnostic> applyBaseline(std::vector<Diagnostic> diags,
+                                      const Baseline &bl,
+                                      const std::string &baselinePath);
+
+// --------------------------------------------------------------------
+// Output formats
+// --------------------------------------------------------------------
+
+/** One line per diagnostic: "file:line: RULE: message". */
+std::string formatText(const std::vector<Diagnostic> &diags);
+
+/** {"diagnostics":[{"file":...,"line":...,"rule":...,"message":...}]} */
+std::string formatJson(const std::vector<Diagnostic> &diags);
+
+/** SARIF 2.1.0, one run, for GitHub code-scanning upload. */
+std::string formatSarif(const std::vector<Diagnostic> &diags);
+
+/** Serialize findings as a baseline file (reasons stubbed TODO), for
+ *  --write-baseline bootstrap. */
+std::string formatBaseline(const std::vector<Diagnostic> &diags);
 
 } // namespace halint
 

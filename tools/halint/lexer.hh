@@ -1,0 +1,70 @@
+/**
+ * @file
+ * halint lexer: turns one C++ translation unit into the token stream
+ * the rule scanners and the repo indexer share. Comments, string
+ * literals, and preprocessor logical lines are isolated so a
+ * forbidden name inside a string (or halint's own rule tables) cannot
+ * trip a rule; string literals are still *kept* as Str tokens because
+ * the HAL-W010 drift pass needs the dotted stats paths and kFields
+ * names they carry.
+ *
+ * The lexer also parses `// halint: ...` control comments into
+ * Directive records (hotpath/mailbox/band/allow), which the engine
+ * attaches to the following function, block, or class.
+ */
+
+#ifndef HALSIM_TOOLS_HALINT_LEXER_HH
+#define HALSIM_TOOLS_HALINT_LEXER_HH
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace halint {
+
+enum class TokKind { Ident, Punct, Number, PP, Str };
+
+struct Tok
+{
+    TokKind kind;
+    std::string text; //!< for Str: the raw inner text, escapes kept
+    int line;
+};
+
+/** A parsed `// halint: ...` control comment. */
+struct Directive
+{
+    int line = 0;
+    bool hotpath = false;
+    bool mailbox = false;
+    std::string band;               //!< band(<name>): wheel band tag
+    std::vector<std::string> allow; //!< rule ids for allow(...)
+    bool malformed = false;
+    std::string error;
+    std::size_t tokenIndexAfter = 0; //!< tokens emitted before it
+};
+
+struct Lexed
+{
+    std::vector<Tok> toks;
+    std::vector<Directive> directives;
+};
+
+/** Lex one source file. Never fails: unterminated constructs run to
+ *  end of input. */
+Lexed lex(std::string_view src);
+
+/** True when @p r is a known HAL-Wnnn rule id (directive grammar). */
+bool validRuleId(const std::string &r);
+
+/** True when @p b names a wheel band from the registry in
+ *  src/sim/wheels.hh (client/snic/host). */
+bool validBandName(const std::string &b);
+
+/** Whitespace-trimmed copy. */
+std::string trim(std::string_view s);
+
+} // namespace halint
+
+#endif // HALSIM_TOOLS_HALINT_LEXER_HH

@@ -1,42 +1,99 @@
 /**
  * @file
  * halint CLI. Scans the repo's C++ trees (default: src/ bench/
- * examples/ tools/ relative to --root) and prints one line per
- * diagnostic:
+ * examples/ tools/ relative to --root), runs the per-file rules plus
+ * the cross-TU passes (HAL-W008..W010), and reports diagnostics:
  *
  *   src/sim/foo.cc:123: HAL-W002: non-deterministic RNG 'rand' — ...
  *
- * Exit status: 0 clean, 1 diagnostics found, 2 usage error. Run from
- * the build as `ctest -R halint` or directly:
+ * Options:
+ *   --root DIR            repo root (paths reported relative to it)
+ *   --format text|json|sarif
+ *   --output FILE         write the report there instead of stdout
+ *   --baseline FILE       apply a ratcheted suppression baseline
+ *   --write-baseline FILE bootstrap a baseline from current findings
+ *   --list-rules          print the rule table and exit
  *
- *   ./build/tools/halint/halint --root .
+ * Exit status: 0 clean, 1 diagnostics found, 2 usage/IO error. Run
+ * from the build as `ctest -R halint` or directly:
+ *
+ *   ./build/tools/halint/halint --root . --format=sarif --output out.sarif
  */
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "halint.hh"
 
+namespace {
+
+/** Accept both "--flag VALUE" and "--flag=VALUE". */
+bool
+flagValue(int argc, char **argv, int &i, const char *name,
+          std::string &out)
+{
+    const std::size_t n = std::strlen(name);
+    if (std::strcmp(argv[i], name) == 0) {
+        if (i + 1 >= argc)
+            return false;
+        out = argv[++i];
+        return true;
+    }
+    if (std::strncmp(argv[i], name, n) == 0 && argv[i][n] == '=') {
+        out = argv[i] + n + 1;
+        return true;
+    }
+    return false;
+}
+
+int
+usage(const char *prog)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--root DIR] [--format text|json|sarif]\n"
+        "          [--output FILE] [--baseline FILE]\n"
+        "          [--write-baseline FILE] [--list-rules] [path...]\n"
+        "  default paths: src bench examples tools\n",
+        prog);
+    return 2;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
     std::string root = ".";
+    std::string format = "text";
+    std::string outputFile;
+    std::string baselineFile;
+    std::string writeBaselineFile;
     std::vector<std::string> paths;
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
-            root = argv[++i];
+        std::string v;
+        if (flagValue(argc, argv, i, "--root", v)) {
+            root = v;
+        } else if (flagValue(argc, argv, i, "--format", v)) {
+            format = v;
+            if (format != "text" && format != "json" &&
+                format != "sarif")
+                return usage(argv[0]);
+        } else if (flagValue(argc, argv, i, "--output", v)) {
+            outputFile = v;
+        } else if (flagValue(argc, argv, i, "--baseline", v)) {
+            baselineFile = v;
+        } else if (flagValue(argc, argv, i, "--write-baseline", v)) {
+            writeBaselineFile = v;
         } else if (std::strcmp(argv[i], "--list-rules") == 0) {
             std::fputs(halint::ruleTable().c_str(), stdout);
             return 0;
         } else if (argv[i][0] == '-') {
-            std::fprintf(stderr,
-                         "usage: %s [--root DIR] [--list-rules] "
-                         "[path...]\n"
-                         "  default paths: src bench examples tools\n",
-                         argv[0]);
-            return 2;
+            return usage(argv[0]);
         } else {
             paths.emplace_back(argv[i]);
         }
@@ -47,18 +104,73 @@ main(int argc, char **argv)
         if (p[0] != '/' && root != ".")
             p = root + "/" + p;
 
-    const std::vector<halint::Diagnostic> diags =
+    std::vector<halint::Diagnostic> diags =
         halint::lintPaths(root, paths);
-    for (const halint::Diagnostic &d : diags)
-        std::printf("%s:%d: %s: %s\n", d.file.c_str(), d.line,
-                    d.rule.c_str(), d.message.c_str());
-    if (diags.empty()) {
-        std::printf("halint: clean\n");
+
+    if (!writeBaselineFile.empty()) {
+        std::ofstream out(writeBaselineFile);
+        out << halint::formatBaseline(diags);
+        if (!out) {
+            std::fprintf(stderr, "halint: cannot write baseline %s\n",
+                         writeBaselineFile.c_str());
+            return 2;
+        }
+        std::printf("halint: wrote %zu finding(s) to %s — fill in "
+                    "the TODO reasons before committing\n",
+                    diags.size(), writeBaselineFile.c_str());
         return 0;
     }
-    std::printf("halint: %zu diagnostic(s); suppress a justified one "
-                "with '// halint: allow(HAL-Wnnn) <reason>' "
-                "(see DESIGN.md §9)\n",
+
+    if (!baselineFile.empty()) {
+        std::ifstream in(baselineFile, std::ios::binary);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        if (!in) {
+            std::fprintf(stderr, "halint: cannot read baseline %s\n",
+                         baselineFile.c_str());
+            return 2;
+        }
+        halint::Baseline bl;
+        std::string err;
+        if (!halint::loadBaseline(buf.str(), bl, err)) {
+            std::fprintf(stderr, "halint: %s: %s\n",
+                         baselineFile.c_str(), err.c_str());
+            return 2;
+        }
+        diags = halint::applyBaseline(std::move(diags), bl,
+                                      baselineFile);
+    }
+
+    std::string report;
+    if (format == "json")
+        report = halint::formatJson(diags);
+    else if (format == "sarif")
+        report = halint::formatSarif(diags);
+    else
+        report = halint::formatText(diags);
+
+    if (!outputFile.empty()) {
+        std::ofstream out(outputFile);
+        out << report;
+        if (!out) {
+            std::fprintf(stderr, "halint: cannot write %s\n",
+                         outputFile.c_str());
+            return 2;
+        }
+    } else {
+        std::fputs(report.c_str(), stdout);
+    }
+
+    if (format == "text" && outputFile.empty()) {
+        if (diags.empty())
+            std::printf("halint: clean\n");
+        else
+            std::printf(
+                "halint: %zu diagnostic(s); suppress a justified one "
+                "with '// halint: allow(HAL-Wnnn) <reason>' or a "
+                "counted tools/halint_baseline.json entry "
+                "(see DESIGN.md §9, §14)\n",
                 diags.size());
-    return 1;
+    }
+    return diags.empty() ? 0 : 1;
 }
