@@ -25,7 +25,7 @@ runDvfs(Mode mode, double rate, bool dvfs, double *scale_out)
     ServerConfig cfg;
     cfg.mode = mode;
     cfg.function = funcs::FunctionId::Nat;
-    cfg.snic_dvfs = dvfs;
+    cfg.power.snic_dvfs.enabled = dvfs;
     EventQueue eq;
     ServerSystem sys(eq, cfg);
     const auto r = sys.run(std::make_unique<net::ConstantRate>(rate),

@@ -14,10 +14,12 @@
 #define HALSIM_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "core/config.hh"
 #include "core/server.hh"
 #include "core/sweep.hh"
 
@@ -77,6 +79,34 @@ inline void
 banner(const std::string &title)
 {
     std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/**
+ * The standard bench command line: the shared sweep flag set
+ * (--threads/--json/--stats-out/--trace/--slo-p99/--governor/
+ * --gov-epoch) plus the ubiquitous `--quick` switch, all through the
+ * one ArgRegistrar so every bench shares help text and the strict
+ * exit-2 contract. @p extra, when given, registers bench-specific
+ * flags before parsing.
+ */
+inline core::SweepOptions
+parseBenchArgs(int argc, char **argv, std::string bench_name,
+               bool *quick, const std::string &description = "",
+               const std::function<void(core::ArgRegistrar &)> &extra = {})
+{
+    core::SweepOptions opts;
+    opts.bench_name = std::move(bench_name);
+    opts.threads = core::envDefaultThreads(opts.threads);
+    core::ArgRegistrar reg(argv[0], description);
+    core::registerSweepFlags(reg, opts);
+    if (quick != nullptr) {
+        reg.flag("--quick", "CI-sized run (shorter windows, fewer points)",
+                 [quick] { *quick = true; });
+    }
+    if (extra)
+        extra(reg);
+    reg.parse(argc, argv);
+    return opts;
 }
 
 } // namespace halsim::bench

@@ -39,17 +39,11 @@ int
 main(int argc, char **argv)
 {
     bool quick = false;
-    std::vector<char *> args;
-    for (int i = 0; i < argc; ++i) {
-        if (i > 0 && std::string(argv[i]) == "--quick")
-            quick = true;
-        else
-            args.push_back(argv[i]);
-    }
-    const SweepOptions opts =
-        parseSweepArgs(static_cast<int>(args.size()), args.data(),
-                       quick ? "fig3_power_efficiency_quick"
-                             : "fig3_power_efficiency");
+    SweepOptions opts = parseBenchArgs(
+        argc, argv, "fig3_power_efficiency", &quick,
+        "Fig. 3: SNIC vs host power and energy efficiency at max TP.");
+    if (quick)
+        opts.bench_name += "_quick";
 
     std::vector<funcs::FunctionId> fns;
     if (quick)

@@ -75,16 +75,11 @@ int
 main(int argc, char **argv)
 {
     bool quick = false;
-    std::vector<char *> args;
-    for (int i = 0; i < argc; ++i) {
-        if (i > 0 && std::string(argv[i]) == "--quick")
-            quick = true;
-        else
-            args.push_back(argv[i]);
-    }
-    const SweepOptions opts =
-        parseSweepArgs(static_cast<int>(args.size()), args.data(),
-                       quick ? "fleet_drill_quick" : "fleet_drill");
+    SweepOptions opts = parseBenchArgs(
+        argc, argv, "fleet_drill", &quick,
+        "Fleet resilience drill: crash/stall/flap/storm scenarios.");
+    if (quick)
+        opts.bench_name += "_quick";
 
     const Tick warmup = quick ? 5 * kMs : 10 * kMs;
     const Tick measure = quick ? 25 * kMs : 60 * kMs;

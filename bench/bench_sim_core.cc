@@ -27,6 +27,7 @@
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -34,6 +35,7 @@
 #include <vector>
 
 #include "core/server.hh"
+#include "core/sweep.hh"
 #include "net/checksum.hh"
 #include "net/link.hh"
 #include "net/traffic.hh"
@@ -268,36 +270,43 @@ main(int argc, char **argv)
     std::uint64_t cksum_iters = 400'000;
     int only_batch = -1;       // -1 = both, 0 = off, 1 = on
     int only_threads = -1;     // -1 = full matrix, else exactly N
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-            json_path = argv[++i];
-        } else if (std::strcmp(argv[i], "--quick") == 0) {
-            event_target /= 10;
-            pkt_sim /= 10;
-            run_measure /= 4;
-            cksum_iters /= 10;
-        } else if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc) {
-            const char *v = argv[++i];
-            if (std::strcmp(v, "on") == 0)
-                only_batch = 1;
-            else if (std::strcmp(v, "off") == 0)
-                only_batch = 0;
-            else {
-                std::fprintf(stderr, "--batch wants on|off\n");
-                return 2;
-            }
-        } else if (std::strcmp(argv[i], "--run-threads") == 0 &&
-                   i + 1 < argc) {
-            only_threads = std::atoi(argv[++i]);
-        } else {
-            std::fprintf(
-                stderr,
-                "usage: %s [--quick] [--json PATH] [--batch on|off] "
-                "[--run-threads N]\n",
-                argv[0]);
-            return 2;
-        }
-    }
+    core::ArgRegistrar reg(argv[0],
+                           "Simulator-core microbenchmark (wall-clock "
+                           "perf baseline).");
+    reg.value("--json", "PATH", "write the metrics artifact here",
+              [&](const std::string &v) -> std::string {
+                  json_path = v;
+                  return {};
+              });
+    reg.flag("--quick", "CI-sized workloads", [&] {
+        event_target /= 10;
+        pkt_sim /= 10;
+        run_measure /= 4;
+        cksum_iters /= 10;
+    });
+    reg.value("--batch", "on|off",
+              "restrict the matrix to batched or unbatched cells",
+              [&](const std::string &v) -> std::string {
+                  if (v == "on")
+                      only_batch = 1;
+                  else if (v == "off")
+                      only_batch = 0;
+                  else
+                      return "needs on or off, got '" + v + "'";
+                  return {};
+              });
+    reg.value("--run-threads", "N",
+              "restrict single-run cells to this engine thread count",
+              [&](const std::string &v) -> std::string {
+                  char *end = nullptr;
+                  const long n = std::strtol(v.c_str(), &end, 10);
+                  if (end == nullptr || *end != '\0' || n < 0)
+                      return "needs a non-negative count, got '" + v +
+                             "'";
+                  only_threads = static_cast<int>(n);
+                  return {};
+              });
+    reg.parse(argc, argv);
 
     // (name, value) in emission order; restriction flags simply leave
     // cells out.

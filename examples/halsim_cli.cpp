@@ -4,20 +4,15 @@
  * print the metrics, without writing code. The Swiss-army knife for
  * exploring the model.
  *
- *   halsim_cli [--mode host|snic|hal|slb] [--function NAME]
- *              [--second NAME]            two-stage pipeline
- *              [--rate GBPS | --trace web|cache|hadoop]
- *              [--frame BYTES] [--measure MS] [--warmup MS]
- *              [--seed N] [--split token|rr|flow] [--dvfs]
- *              [--no-coherence] [--slb-cores N] [--slb-th GBPS]
- *              [--ruleset tea|lite]
- *              [--slo-p99 US] [--stats-out PATH]
- *              [--run-threads N]           time-parallel engine
+ * All flags are declared through core::ArgRegistrar (DESIGN.md §15),
+ * so `--help` lists everything and malformed values exit 2 with a
+ * diagnostic, same as every bench binary.
  *
  * Examples:
  *   halsim_cli --mode hal --function nat --rate 80
  *   halsim_cli --mode snic --function rem --ruleset lite --trace hadoop
  *   halsim_cli --mode hal --function count --second crypto --trace cache
+ *   halsim_cli --mode hal --function nat --rate 8 --governor on
  *   halsim_cli --mode hal --function nat --rate 60 --slo-p99 300 \
  *              --stats-out stats.json
  */
@@ -31,6 +26,7 @@
 #include <string>
 
 #include "core/server.hh"
+#include "core/sweep.hh"
 
 using namespace halsim;
 using namespace halsim::core;
@@ -48,20 +44,15 @@ parseFunction(const std::string &name)
     return std::nullopt;
 }
 
-[[noreturn]] void
-usage(const char *argv0)
+/** Strict positive-number parse: "bad value" beats silent atof(0). */
+std::optional<double>
+parseNumber(const std::string &v)
 {
-    std::fprintf(stderr,
-                 "usage: %s [--mode host|snic|hal|slb|slb-host] [--function "
-                 "fwd|kvs|count|ema|nat|bm25|knn|bayes|rem|crypto|comp]\n"
-                 "  [--second NAME] [--rate GBPS | --trace "
-                 "web|cache|hadoop] [--frame BYTES]\n"
-                 "  [--measure MS] [--warmup MS] [--seed N]\n"
-                 "  [--split token|rr|flow] [--dvfs] [--no-coherence]\n"
-                 "  [--slb-cores N] [--slb-th GBPS] [--ruleset tea|lite]\n"
-                 "  [--slo-p99 US] [--stats-out PATH] [--run-threads N]\n",
-                 argv0);
-    std::exit(2);
+    char *end = nullptr;
+    const double x = std::strtod(v.c_str(), &end);
+    if (end == nullptr || *end != '\0' || v.empty())
+        return std::nullopt;
+    return x;
 }
 
 } // namespace
@@ -75,104 +66,173 @@ main(int argc, char **argv)
     Tick measure = 200 * kMs;
     Tick warmup = 20 * kMs;
     std::string stats_out;
+    SweepOptions power;
 
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto next = [&]() -> std::string {
-            if (++i >= argc)
-                usage(argv[0]);
-            return argv[i];
-        };
-        if (arg == "--mode") {
-            const std::string m = next();
-            if (m == "host")
-                cfg.mode = Mode::HostOnly;
-            else if (m == "snic")
-                cfg.mode = Mode::SnicOnly;
-            else if (m == "hal")
-                cfg.mode = Mode::Hal;
-            else if (m == "slb")
-                cfg.mode = Mode::Slb;
-            else if (m == "slb-host")
-                cfg.mode = Mode::HostSlb;
-            else
-                usage(argv[0]);
-        } else if (arg == "--function") {
-            const auto f = parseFunction(next());
-            if (!f)
-                usage(argv[0]);
-            cfg.function = *f;
-        } else if (arg == "--second") {
-            const auto f = parseFunction(next());
-            if (!f)
-                usage(argv[0]);
-            cfg.pipeline_second = *f;
-        } else if (arg == "--rate") {
-            rate = std::atof(next().c_str());
-        } else if (arg == "--trace") {
-            const std::string t = next();
-            if (t == "web")
-                trace = net::TraceKind::Web;
-            else if (t == "cache")
-                trace = net::TraceKind::Cache;
-            else if (t == "hadoop")
-                trace = net::TraceKind::Hadoop;
-            else
-                usage(argv[0]);
-        } else if (arg == "--frame") {
-            cfg.frame_bytes =
-                static_cast<std::size_t>(std::atoi(next().c_str()));
-        } else if (arg == "--measure") {
-            measure = static_cast<Tick>(std::atoi(next().c_str())) * kMs;
-        } else if (arg == "--warmup") {
-            warmup = static_cast<Tick>(std::atoi(next().c_str())) * kMs;
-        } else if (arg == "--seed") {
-            cfg.seed = static_cast<std::uint64_t>(
-                std::atoll(next().c_str()));
-        } else if (arg == "--split") {
-            const std::string s = next();
-            if (s == "token")
-                cfg.split_mode = SplitMode::TokenBucket;
-            else if (s == "rr")
-                cfg.split_mode = SplitMode::RoundRobin;
-            else if (s == "flow")
-                cfg.split_mode = SplitMode::FlowAffinity;
-            else
-                usage(argv[0]);
-        } else if (arg == "--dvfs") {
-            cfg.snic_dvfs = true;
-        } else if (arg == "--no-coherence") {
-            cfg.coherent_state = false;
-        } else if (arg == "--slb-cores") {
-            cfg.slb_cores =
-                static_cast<unsigned>(std::atoi(next().c_str()));
-        } else if (arg == "--slb-th") {
-            cfg.slb_fwd_th_gbps = std::atof(next().c_str());
-        } else if (arg == "--slo-p99") {
-            cfg.slo.target_p99_us = std::atof(next().c_str());
-            if (cfg.slo.target_p99_us <= 0.0)
-                usage(argv[0]);
-        } else if (arg == "--run-threads") {
-            cfg.run_threads =
-                static_cast<unsigned>(std::atoi(next().c_str()));
-            // The partitioned engine excludes the watchdog's
-            // cross-wheel probes; drop it so plain hal runs qualify.
-            cfg.watchdog.enabled = false;
-        } else if (arg == "--stats-out") {
-            stats_out = next();
-            cfg.obs.stats = true;
-        } else if (arg == "--ruleset") {
-            const std::string r = next();
-            if (r == "tea")
-                cfg.rem_ruleset = alg::RulesetKind::Teakettle;
-            else if (r == "lite")
-                cfg.rem_ruleset = alg::RulesetKind::SnortLiterals;
-            else
-                usage(argv[0]);
-        } else {
-            usage(argv[0]);
-        }
-    }
+    ArgRegistrar reg(argv[0],
+                     "Run one server operating point and print the "
+                     "paper's metrics.");
+    reg.value("--mode", "host|snic|hal|slb|slb-host", "server mode",
+              [&](const std::string &m) -> std::string {
+                  if (m == "host")
+                      cfg.mode = Mode::HostOnly;
+                  else if (m == "snic")
+                      cfg.mode = Mode::SnicOnly;
+                  else if (m == "hal")
+                      cfg.mode = Mode::Hal;
+                  else if (m == "slb")
+                      cfg.mode = Mode::Slb;
+                  else if (m == "slb-host")
+                      cfg.mode = Mode::HostSlb;
+                  else
+                      return "unknown mode '" + m + "'";
+                  return {};
+              });
+    reg.value("--function", "NAME",
+              "network function (fwd|kvs|count|ema|nat|bm25|knn|bayes|"
+              "rem|crypto|comp)",
+              [&](const std::string &v) -> std::string {
+                  const auto f = parseFunction(v);
+                  if (!f)
+                      return "unknown function '" + v + "'";
+                  cfg.function = *f;
+                  return {};
+              });
+    reg.value("--second", "NAME", "second pipeline stage",
+              [&](const std::string &v) -> std::string {
+                  const auto f = parseFunction(v);
+                  if (!f)
+                      return "unknown function '" + v + "'";
+                  cfg.pipeline_second = *f;
+                  return {};
+              });
+    reg.value("--rate", "GBPS", "constant offered rate",
+              [&](const std::string &v) -> std::string {
+                  const auto x = parseNumber(v);
+                  if (!x || *x <= 0.0)
+                      return "needs a positive rate, got '" + v + "'";
+                  rate = *x;
+                  return {};
+              });
+    reg.value("--trace", "web|cache|hadoop",
+              "datacenter-trace workload instead of a constant rate",
+              [&](const std::string &t) -> std::string {
+                  if (t == "web")
+                      trace = net::TraceKind::Web;
+                  else if (t == "cache")
+                      trace = net::TraceKind::Cache;
+                  else if (t == "hadoop")
+                      trace = net::TraceKind::Hadoop;
+                  else
+                      return "unknown trace '" + t + "'";
+                  return {};
+              });
+    reg.value("--frame", "BYTES", "frame size",
+              [&](const std::string &v) -> std::string {
+                  const auto x = parseNumber(v);
+                  if (!x || *x < 64.0)
+                      return "needs a frame size >= 64, got '" + v + "'";
+                  cfg.frame_bytes = static_cast<std::size_t>(*x);
+                  return {};
+              });
+    reg.value("--measure", "MS", "measurement window (milliseconds)",
+              [&](const std::string &v) -> std::string {
+                  const auto x = parseNumber(v);
+                  if (!x || *x <= 0.0)
+                      return "needs a positive window, got '" + v + "'";
+                  measure = static_cast<Tick>(*x * kMs);
+                  return {};
+              });
+    reg.value("--warmup", "MS", "warmup window (milliseconds)",
+              [&](const std::string &v) -> std::string {
+                  const auto x = parseNumber(v);
+                  if (!x || *x < 0.0)
+                      return "needs a non-negative window, got '" + v +
+                             "'";
+                  warmup = static_cast<Tick>(*x * kMs);
+                  return {};
+              });
+    reg.value("--seed", "N", "traffic RNG seed",
+              [&](const std::string &v) -> std::string {
+                  const auto x = parseNumber(v);
+                  if (!x || *x < 0.0)
+                      return "needs a non-negative seed, got '" + v + "'";
+                  cfg.seed = static_cast<std::uint64_t>(*x);
+                  return {};
+              });
+    reg.value("--split", "token|rr|flow", "HLB splitter discipline",
+              [&](const std::string &s) -> std::string {
+                  if (s == "token")
+                      cfg.split_mode = SplitMode::TokenBucket;
+                  else if (s == "rr")
+                      cfg.split_mode = SplitMode::RoundRobin;
+                  else if (s == "flow")
+                      cfg.split_mode = SplitMode::FlowAffinity;
+                  else
+                      return "unknown split '" + s + "'";
+                  return {};
+              });
+    reg.flag("--dvfs", "enable SNIC DVFS",
+             [&] { cfg.power.snic_dvfs.enabled = true; });
+    reg.flag("--no-coherence", "disable cross-processor state coherence",
+             [&] { cfg.coherent_state = false; });
+    reg.value("--slb-cores", "N", "cores reserved for the software LB",
+              [&](const std::string &v) -> std::string {
+                  const auto x = parseNumber(v);
+                  if (!x || *x < 1.0)
+                      return "needs a core count >= 1, got '" + v + "'";
+                  cfg.slb_cores = static_cast<unsigned>(*x);
+                  return {};
+              });
+    reg.value("--slb-th", "GBPS", "software-LB forwarding threshold",
+              [&](const std::string &v) -> std::string {
+                  const auto x = parseNumber(v);
+                  if (!x || *x <= 0.0)
+                      return "needs a positive threshold, got '" + v +
+                             "'";
+                  cfg.slb_fwd_th_gbps = *x;
+                  return {};
+              });
+    reg.value("--ruleset", "tea|lite", "REM pattern ruleset",
+              [&](const std::string &r) -> std::string {
+                  if (r == "tea")
+                      cfg.rem_ruleset = alg::RulesetKind::Teakettle;
+                  else if (r == "lite")
+                      cfg.rem_ruleset = alg::RulesetKind::SnortLiterals;
+                  else
+                      return "unknown ruleset '" + r + "'";
+                  return {};
+              });
+    reg.value("--slo-p99", "US", "arm the SLO monitor at this p99 target",
+              [&](const std::string &v) -> std::string {
+                  const auto x = parseNumber(v);
+                  if (!x || *x <= 0.0)
+                      return "needs a positive target, got '" + v + "'";
+                  cfg.slo.target_p99_us = *x;
+                  return {};
+              });
+    reg.value("--run-threads", "N",
+              "time-parallel engine worker threads (0 = monolithic)",
+              [&](const std::string &v) -> std::string {
+                  const auto x = parseNumber(v);
+                  if (!x || *x < 0.0)
+                      return "needs a non-negative count, got '" + v +
+                             "'";
+                  cfg.run_threads = static_cast<unsigned>(*x);
+                  // The partitioned engine excludes the watchdog's
+                  // cross-wheel probes; drop it so plain hal runs
+                  // qualify.
+                  cfg.watchdog.enabled = false;
+                  return {};
+              });
+    reg.value("--stats-out", "PATH", "write the stats tree here",
+              [&](const std::string &v) -> std::string {
+                  stats_out = v;
+                  cfg.obs.stats = true;
+                  return {};
+              });
+    registerPowerFlags(reg, power);
+    reg.parse(argc, argv);
+    applyPowerFlags(power, cfg);
 
     EventQueue eq;
     ServerSystem sys(eq, cfg);
@@ -209,6 +269,20 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(r.host_frames));
     if (cfg.mode == Mode::Hal)
         std::printf("final FwdTh  %8.1f Gbps\n", r.final_fwd_th_gbps);
+    if (cfg.power.governor.enabled) {
+        std::printf("governor     %llu epochs, %llu rebalances "
+                    "(%llu migrations), %llu parks / %llu unparks, "
+                    "active cores %llu..%llu\n",
+                    static_cast<unsigned long long>(r.gov_epochs),
+                    static_cast<unsigned long long>(r.gov_rebalances),
+                    static_cast<unsigned long long>(r.gov_migrations),
+                    static_cast<unsigned long long>(r.gov_parks),
+                    static_cast<unsigned long long>(r.gov_unparks),
+                    static_cast<unsigned long long>(
+                        r.gov_min_active_cores),
+                    static_cast<unsigned long long>(
+                        r.gov_max_active_cores));
+    }
 
     // --- per-component energy breakdown (measurement window) ---------
     {

@@ -98,6 +98,7 @@ LoadBalancingPolicy::tick()
 
     // Algorithm 1: only act when Fwd_Th has converged down to the
     // achieved throughput (the SNIC is the binding constraint).
+    const double before = fwdTh_;
     if (fwdTh_ < snicTp_ + cfg_.delta_tp_gbps) {
         const std::uint32_t occ = snic_.maxRingOccupancy();
         double step = cfg_.step_gbps;
@@ -110,23 +111,33 @@ LoadBalancingPolicy::tick()
             else if (occ < cfg_.wm_low && occ == 0)
                 step *= 2.0;
         }
-        const double before = fwdTh_;
         if (occ < cfg_.wm_low)
             fwdTh_ += step;
         else if (occ > cfg_.wm_high)
             fwdTh_ -= step;
         fwdTh_ = std::clamp(fwdTh_, cfg_.min_fwd_gbps, cfg_.max_fwd_gbps);
-        if (fwdTh_ > before)
-            ++ups_;
-        else if (fwdTh_ < before)
-            ++downs_;
-        if (fwdTh_ != before) {
-            // The decision travels to the FPGA over Ethernet (and may
-            // be lost or delayed on an impaired channel).
-            const double decided = fwdTh_;
-            update_sent = sendCtrl(
-                [this, decided] { director_.setFwdTh(decided); });
-        }
+    }
+    if (capacity_) {
+        // Governor co-design: never steer more at the SNIC than its
+        // currently-active cores can serve (floored at min_fwd so the
+        // threshold stays actionable). Applied outside the convergence
+        // branch on purpose: when load falls off a converged-high
+        // threshold, Algorithm 1 goes quiet, but the governor keeps
+        // parking — the clamp must track the shrinking active set, or
+        // the frozen threshold would steer a returning burst at cores
+        // that are asleep.
+        fwdTh_ = std::min(fwdTh_, std::max(cfg_.min_fwd_gbps, capacity_()));
+    }
+    if (fwdTh_ > before)
+        ++ups_;
+    else if (fwdTh_ < before)
+        ++downs_;
+    if (fwdTh_ != before) {
+        // The decision travels to the FPGA over Ethernet (and may
+        // be lost or delayed on an impaired channel).
+        const double decided = fwdTh_;
+        update_sent = sendCtrl(
+            [this, decided] { director_.setFwdTh(decided); });
     }
     // Keep-alive toward the FPGA when no update went out this epoch,
     // so the watchdog's staleness bound measures channel/LBP health

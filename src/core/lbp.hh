@@ -58,6 +58,20 @@ class LoadBalancingPolicy
     void start();
     void stop();
 
+    /**
+     * Co-design hook with the core-scaling governor: @p gbps reports
+     * the SNIC's *active* capacity (scaledTp over the governor's
+     * active-core count). Each epoch clamps Fwd_Th to it, so a
+     * consolidated SNIC is never asked to absorb its full static
+     * rating — the director decides *where*, the governor *how many*.
+     * Unset (default) keeps the static cfg.max_fwd_gbps ceiling only.
+     */
+    void
+    setCapacityProvider(std::function<double()> gbps)
+    {
+        capacity_ = std::move(gbps);
+    }
+
     /** Threshold currently decided by the policy (Gbps). */
     double fwdTh() const { return fwdTh_; }
 
@@ -104,6 +118,7 @@ class LoadBalancingPolicy
     TrafficDirector &director_;
 
     CallbackEvent tickEvent_;
+    std::function<double()> capacity_;   //!< governor active capacity
     std::uint64_t lastBytes_ = 0;
     double fwdTh_;
     double snicTp_ = 0.0;

@@ -133,6 +133,20 @@ constexpr Field kFields[] = {
      [](const RunResult &r) { return r.fleet_backend_served_max; }},
     {"energy_fleet_j", Field::Type::F64,
      [](const RunResult &r) { return r.energy_fleet_j; }, nullptr},
+    {"gov_epochs", Field::Type::U64, nullptr,
+     [](const RunResult &r) { return r.gov_epochs; }},
+    {"gov_rebalances", Field::Type::U64, nullptr,
+     [](const RunResult &r) { return r.gov_rebalances; }},
+    {"gov_migrations", Field::Type::U64, nullptr,
+     [](const RunResult &r) { return r.gov_migrations; }},
+    {"gov_parks", Field::Type::U64, nullptr,
+     [](const RunResult &r) { return r.gov_parks; }},
+    {"gov_unparks", Field::Type::U64, nullptr,
+     [](const RunResult &r) { return r.gov_unparks; }},
+    {"gov_min_active_cores", Field::Type::U64, nullptr,
+     [](const RunResult &r) { return r.gov_min_active_cores; }},
+    {"gov_max_active_cores", Field::Type::U64, nullptr,
+     [](const RunResult &r) { return r.gov_max_active_cores; }},
     {"past_clamps", Field::Type::U64, nullptr,
      [](const RunResult &r) { return r.past_clamps; }},
 };

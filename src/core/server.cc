@@ -88,6 +88,12 @@ ServerConfig::validate() const
                  "is on");
     }
 
+    // The power-policy sub-struct validates itself (same
+    // every-violation-in-one-pass contract); splice its messages in.
+    std::vector<std::string> power_errors = power.validate();
+    for (std::string &e : power_errors)
+        errors.push_back(std::move(e));
+
     return errors;
 }
 
@@ -292,8 +298,9 @@ ServerSystem::ServerSystem(EventQueue &eq, ServerConfig cfg)
         hc.ring_descriptors = cfg_.ring_descriptors;
         // Host cores sleep only under HAL (§V-B); the host baseline
         // busy-polls like any DPDK deployment.
-        if (cfg_.mode == Mode::Hal && cfg_.host_sleep)
-            hc.sleep = cfg_.sleep_policy;
+        if (cfg_.mode == Mode::Hal && cfg_.power.host_sleep.enabled)
+            hc.sleep = cfg_.power.host_sleep;
+        hc.governor = cfg_.power.governor;
         hc.node = coherence::NodeId::Host;
         hc.service_mac = hostMac_;
         // In host-only mode the host IS the service identity.
@@ -317,7 +324,8 @@ ServerSystem::ServerSystem(EventQueue &eq, ServerConfig cfg)
             cores = cores > cfg_.slb_cores ? cores - cfg_.slb_cores : 1;
         sc.cores = cores;
         sc.ring_descriptors = cfg_.ring_descriptors;
-        sc.dvfs.enabled = cfg_.snic_dvfs;
+        sc.dvfs = cfg_.power.snic_dvfs;
+        sc.governor = cfg_.power.governor;
         sc.node = coherence::NodeId::Snic;
         sc.service_mac = snicMac_;
         sc.service_ip = snicIp_;
@@ -371,6 +379,16 @@ ServerSystem::ServerSystem(EventQueue &eq, ServerConfig cfg)
             *director_);
         lbp_ = std::make_unique<LoadBalancingPolicy>(snicEq(), cfg_.lbp,
                                                      *snic_, *director_);
+        if (snic_->hasGovernor()) {
+            // LBP/governor co-design contract: the director decides
+            // *where* (threshold) from the capacity the governor's
+            // *how many* currently provides, so a consolidated SNIC
+            // is never asked to absorb its full static rating.
+            lbp_->setCapacityProvider([this] {
+                return snic_->config().profile.scaledTp(
+                    snic_->governorActiveCores());
+            });
+        }
         if (cfg_.watchdog.enabled) {
             HealthWatchdog::Config wc = cfg_.watchdog;
             if (wc.lbp_failsafe_gbps <= 0.0)
@@ -467,18 +485,34 @@ ServerSystem::ServerSystem(EventQueue &eq, ServerConfig cfg)
     // watt integrators; "extra" is the HLB/LBP/SLB meter (reset at the
     // warmup boundary, snapshot taken after that reset); "static" is
     // the idle-server baseline integrated analytically.
+    // Governor-armed processors get per-core CPU sub-accounts
+    // ("snic_cpu.core0", ...) *instead of* the aggregate, so park
+    // decisions show up core by core in the ledger and totalJ() never
+    // double-counts; RunResult reads the component through
+    // joulesPrefix(), which sums either layout.
+    auto addCpuAccounts = [this](proc::Processor *p,
+                                 const std::string &name) {
+        if (p->hasGovernor()) {
+            for (unsigned i = 0; i < p->coreCount(); ++i) {
+                energy_.addDynamic(
+                    name + ".core" + std::to_string(i),
+                    [p, i] { return p->coreJoulesNow(i); },
+                    [p, i] { return p->coreCurrentW(i); });
+            }
+        } else {
+            energy_.addDynamic(
+                name, [p] { return p->cpuJoulesNow(); },
+                [p] { return p->cpuCurrentW(); });
+        }
+    };
     if (snic_ != nullptr) {
-        energy_.addDynamic(
-            "snic_cpu", [this] { return snic_->cpuJoulesNow(); },
-            [this] { return snic_->cpuCurrentW(); });
+        addCpuAccounts(snic_.get(), "snic_cpu");
         energy_.addDynamic(
             "snic_accel", [this] { return snic_->accelJoulesNow(); },
             [this] { return snic_->accelCurrentW(); });
     }
     if (host_ != nullptr) {
-        energy_.addDynamic(
-            "host_cpu", [this] { return host_->cpuJoulesNow(); },
-            [this] { return host_->cpuCurrentW(); });
+        addCpuAccounts(host_.get(), "host_cpu");
         energy_.addDynamic(
             "host_accel", [this] { return host_->accelJoulesNow(); },
             [this] { return host_->accelCurrentW(); });
@@ -569,6 +603,39 @@ ServerSystem::buildObs()
                    [this] { return returnLink_->faultDrops(); });
     reg->fnCounter("server.eq.past_clamps",
                    [this] { return pastClamps(); });
+
+    // Core-scaling governor aggregates over both processors. These
+    // register unconditionally (zero when the governor is off) so
+    // every server-rooted stats artifact carries the paths the bench
+    // schema requires.
+    reg->fnCounter("server.governor.epochs", [this] {
+        return (snic_ != nullptr ? snic_->governorEpochs() : 0) +
+               (host_ != nullptr ? host_->governorEpochs() : 0);
+    });
+    reg->fnCounter("server.governor.rebalances", [this] {
+        return (snic_ != nullptr ? snic_->governorRebalances() : 0) +
+               (host_ != nullptr ? host_->governorRebalances() : 0);
+    });
+    reg->fnCounter("server.governor.migrations", [this] {
+        return (snic_ != nullptr ? snic_->governorMigrations() : 0) +
+               (host_ != nullptr ? host_->governorMigrations() : 0);
+    });
+    reg->fnCounter("server.governor.parks", [this] {
+        return (snic_ != nullptr ? snic_->governorParks() : 0) +
+               (host_ != nullptr ? host_->governorParks() : 0);
+    });
+    reg->fnCounter("server.governor.unparks", [this] {
+        return (snic_ != nullptr ? snic_->governorUnparks() : 0) +
+               (host_ != nullptr ? host_->governorUnparks() : 0);
+    });
+    reg->fnGauge("server.governor.active_cores", [this] {
+        unsigned n = 0;
+        if (snic_ != nullptr)
+            n += snic_->governorActiveCores();
+        if (host_ != nullptr)
+            n += host_->governorActiveCores();
+        return static_cast<double>(n);
+    });
 
     if (eswitch_ != nullptr) {
         reg->fnCounter("server.eswitch.matched",
@@ -988,10 +1055,32 @@ ServerSystem::run(std::unique_ptr<net::RateProcess> rate, Tick warmup,
         r.ctrl_updates_dropped = lbp_->updatesDropped();
     r.past_clamps = pastClamps();
 
+    // --- core-scaling governor (zero when unarmed) -------------------
+    r.gov_epochs = (snic_ != nullptr ? snic_->governorEpochs() : 0) +
+                   (host_ != nullptr ? host_->governorEpochs() : 0);
+    r.gov_rebalances =
+        (snic_ != nullptr ? snic_->governorRebalances() : 0) +
+        (host_ != nullptr ? host_->governorRebalances() : 0);
+    r.gov_migrations =
+        (snic_ != nullptr ? snic_->governorMigrations() : 0) +
+        (host_ != nullptr ? host_->governorMigrations() : 0);
+    r.gov_parks = (snic_ != nullptr ? snic_->governorParks() : 0) +
+                  (host_ != nullptr ? host_->governorParks() : 0);
+    r.gov_unparks = (snic_ != nullptr ? snic_->governorUnparks() : 0) +
+                    (host_ != nullptr ? host_->governorUnparks() : 0);
+    r.gov_min_active_cores =
+        (snic_ != nullptr ? snic_->governorMinActive() : 0) +
+        (host_ != nullptr ? host_->governorMinActive() : 0);
+    r.gov_max_active_cores =
+        (snic_ != nullptr ? snic_->governorMaxActive() : 0) +
+        (host_ != nullptr ? host_->governorMaxActive() : 0);
+
     // --- energy breakdown (window fixed above, pre-drain) ------------
-    r.energy_snic_cpu_j = energy_.joules("snic_cpu");
+    // joulesPrefix sums one aggregate account or the governor-armed
+    // per-core sub-accounts, whichever layout this run registered.
+    r.energy_snic_cpu_j = energy_.joulesPrefix("snic_cpu");
     r.energy_snic_accel_j = energy_.joules("snic_accel");
-    r.energy_host_cpu_j = energy_.joules("host_cpu");
+    r.energy_host_cpu_j = energy_.joulesPrefix("host_cpu");
     r.energy_host_accel_j = energy_.joules("host_accel");
     r.energy_extra_j = energy_.joules("extra");
     r.energy_static_j = energy_.joules("static");

@@ -82,9 +82,13 @@ struct ServerConfig
     unsigned snic_cores = 8;
     std::uint32_t ring_descriptors = 512;
 
-    /** DPDK power management on the host cores (§V-B); HAL default. */
-    bool host_sleep = true;
-    proc::SleepPolicy sleep_policy{true, 20 * kUs, 5 * kUs};
+    /**
+     * All power management in one sub-struct: host-CPU sleep states
+     * (§V-B, HAL default on), SNIC-CPU DVFS (§VIII), and the adaptive
+     * core-scaling governor (ROADMAP item 3). The governor arms on
+     * *both* CPU processors; LBP reads its active capacity.
+     */
+    proc::PowerPolicy power;
 
     /**
      * Share stateful-function state coherently (CXL-SNIC emulation,
@@ -100,9 +104,6 @@ struct ServerConfig
     /** SLB baseline parameters (Mode::Slb). */
     unsigned slb_cores = 4;
     double slb_fwd_th_gbps = 20.0;
-
-    /** Enable the SNIC CPU's DVFS governor (§VIII discussion). */
-    bool snic_dvfs = false;
 
     std::size_t frame_bytes = net::kMtuFrameBytes;
     std::uint64_t seed = 1;
@@ -234,6 +235,15 @@ struct RunResult
     std::uint64_t fleet_backend_served_min = 0; //!< least-loaded backend
     std::uint64_t fleet_backend_served_max = 0; //!< most-loaded backend
     double energy_fleet_j = 0.0;         //!< sum of per-backend accounts
+
+    // --- core-scaling governor (zero when not armed) ------------------
+    std::uint64_t gov_epochs = 0;        //!< governor epochs (both procs)
+    std::uint64_t gov_rebalances = 0;    //!< epochs that moved groups
+    std::uint64_t gov_migrations = 0;    //!< flow-group moves
+    std::uint64_t gov_parks = 0;         //!< cores parked
+    std::uint64_t gov_unparks = 0;       //!< cores woken back up
+    std::uint64_t gov_min_active_cores = 0; //!< sum of per-proc minima
+    std::uint64_t gov_max_active_cores = 0; //!< sum of per-proc maxima
 
     /**
      * Schedule-into-past clamps across every event queue in the run

@@ -42,11 +42,16 @@ runSweep(const std::vector<SweepPoint> &points, const SweepOptions &opts)
         p.cfg.obs.trace = p.cfg.obs.trace || want_trace;
         if (opts.slo_p99_us > 0.0 && !p.cfg.slo.enabled())
             p.cfg.slo.target_p99_us = opts.slo_p99_us;
+        applyPowerFlags(opts, p.cfg);
         EventQueue eq;
         ServerSystem sys(eq, p.cfg);
-        auto rate = p.trace
-                        ? net::makeTrace(*p.trace)
-                        : std::make_unique<net::ConstantRate>(p.rate_gbps);
+        std::unique_ptr<net::RateProcess> rate;
+        if (p.make_rate)
+            rate = p.make_rate();
+        else if (p.trace)
+            rate = net::makeTrace(*p.trace);
+        else
+            rate = std::make_unique<net::ConstantRate>(p.rate_gbps);
         results[i] =
             sys.run(std::move(rate), p.warmup, p.measure, p.resample);
         if (want_stats && sys.obs() != nullptr) {
@@ -83,55 +88,188 @@ runSweep(const std::vector<SweepPoint> &points, const SweepOptions &opts)
     return results;
 }
 
+void
+ArgRegistrar::value(std::string name, std::string metavar,
+                    std::string help,
+                    std::function<std::string(const std::string &)> parse)
+{
+    Opt o;
+    o.name = std::move(name);
+    o.metavar = std::move(metavar);
+    o.help = std::move(help);
+    o.parse = std::move(parse);
+    opts_.push_back(std::move(o));
+}
+
+void
+ArgRegistrar::flag(std::string name, std::string help,
+                   std::function<void()> set)
+{
+    Opt o;
+    o.name = std::move(name);
+    o.help = std::move(help);
+    o.set = std::move(set);
+    opts_.push_back(std::move(o));
+}
+
+void
+ArgRegistrar::printUsage(std::FILE *out) const
+{
+    std::fprintf(out, "usage: %s", prog_.c_str());
+    for (const Opt &o : opts_) {
+        if (o.metavar.empty())
+            std::fprintf(out, " [%s]", o.name.c_str());
+        else
+            std::fprintf(out, " [%s %s]", o.name.c_str(),
+                         o.metavar.c_str());
+    }
+    std::fprintf(out, "\n");
+    if (!description_.empty())
+        std::fprintf(out, "%s\n", description_.c_str());
+    for (const Opt &o : opts_) {
+        std::string left = o.name;
+        if (!o.metavar.empty())
+            left += " " + o.metavar;
+        std::fprintf(out, "  %-22s %s\n", left.c_str(), o.help.c_str());
+    }
+}
+
+void
+ArgRegistrar::parse(int argc, char **argv) const
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            printUsage(stdout);
+            std::exit(0);
+        }
+        const Opt *match = nullptr;
+        for (const Opt &o : opts_) {
+            if (o.name == arg) {
+                match = &o;
+                break;
+            }
+        }
+        if (match == nullptr) {
+            std::fprintf(stderr, "%s: unknown argument '%s'\n",
+                         prog_.c_str(), arg.c_str());
+            printUsage(stderr);
+            std::exit(2);
+        }
+        if (match->parse) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: %s needs a %s operand\n",
+                             prog_.c_str(), match->name.c_str(),
+                             match->metavar.c_str());
+                printUsage(stderr);
+                std::exit(2);
+            }
+            const std::string error = match->parse(argv[++i]);
+            if (!error.empty()) {
+                std::fprintf(stderr, "%s: %s: %s\n", prog_.c_str(),
+                             match->name.c_str(), error.c_str());
+                std::exit(2);
+            }
+        } else {
+            match->set();
+        }
+    }
+}
+
+void
+registerSweepFlags(ArgRegistrar &reg, SweepOptions &opts)
+{
+    reg.value("--threads", "N|all",
+              "sweep worker threads (all = every hardware thread)",
+              [&opts](const std::string &v) -> std::string {
+                  std::string error;
+                  const auto parsed = parseThreadsValue(v.c_str(), &error);
+                  if (!parsed)
+                      return error;
+                  opts.threads = *parsed;
+                  return {};
+              });
+    reg.value("--json", "PATH", "write the results artifact here",
+              [&opts](const std::string &v) -> std::string {
+                  opts.json_path = v;
+                  return {};
+              });
+    reg.value("--stats-out", "PATH",
+              "write the per-point stats trees here",
+              [&opts](const std::string &v) -> std::string {
+                  opts.stats_path = v;
+                  return {};
+              });
+    reg.value("--trace", "PATH", "write a Chrome trace_event JSON here",
+              [&opts](const std::string &v) -> std::string {
+                  opts.trace_path = v;
+                  return {};
+              });
+    reg.value("--slo-p99", "US",
+              "arm the SLO monitor at this p99 target (microseconds)",
+              [&opts](const std::string &v) -> std::string {
+                  char *end = nullptr;
+                  const double us = std::strtod(v.c_str(), &end);
+                  if (end == nullptr || *end != '\0' || !(us > 0.0)) {
+                      return "needs a positive microsecond target, "
+                             "got '" +
+                             v + "'";
+                  }
+                  opts.slo_p99_us = us;
+                  return {};
+              });
+    registerPowerFlags(reg, opts);
+}
+
+void
+registerPowerFlags(ArgRegistrar &reg, SweepOptions &opts)
+{
+    reg.value("--governor", "on|off",
+              "force the core-scaling governor on or off",
+              [&opts](const std::string &v) -> std::string {
+                  if (v == "on")
+                      opts.governor = true;
+                  else if (v == "off")
+                      opts.governor = false;
+                  else
+                      return "needs on or off, got '" + v + "'";
+                  return {};
+              });
+    reg.value("--gov-epoch", "US",
+              "governor epoch in microseconds (implies nothing else)",
+              [&opts](const std::string &v) -> std::string {
+                  char *end = nullptr;
+                  const double us = std::strtod(v.c_str(), &end);
+                  if (end == nullptr || *end != '\0' || !(us > 0.0)) {
+                      return "needs a positive microsecond epoch, "
+                             "got '" +
+                             v + "'";
+                  }
+                  opts.gov_epoch_us = us;
+                  return {};
+              });
+}
+
+void
+applyPowerFlags(const SweepOptions &opts, ServerConfig &cfg)
+{
+    if (opts.governor)
+        cfg.power.governor.enabled = *opts.governor;
+    if (opts.gov_epoch_us) {
+        cfg.power.governor.epoch = static_cast<Tick>(
+            *opts.gov_epoch_us * static_cast<double>(kUs));
+    }
+}
+
 SweepOptions
 parseSweepArgs(int argc, char **argv, std::string bench_name)
 {
     SweepOptions opts;
     opts.bench_name = std::move(bench_name);
     opts.threads = envDefaultThreads(opts.threads);
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-            std::string error;
-            const auto parsed = parseThreadsValue(argv[++i], &error);
-            if (!parsed) {
-                std::fprintf(stderr, "%s: --threads: %s\n", argv[0],
-                             error.c_str());
-                std::exit(2);
-            }
-            opts.threads = *parsed;
-        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-            opts.json_path = argv[++i];
-        } else if (std::strcmp(argv[i], "--stats-out") == 0 &&
-                   i + 1 < argc) {
-            opts.stats_path = argv[++i];
-        } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
-            opts.trace_path = argv[++i];
-        } else if (std::strcmp(argv[i], "--slo-p99") == 0 &&
-                   i + 1 < argc) {
-            char *end = nullptr;
-            const double us = std::strtod(argv[++i], &end);
-            if (end == nullptr || *end != '\0' || !(us > 0.0)) {
-                std::fprintf(stderr,
-                             "%s: --slo-p99 needs a positive "
-                             "microsecond target, got '%s'\n",
-                             argv[0], argv[i]);
-                std::exit(2);
-            }
-            opts.slo_p99_us = us;
-        } else {
-            std::fprintf(
-                stderr,
-                "usage: %s [--threads N|all] [--json PATH]\n"
-                "          [--stats-out PATH] [--trace PATH]\n"
-                "          [--slo-p99 US]\n"
-                "  --threads all uses every hardware thread\n"
-                "  --stats-out writes the per-point stats trees\n"
-                "  --trace writes a Chrome trace_event JSON\n"
-                "  --slo-p99 arms the SLO monitor at a p99 target\n",
-                argv[0]);
-            std::exit(2);
-        }
-    }
+    ArgRegistrar reg(argv[0]);
+    registerSweepFlags(reg, opts);
+    reg.parse(argc, argv);
     return opts;
 }
 

@@ -15,6 +15,9 @@
 #ifndef HALSIM_CORE_SWEEP_HH
 #define HALSIM_CORE_SWEEP_HH
 
+#include <cstdio>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -32,6 +35,11 @@ struct SweepPoint
     double rate_gbps = 0.0;
     /** Datacenter-trace workload instead of a constant rate. */
     std::optional<net::TraceKind> trace;
+    /** Custom rate-process factory (diurnal/burst workloads); takes
+     *  precedence over both @ref trace and @ref rate_gbps. A factory
+     *  (not an instance) so the point list stays copyable and each
+     *  run gets a fresh process. */
+    std::function<std::unique_ptr<net::RateProcess>()> make_rate;
     Tick warmup = 20 * kMs;
     Tick measure = 100 * kMs;
     Tick resample = 1 * kMs;
@@ -55,9 +63,83 @@ struct SweepOptions
     /** When > 0, arm the SLO monitor at this p99 target for every
      *  point that does not already set its own target. */
     double slo_p99_us = 0.0;
+    /** `--governor on|off`: force the core-scaling governor on (or
+     *  off) for every point; unset leaves each point's config alone. */
+    std::optional<bool> governor;
+    /** `--gov-epoch US`: governor epoch override, microseconds. */
+    std::optional<double> gov_epoch_us;
     /** Bench name recorded in the artifact. */
     std::string bench_name = "sweep";
 };
+
+/**
+ * The one place bench/CLI flags are declared (DESIGN.md §15): each
+ * binary registers its flags once — name, metavar, help line, parse
+ * callback — and gets uniform `--help` text and the strict malformed-
+ * value contract (diagnostic + exit 2) for free. registerSweepFlags()
+ * adds the shared sweep set, so a flag like `--governor` registers in
+ * one line and appears in every binary's help.
+ */
+class ArgRegistrar
+{
+  public:
+    explicit ArgRegistrar(std::string prog, std::string description = "")
+        : prog_(std::move(prog)), description_(std::move(description))
+    {
+    }
+
+    /** Option taking one operand: `--name VALUE`. @p parse returns an
+     *  error message, or empty on success. */
+    void value(std::string name, std::string metavar, std::string help,
+               std::function<std::string(const std::string &)> parse);
+
+    /** Bare boolean option: `--name`. */
+    void flag(std::string name, std::string help,
+              std::function<void()> set);
+
+    /**
+     * Parse @p argv. `--help`/`-h` prints the registered usage and
+     * exits 0; an unknown option, a missing operand, or a parse error
+     * prints a diagnostic plus usage and exits 2 (the strict contract
+     * every bench already relied on).
+     */
+    void parse(int argc, char **argv) const;
+
+    void printUsage(std::FILE *out) const;
+
+  private:
+    struct Opt
+    {
+        std::string name;
+        std::string metavar;   //!< empty for bare flags
+        std::string help;
+        std::function<std::string(const std::string &)> parse;
+        std::function<void()> set;
+    };
+
+    std::string prog_;
+    std::string description_;
+    std::vector<Opt> opts_;
+};
+
+/**
+ * Register the shared sweep/CLI flag set against @p opts:
+ * `--threads N|all`, `--json PATH`, `--stats-out PATH`,
+ * `--trace PATH`, `--slo-p99 US`, `--governor on|off`, and
+ * `--gov-epoch US`.
+ */
+void registerSweepFlags(ArgRegistrar &reg, SweepOptions &opts);
+
+/**
+ * Just the power-policy subset (`--governor on|off`, `--gov-epoch US`)
+ * for binaries that are not sweeps (halsim_cli). Included in
+ * registerSweepFlags(); declared separately so the flags are defined
+ * in exactly one place either way.
+ */
+void registerPowerFlags(ArgRegistrar &reg, SweepOptions &opts);
+
+/** Apply parsed power flags to a config (no-op for unset options). */
+void applyPowerFlags(const SweepOptions &opts, ServerConfig &cfg);
 
 /**
  * Run every point (possibly in parallel) and return results in input
@@ -70,14 +152,12 @@ std::vector<RunResult> runSweep(const std::vector<SweepPoint> &points,
                                 const SweepOptions &opts = {});
 
 /**
- * Parse the standard bench flags: `--threads N|all`, `--json PATH`,
- * `--stats-out PATH`, `--trace PATH`, and `--slo-p99 US`. The
- * HALSIM_THREADS
- * environment variable (same grammar, see core::envDefaultThreads)
- * supplies the default thread count when the flag is absent.
- * Malformed thread counts — negative, zero, or non-numeric — are
- * rejected with a diagnostic and exit code 2, as are unknown
- * arguments.
+ * Parse exactly the registerSweepFlags() set (a thin wrapper over
+ * ArgRegistrar). The HALSIM_THREADS environment variable (same
+ * grammar, see core::envDefaultThreads) supplies the default thread
+ * count when the flag is absent. Malformed values — negative, zero,
+ * or non-numeric counts, bad on|off — are rejected with a diagnostic
+ * and exit code 2, as are unknown arguments; `--help` exits 0.
  */
 SweepOptions parseSweepArgs(int argc, char **argv,
                             std::string bench_name);

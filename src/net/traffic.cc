@@ -46,6 +46,45 @@ LognormalRate::sample(Rng &rng)
     return std::min(rng.lognormal(mu_, sigma_), cap_);
 }
 
+DiurnalRate::DiurnalRate(double trough_gbps, double peak_gbps,
+                         std::uint32_t period_samples)
+    : trough_(trough_gbps), peak_(peak_gbps),
+      period_(period_samples > 0 ? period_samples : 1),
+      mean_(0.5 * (trough_gbps + peak_gbps))
+{}
+
+double
+DiurnalRate::sample(Rng &)
+{
+    // Raised cosine starting at the trough: phase 0 is "night",
+    // phase period/2 is "midday". The mean of the raised cosine over
+    // a full period is exactly (trough + peak) / 2.
+    const double theta =
+        2.0 * M_PI * static_cast<double>(phase_) / period_;
+    phase_ = phase_ + 1 == period_ ? 0 : phase_ + 1;
+    const double depth = 0.5 * (1.0 - std::cos(theta));
+    return trough_ + (peak_ - trough_) * depth;
+}
+
+BurstRate::BurstRate(double base_gbps, double burst_gbps,
+                     std::uint32_t period_samples,
+                     std::uint32_t burst_samples)
+    : base_(base_gbps), burst_(burst_gbps),
+      period_(period_samples > 0 ? period_samples : 1),
+      burstLen_(std::min(burst_samples, period_)),
+      mean_(base_gbps +
+            (burst_gbps - base_gbps) * static_cast<double>(burstLen_) /
+                period_)
+{}
+
+double
+BurstRate::sample(Rng &)
+{
+    const bool bursting = phase_ < burstLen_;
+    phase_ = phase_ + 1 == period_ ? 0 : phase_ + 1;
+    return bursting ? burst_ : base_;
+}
+
 const char *
 traceName(TraceKind k)
 {

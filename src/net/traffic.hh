@@ -89,6 +89,52 @@ class LognormalRate : public RateProcess
     std::string label_;
 };
 
+/**
+ * Deterministic diurnal load: a phase-stepped raised cosine between
+ * @p trough_gbps and @p peak_gbps over @p period_samples rate draws.
+ * No randomness at all — every sample() advances the phase by one
+ * step — so governor sweeps over it are exactly reproducible and the
+ * committed bench artifact is bit-stable. Models the day/night swing
+ * a core-scaling governor exists to exploit.
+ */
+class DiurnalRate : public RateProcess
+{
+  public:
+    DiurnalRate(double trough_gbps, double peak_gbps,
+                std::uint32_t period_samples);
+
+    double sample(Rng &rng) override;
+    double meanGbps() const override { return mean_; }
+    std::string name() const override { return "diurnal"; }
+
+  private:
+    double trough_, peak_;
+    std::uint32_t period_, phase_ = 0;
+    double mean_;
+};
+
+/**
+ * Deterministic burst train: @p base_gbps background with a
+ * @p burst_gbps plateau of @p burst_samples draws every
+ * @p period_samples. Exercises the governor's emergency unpark path
+ * (occupancy pressure valve) and the p99-at-peak acceptance gate.
+ */
+class BurstRate : public RateProcess
+{
+  public:
+    BurstRate(double base_gbps, double burst_gbps,
+              std::uint32_t period_samples, std::uint32_t burst_samples);
+
+    double sample(Rng &rng) override;
+    double meanGbps() const override { return mean_; }
+    std::string name() const override { return "burst"; }
+
+  private:
+    double base_, burst_;
+    std::uint32_t period_, burstLen_, phase_ = 0;
+    double mean_;
+};
+
 /** The three Meta datacenter workloads of Fig. 8. */
 enum class TraceKind
 {

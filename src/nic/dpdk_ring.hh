@@ -12,8 +12,8 @@
 #define HALSIM_NIC_DPDK_RING_HH
 
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <vector>
 
 #include "net/packet.hh"
 #include "net/packet_batch.hh"
@@ -25,12 +25,18 @@ namespace halsim::nic {
 /**
  * Bounded packet FIFO with an enqueue notification hook (the poll
  * core uses it to wake from idle without simulating spin loops).
+ *
+ * Like the hardware it models, the descriptor array is allocated
+ * once at ring setup: `slots_` is sized to the descriptor count in
+ * the constructor and enqueue/dequeue are pure index arithmetic, so
+ * the steady-state hot path never touches the allocator.
  */
 class DpdkRing : public net::PacketSink
 {
   public:
     explicit DpdkRing(std::uint32_t descriptors = 512)
-        : capacity_(descriptors)
+        : capacity_(descriptors),
+          slots_(descriptors > 0 ? descriptors : 1)
     {}
 
     /** Hook invoked after a successful enqueue into an empty ring. */
@@ -48,10 +54,11 @@ class DpdkRing : public net::PacketSink
         traceEq_ = eq;
     }
 
+    // halint: hotpath
     void
     accept(net::PacketPtr pkt) override
     {
-        if (disabled_ || q_.size() >= capacity_) {
+        if (disabled_ || count_ >= capacity_) {
             ++drops_;
             obs::tracePacket(trace_,
                              traceEq_ != nullptr ? traceEq_->now() : 0,
@@ -59,13 +66,14 @@ class DpdkRing : public net::PacketSink
                              occupancy());
             return;
         }
-        const bool was_empty = q_.empty();
+        const bool was_empty = count_ == 0;
         bytesIn_ += pkt->size();
         obs::tracePacket(trace_,
                          traceEq_ != nullptr ? traceEq_->now() : 0,
                          pkt->id, obs::TracePoint::RingEnqueue,
                          traceLane_, occupancy() + 1);
-        q_.push_back(std::move(pkt));
+        slots_[slot(count_)] = std::move(pkt);
+        ++count_;
         if (was_empty && notify_)
             notify_();
     }
@@ -85,10 +93,11 @@ class DpdkRing : public net::PacketSink
     net::PacketPtr
     dequeue()
     {
-        if (q_.empty())
+        if (count_ == 0)
             return nullptr;
-        net::PacketPtr pkt = std::move(q_.front());
-        q_.pop_front();
+        net::PacketPtr pkt = std::move(slots_[head_]);
+        head_ = next(head_);
+        --count_;
         return pkt;
     }
 
@@ -100,20 +109,18 @@ class DpdkRing : public net::PacketSink
     dequeueBurst(std::size_t max = net::PacketBatch::kCapacity)
     {
         net::PacketBatch b;
-        while (!q_.empty() && b.size() < max && !b.full()) {
-            b.append(std::move(q_.front()));
-            q_.pop_front();
+        while (count_ > 0 && b.size() < max && !b.full()) {
+            b.append(std::move(slots_[head_]));
+            head_ = next(head_);
+            --count_;
         }
         return b;
     }
 
     /** rte_eth_rx_queue_count analog. */
-    std::uint32_t occupancy() const
-    {
-        return static_cast<std::uint32_t>(q_.size());
-    }
+    std::uint32_t occupancy() const { return count_; }
 
-    bool empty() const { return q_.empty(); }
+    bool empty() const { return count_ == 0; }
     std::uint32_t capacity() const { return capacity_; }
     std::uint64_t drops() const { return drops_; }
     std::uint64_t bytesIn() const { return bytesIn_; }
@@ -128,8 +135,29 @@ class DpdkRing : public net::PacketSink
     bool disabled() const { return disabled_; }
 
   private:
+    /** Slot index of logical position @p i behind the head. */
+    std::uint32_t
+    slot(std::uint32_t i) const
+    {
+        const std::uint32_t s = head_ + i;
+        const std::uint32_t n =
+            static_cast<std::uint32_t>(slots_.size());
+        return s >= n ? s - n : s;
+    }
+
+    std::uint32_t
+    next(std::uint32_t i) const
+    {
+        const std::uint32_t n =
+            static_cast<std::uint32_t>(slots_.size());
+        return i + 1 >= n ? 0 : i + 1;
+    }
+
     std::uint32_t capacity_;
-    std::deque<net::PacketPtr> q_;
+    /** Preallocated descriptor slots; never resized after setup. */
+    std::vector<net::PacketPtr> slots_;
+    std::uint32_t head_ = 0;   //!< oldest occupied slot
+    std::uint32_t count_ = 0;  //!< occupied slots
     std::function<void()> notify_;
     std::uint64_t drops_ = 0;
     std::uint64_t bytesIn_ = 0;

@@ -83,6 +83,21 @@ EnergyLedger::joules(const std::string &name) const
 }
 
 double
+EnergyLedger::joulesPrefix(const std::string &prefix) const
+{
+    double j = 0.0;
+    for (const Account &a : accounts_) {
+        if (a.name == prefix ||
+            (a.name.size() > prefix.size() + 1 &&
+             a.name.compare(0, prefix.size(), prefix) == 0 &&
+             a.name[prefix.size()] == '.')) {
+            j += a.window_j;
+        }
+    }
+    return j;
+}
+
+double
 EnergyLedger::totalJ() const
 {
     double j = 0.0;

@@ -88,6 +88,15 @@ class EnergyLedger
     /** Window energy of @p name; 0 for unknown accounts. */
     double joules(const std::string &name) const;
 
+    /**
+     * Window energy summed over @p prefix: the account named exactly
+     * @p prefix plus every "<prefix>.<sub>" account. Lets component
+     * reads (e.g. "snic_cpu") work whether the component is one
+     * aggregate account or governor-armed per-core sub-accounts
+     * ("snic_cpu.core0", ...).
+     */
+    double joulesPrefix(const std::string &prefix) const;
+
     /** Literal sum of every account's window energy. */
     double totalJ() const;
 

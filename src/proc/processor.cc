@@ -131,9 +131,28 @@ PollCore::setStalled(bool stalled, double power_frac)
 }
 
 void
+PollCore::setParked(bool parked)
+{
+    if (parked_ == parked)
+        return;
+    parked_ = parked;
+    if (parked && !busy_ && ring_.empty()) {
+        // Idle and empty: deep sleep right now, independent of the
+        // SleepPolicy (the governor IS the sleep decision here). A
+        // busy or backlogged core keeps serving; finish() drops it
+        // into deep sleep once the ring drains.
+        if (sleepEvent_.scheduled())
+            eq_.deschedule(&sleepEvent_);
+        sleeping_ = true;
+        setPowerLevel(0.0);
+    }
+}
+
+void
 PollCore::forceWake()
 {
-    if (stalled_ || busy_)
+    // A parked core stays asleep (the governor owns it: unpark first).
+    if (stalled_ || busy_ || parked_)
         return;
     if (sleepEvent_.scheduled())
         eq_.deschedule(&sleepEvent_);
@@ -167,6 +186,7 @@ PollCore::startNext()
     busy_ = true;
     setPowerLevel(1.0);
     busyTime_.set(1.0, eq_.now());
+    busyMono_.set(1.0, eq_.now());
     obs::tracePacket(trace_, eq_.now(), pkt->id,
                      obs::TracePoint::ServiceStart, traceLane_,
                      traceCore_);
@@ -199,12 +219,17 @@ PollCore::finish(net::PacketPtr pkt)
 
     busy_ = false;
     busyTime_.set(0.0, eq_.now());
+    busyMono_.set(0.0, eq_.now());
     if (stalled_) {
         setPowerLevel(stallFrac_);
         return;
     }
     if (!ring_.empty()) {
         startNext();
+    } else if (parked_) {
+        // Governor-parked and finally drained: deep sleep.
+        sleeping_ = true;
+        setPowerLevel(0.0);
     } else {
         setPowerLevel(idleLevel());
         goIdle();
@@ -216,6 +241,12 @@ PollCore::goIdle()
 {
     if (cfg_.sleep.enabled && !sleeping_ && !sleepEvent_.scheduled())
         eq_.scheduleIn(&sleepEvent_, cfg_.sleep.sleep_after);
+}
+
+double
+PollCore::busySecondsNow() const
+{
+    return busyMono_.integral(eq_.now()) / static_cast<double>(kSec);
 }
 
 void
@@ -438,6 +469,11 @@ Processor::Processor(EventQueue &eq, Config cfg,
     cc.service_mac = cfg_.service_mac;
     cc.service_ip = cfg_.service_ip;
 
+    if (cfg_.governor.enabled) {
+        groupTable_ = std::make_unique<FlowGroupTable>(
+            cfg_.governor.groups, cfg_.cores);
+    }
+
     for (unsigned i = 0; i < cfg_.cores; ++i) {
         rings_.push_back(
             std::make_unique<nic::DpdkRing>(cfg_.ring_descriptors));
@@ -446,7 +482,24 @@ Processor::Processor(EventQueue &eq, Config cfg,
         nic::DpdkRing *ring = rings_.back().get();
         PollCore *core = cores_.back().get();
         ring->setNotify([core] { core->onWork(); });
-        rss_.addQueue(ring);
+        if (groupTable_ != nullptr)
+            groupTable_->addQueue(ring);
+        else
+            rss_.addQueue(ring);
+    }
+
+    if (groupTable_ != nullptr) {
+        std::vector<PollCore *> gov_cores;
+        std::vector<nic::DpdkRing *> gov_rings;
+        gov_cores.reserve(cores_.size());
+        gov_rings.reserve(rings_.size());
+        for (const auto &c : cores_)
+            gov_cores.push_back(c.get());
+        for (const auto &r : rings_)
+            gov_rings.push_back(r.get());
+        governor_ = std::make_unique<CoreGovernor>(
+            eq, cfg_.governor, *groupTable_, std::move(gov_cores),
+            std::move(gov_rings));
     }
 
     if (cfg_.dvfs.enabled) {
@@ -473,8 +526,11 @@ Processor::~Processor()
 net::PacketSink &
 Processor::input()
 {
-    return accel_ != nullptr ? accel_->input()
-                             : static_cast<net::PacketSink &>(rss_);
+    if (accel_ != nullptr)
+        return accel_->input();
+    if (groupTable_ != nullptr)
+        return *groupTable_;
+    return rss_;
 }
 
 std::uint32_t
@@ -550,6 +606,66 @@ double
 Processor::accelCurrentW() const
 {
     return accel_ != nullptr ? accel_->accelCurrentW() : 0.0;
+}
+
+double
+Processor::coreJoulesNow(unsigned idx) const
+{
+    return idx < cores_.size() ? cores_[idx]->joulesNow() : 0.0;
+}
+
+double
+Processor::coreCurrentW(unsigned idx) const
+{
+    return idx < cores_.size() ? cores_[idx]->currentW() : 0.0;
+}
+
+unsigned
+Processor::governorActiveCores() const
+{
+    return governor_ != nullptr ? governor_->activeCores() : cfg_.cores;
+}
+
+std::uint64_t
+Processor::governorEpochs() const
+{
+    return governor_ != nullptr ? governor_->epochs() : 0;
+}
+
+std::uint64_t
+Processor::governorRebalances() const
+{
+    return governor_ != nullptr ? governor_->rebalances() : 0;
+}
+
+std::uint64_t
+Processor::governorMigrations() const
+{
+    return governor_ != nullptr ? governor_->migrations() : 0;
+}
+
+std::uint64_t
+Processor::governorParks() const
+{
+    return governor_ != nullptr ? governor_->parks() : 0;
+}
+
+std::uint64_t
+Processor::governorUnparks() const
+{
+    return governor_ != nullptr ? governor_->unparks() : 0;
+}
+
+unsigned
+Processor::governorMinActive() const
+{
+    return governor_ != nullptr ? governor_->minActiveCores() : 0;
+}
+
+unsigned
+Processor::governorMaxActive() const
+{
+    return governor_ != nullptr ? governor_->maxActiveCores() : 0;
 }
 
 void
@@ -680,6 +796,15 @@ Processor::attachObs(obs::StatsRegistry *reg, obs::PacketTracer *tracer,
                    [this] { return freqScale_; },
                    obs::StatsRegistry::ProbeOptions{series, 0.1, 1.0, 16});
     }
+    if (governor_ != nullptr) {
+        reg->probe(
+            prefix + ".governor.active_cores",
+            [this] {
+                return static_cast<double>(governor_->activeCores());
+            },
+            obs::StatsRegistry::ProbeOptions{
+                series, 1.0, static_cast<double>(cfg_.cores), 16});
+    }
     const double ring_hi =
         static_cast<double>(std::max<std::uint32_t>(
             cfg_.ring_descriptors, 2));
@@ -710,6 +835,8 @@ Processor::resetStats()
     }
     for (const auto &c : cores_)
         c->resetStats();
+    if (governor_ != nullptr)
+        governor_->resetStats();
     std::uint64_t ring_drops = 0;
     for (const auto &r : rings_)
         ring_drops += r->drops();

@@ -23,6 +23,7 @@
 #include "nic/dpdk_ring.hh"
 #include "nic/eswitch.hh"
 #include "obs/hooks.hh"
+#include "proc/governor.hh"
 #include "sim/event.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
@@ -69,6 +70,29 @@ struct DvfsPolicy
     double step = 0.2;
     std::uint32_t occ_high = 16;   //!< scale up above this occupancy
     std::uint32_t occ_low = 2;     //!< scale down below this occupancy
+};
+
+/**
+ * The server's complete power-management policy, grouped in one
+ * sub-struct: host-CPU sleep states (§V-B), SNIC-CPU DVFS (§VIII),
+ * and the adaptive core-scaling governor (ROADMAP item 3). One
+ * validate() reports every violation in a single pass; ServerConfig
+ * splices the messages into its own report.
+ */
+struct PowerPolicy
+{
+    /** Host-CPU sleep policy; applied under HAL mode (the paper
+     *  enables the DPDK power API on the host side). */
+    SleepPolicy host_sleep{true, 20 * kUs, 5 * kUs};
+
+    /** Occupancy-driven DVFS on the SNIC CPU (off by default). */
+    DvfsPolicy snic_dvfs;
+
+    /** Core-scaling governor, armed on both processors when enabled. */
+    GovernorPolicy governor;
+
+    /** Every violation in one pass; empty means valid. */
+    std::vector<std::string> validate() const;
 };
 
 /**
@@ -159,6 +183,18 @@ class PollCore
      */
     void forceWake();
 
+    /**
+     * Governor hook (COREIDLE mechanism): a parked core drops into
+     * deep sleep — zero watts — as soon as it is idle with an empty
+     * ring, even without a SleepPolicy; a busy or backlogged core
+     * drains its ring first, then sleeps. Stray packets still wake
+     * it (with the wake penalty), so nothing is ever stranded.
+     * Unparking is completed by the governor's forceWake() call.
+     */
+    void setParked(bool parked);
+
+    bool parked() const { return parked_; }
+
     std::uint64_t processedFrames() const { return frames_; }
     std::uint64_t processedBytes() const { return bytes_; }
     bool sleeping() const { return sleeping_; }
@@ -173,6 +209,16 @@ class PollCore
      * cannot bias it.
      */
     double joulesNow() const;
+
+    /**
+     * Busy time integrated since construction, seconds. Monotone
+     * (never reset, unlike utilization()'s window), so the governor
+     * can difference it per epoch across the warmup reset.
+     */
+    double busySecondsNow() const;
+
+    /** Absolute watts currently charged by this core. */
+    double currentW() const { return currentW_; }
 
     /** Attach the packet tracer: dequeue-to-service records
      *  ServiceStart and completion ServiceEnd, arg = @p core index. */
@@ -207,6 +253,7 @@ class PollCore
     net::PacketPtr inflight_;
     bool busy_ = false;
     bool sleeping_ = false;    //!< deep sleep (wake penalty applies)
+    bool parked_ = false;      //!< governor-parked (consolidation)
     bool stalled_ = false;     //!< fault-injected hang/crash
     double stallFrac_ = 1.0;   //!< power fraction while stalled
     double speedFactor_ = 1.0; //!< fault-injected slowdown (1 = nominal)
@@ -215,6 +262,7 @@ class PollCore
     std::uint64_t frames_ = 0;
     std::uint64_t bytes_ = 0;
     TimeWeighted busyTime_;   //!< 1.0 while processing, for utilization
+    TimeWeighted busyMono_;   //!< monotone busy mirror (governor signal)
     TimeWeighted wattsTw_;    //!< per-core watts mirror (energy ledger)
 
     // Observability (null/inert unless attached).
@@ -359,6 +407,9 @@ class Processor
         std::uint32_t ring_descriptors = 512;
         SleepPolicy sleep;
         DvfsPolicy dvfs;
+        /** Core-scaling governor; ignored in accelerator mode (a
+         *  pipeline has no core count to scale). */
+        GovernorPolicy governor;
         coherence::NodeId node = coherence::NodeId::Snic;
         net::MacAddr service_mac;
         net::Ipv4Addr service_ip;
@@ -401,6 +452,37 @@ class Processor
     /** Current watts matching the cpu/accel joules split. */
     double cpuCurrentW() const;
     double accelCurrentW() const;
+
+    /** Poll cores (0 in accel mode), for per-core attribution. */
+    unsigned coreCount() const
+    {
+        return static_cast<unsigned>(cores_.size());
+    }
+
+    /** One core's monotone dynamic energy, joules (energy ledger). */
+    double coreJoulesNow(unsigned idx) const;
+
+    /** One core's currently-charged watts. */
+    double coreCurrentW(unsigned idx) const;
+
+    // --- core-scaling governor ---------------------------------------
+
+    /** True when the governor is armed on this processor. */
+    bool hasGovernor() const { return governor_ != nullptr; }
+
+    /**
+     * Cores currently serving traffic: the governor's active set, or
+     * the configured count when static. The LBP's capacity signal.
+     */
+    unsigned governorActiveCores() const;
+
+    std::uint64_t governorEpochs() const;
+    std::uint64_t governorRebalances() const;
+    std::uint64_t governorMigrations() const;
+    std::uint64_t governorParks() const;
+    std::uint64_t governorUnparks() const;
+    unsigned governorMinActive() const;
+    unsigned governorMaxActive() const;
 
     /**
      * Register this processor's stats under @p prefix
@@ -478,6 +560,11 @@ class Processor
     std::vector<std::unique_ptr<nic::DpdkRing>> rings_;
     std::vector<std::unique_ptr<PollCore>> cores_;
     nic::RssDistributor rss_;
+
+    // Governor (CPU mode, cfg.governor.enabled): the indirection
+    // table replaces the static RSS spread as the input sink.
+    std::unique_ptr<FlowGroupTable> groupTable_;
+    std::unique_ptr<CoreGovernor> governor_;
 
     // Accel mode.
     std::unique_ptr<Accelerator> accel_;

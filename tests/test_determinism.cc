@@ -113,6 +113,13 @@ expectIdentical(const RunResult &a, const RunResult &b)
     EXPECT_EQ(a.fleet_backend_served_min, b.fleet_backend_served_min);
     EXPECT_EQ(a.fleet_backend_served_max, b.fleet_backend_served_max);
     expectBitEqual(a.energy_fleet_j, b.energy_fleet_j, "energy_fleet_j");
+    EXPECT_EQ(a.gov_epochs, b.gov_epochs);
+    EXPECT_EQ(a.gov_rebalances, b.gov_rebalances);
+    EXPECT_EQ(a.gov_migrations, b.gov_migrations);
+    EXPECT_EQ(a.gov_parks, b.gov_parks);
+    EXPECT_EQ(a.gov_unparks, b.gov_unparks);
+    EXPECT_EQ(a.gov_min_active_cores, b.gov_min_active_cores);
+    EXPECT_EQ(a.gov_max_active_cores, b.gov_max_active_cores);
     EXPECT_EQ(a.past_clamps, b.past_clamps);
 }
 
@@ -419,6 +426,59 @@ TEST(Determinism, UnsupportedConfigFallsBackToMonolithic)
     const RunResult b = runOnce(faultedHalConfig(), 60.0, true);
     ASSERT_GT(a.faults_injected, 0u);
     expectIdentical(a, b);
+}
+
+TEST(Determinism, GovernorSweepThreads1VsNIdentical)
+{
+    // Governor-armed points: the epoch tick, flow-group migrations,
+    // and park/unpark decisions all live on the owning processor's
+    // wheel, so sweep-level parallelism must stay bit-invisible.
+    std::vector<SweepPoint> points;
+    for (double rate : {4.0, 30.0, 70.0}) {
+        SweepPoint p;
+        p.cfg.mode = Mode::Hal;
+        p.cfg.function = funcs::FunctionId::Nat;
+        p.cfg.power.governor.enabled = true;
+        p.rate_gbps = rate;
+        p.warmup = 5 * kMs;
+        p.measure = 30 * kMs;
+        points.push_back(std::move(p));
+    }
+
+    SweepOptions serial, parallel;
+    serial.threads = 1;
+    parallel.threads = 4;
+    const auto rs = runSweep(points, serial);
+    const auto rp = runSweep(points, parallel);
+    ASSERT_EQ(rs.size(), points.size());
+    // The low-rate point must actually exercise the consolidation
+    // machinery for this identity to mean anything.
+    ASSERT_GT(rs[0].gov_epochs, 0u);
+    ASSERT_GT(rs[0].gov_parks, 0u);
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+        SCOPED_TRACE(i);
+        expectIdentical(rs[i], rp[i]);
+    }
+}
+
+TEST(Determinism, GovernorPartitionedIdentical)
+{
+    // The governor does not leave the owning processor's wheel, so a
+    // governor-armed config keeps its partitioned-engine eligibility
+    // and the time-parallel run stays bit-identical to the monolithic
+    // one across engine thread counts.
+    auto governed = [](unsigned run_threads) {
+        ServerConfig cfg = partitionableHalConfig(run_threads);
+        cfg.power.governor.enabled = true;
+        return cfg;
+    };
+    const RunResult mono = runPartitioned(governed(0), 20.0, false);
+    const RunResult part1 = runPartitioned(governed(1), 20.0, true);
+    const RunResult part3 = runPartitioned(governed(3), 20.0, true);
+    ASSERT_GT(part1.responses, 0u);
+    ASSERT_GT(part1.gov_epochs, 0u);
+    expectIdentical(part1, part3);
+    expectIdentical(mono, part1);
 }
 
 TEST(Determinism, SweepThreads1VsNIdentical)

@@ -186,9 +186,9 @@ TEST(Platforms, DvfsSavesIdlePowerWithoutLosingThroughput)
     cfg.mode = Mode::Hal;
     cfg.function = funcs::FunctionId::Nat;
 
-    cfg.snic_dvfs = false;
+    cfg.power.snic_dvfs.enabled = false;
     const auto off = runConstant(cfg, 10.0);
-    cfg.snic_dvfs = true;
+    cfg.power.snic_dvfs.enabled = true;
     const auto on = runConstant(cfg, 10.0);
 
     EXPECT_NEAR(on.delivered_gbps, off.delivered_gbps, 0.5);
@@ -202,7 +202,7 @@ TEST(Platforms, DvfsScalesUpUnderLoad)
     ServerConfig cfg;
     cfg.mode = Mode::SnicOnly;
     cfg.function = funcs::FunctionId::Nat;
-    cfg.snic_dvfs = true;
+    cfg.power.snic_dvfs.enabled = true;
     EventQueue eq;
     ServerSystem sys(eq, cfg);
     // Saturate: the governor must raise the frequency scale; sample

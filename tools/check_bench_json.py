@@ -98,6 +98,36 @@ def check_energy_sum(row, where):
              % (where, sigma, total))
 
 
+GOV_COUNTERS = (
+    "gov_rebalances",
+    "gov_migrations",
+    "gov_parks",
+    "gov_unparks",
+    "gov_min_active_cores",
+    "gov_max_active_cores",
+)
+
+
+def check_governor(row, where):
+    """Governor counters must be internally consistent: the active-core
+    extremes are ordered, and a run with zero governor epochs (governor
+    disabled) reports every governor counter as zero."""
+    values = {n: row.get(n) for n in GOV_COUNTERS + ("gov_epochs",)}
+    if not all(isinstance(v, int) and not isinstance(v, bool)
+               for v in values.values()):
+        return  # missing/mistyped fields already reported
+    if values["gov_min_active_cores"] > values["gov_max_active_cores"]:
+        fail("%s: gov_min_active_cores %d > gov_max_active_cores %d" %
+             (where, values["gov_min_active_cores"],
+              values["gov_max_active_cores"]))
+    if values["gov_epochs"] == 0:
+        for name in GOV_COUNTERS:
+            if values[name] != 0:
+                fail("%s: %s is %d but gov_epochs is 0 (governor "
+                     "counters without governor epochs)" %
+                     (where, name, values[name]))
+
+
 def check_results(path, schema):
     doc = load(path)
     if doc is None:
@@ -114,6 +144,7 @@ def check_results(path, schema):
             continue
         check_fields(row, schema["point_fields"], where)
         check_energy_sum(row, where)
+        check_governor(row, where)
 
 
 def check_stats(path, schema):
