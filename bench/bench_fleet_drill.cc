@@ -15,11 +15,14 @@
  */
 
 #include <cstdio>
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_common.hh"
 #include "fleet/fleet.hh"
+#include "net/traffic.hh"
 
 using namespace halsim;
 using namespace halsim::bench;
@@ -67,6 +70,72 @@ drill(FleetConfig cfg, double rate_gbps, Tick warmup, Tick measure,
     p.measure = measure;
     p.label = std::move(label);
     return p;
+}
+
+/**
+ * Attempt-ledger reconciliation: re-run the permanent-crash drill
+ * with warmup 0 and stats on, so the monotone per-request attempts
+ * histogram, its registry-owned `fleet.client.attempts` mirror, and
+ * the windowed sent/responses/duplicates/drops counters all describe
+ * the same drained run and must agree *exactly*. Returns false (and
+ * prints why) on any mismatch.
+ */
+bool
+reconcileAttempts(double rate_gbps, Tick measure)
+{
+    FleetConfig cfg = baseConfig();
+    cfg.faults.backendCrash(1, measure / 2); // permanent
+    cfg.obs.stats = true;
+    cfg.obs.spans = true;
+
+    EventQueue eq;
+    FleetSystem fs(eq, std::move(cfg));
+    RunResult r = fs.run(
+        std::make_unique<net::ConstantRate>(rate_gbps), 0, measure);
+
+    bool ok = true;
+    const auto check = [&ok](const char *what, std::uint64_t got,
+                             std::uint64_t want) {
+        if (got == want)
+            return;
+        std::fprintf(stderr,
+                     "attempt-ledger mismatch: %s = %llu, want %llu\n",
+                     what, static_cast<unsigned long long>(got),
+                     static_cast<unsigned long long>(want));
+        ok = false;
+    };
+
+    // Drained to quiescence, every attempt is accounted: the per-
+    // request attempts histogram sums back to the wire sends, and
+    // every send either completed, was suppressed as a duplicate, or
+    // died inside the fleet.
+    const auto sum = [](const Histogram &h) {
+        return static_cast<std::uint64_t>(h.sum());
+    };
+    check("attempts.sum()", sum(fs.client().attempts()),
+          fs.client().sends());
+    check("sent", r.sent,
+          r.responses + r.fleet_duplicates + r.drops);
+
+    const Histogram *reg =
+        fs.obs()->registry().findHistogram("fleet.client.attempts");
+    if (reg == nullptr) {
+        std::fprintf(stderr, "attempt-ledger mismatch: "
+                             "fleet.client.attempts not registered\n");
+        ok = false;
+    } else {
+        // Window-scoped mirror; with warmup 0 the window is the run.
+        check("registry fleet.client.attempts sum", sum(*reg), r.sent);
+    }
+    if (ok)
+        std::printf("\nattempt ledger reconciles: %llu attempts = "
+                    "%llu responses + %llu duplicates + %llu drops\n",
+                    static_cast<unsigned long long>(r.sent),
+                    static_cast<unsigned long long>(r.responses),
+                    static_cast<unsigned long long>(
+                        r.fleet_duplicates),
+                    static_cast<unsigned long long>(r.drops));
+    return ok;
 }
 
 } // namespace
@@ -149,5 +218,8 @@ main(int argc, char **argv)
                 results[points.size() - 2].delivered_gbps,
                 results[points.size() - 1].p99_us,
                 results[points.size() - 1].delivered_gbps);
+
+    if (!reconcileAttempts(rate, measure))
+        return 1;
     return 0;
 }

@@ -149,6 +149,18 @@ constexpr Field kFields[] = {
      [](const RunResult &r) { return r.gov_max_active_cores; }},
     {"past_clamps", Field::Type::U64, nullptr,
      [](const RunResult &r) { return r.past_clamps; }},
+    {"trace_spans", Field::Type::U64, nullptr,
+     [](const RunResult &r) { return r.trace_spans; }},
+    {"fr_dumps", Field::Type::U64, nullptr,
+     [](const RunResult &r) { return r.fr_dumps; }},
+    {"fr_trigger_fault", Field::Type::U64, nullptr,
+     [](const RunResult &r) { return r.fr_trigger_fault; }},
+    {"fr_trigger_slo", Field::Type::U64, nullptr,
+     [](const RunResult &r) { return r.fr_trigger_slo; }},
+    {"fr_trigger_shed", Field::Type::U64, nullptr,
+     [](const RunResult &r) { return r.fr_trigger_shed; }},
+    {"fr_trigger_gov", Field::Type::U64, nullptr,
+     [](const RunResult &r) { return r.fr_trigger_gov; }},
 };
 
 } // namespace

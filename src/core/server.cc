@@ -86,6 +86,17 @@ ServerConfig::validate() const
         if (obs.trace && obs.trace_sample_every == 0)
             fail("obs.trace_sample_every must be > 0 when obs.trace "
                  "is on");
+        if (obs.spans && obs.span_capacity == 0)
+            fail("obs.span_capacity must be > 0 when obs.spans is on");
+        if (obs.spans && obs.span_sample_every == 0)
+            fail("obs.span_sample_every must be > 0 when obs.spans "
+                 "is on");
+        if (obs.flightrec && obs.fr_capacity == 0)
+            fail("obs.fr_capacity must be > 0 when obs.flightrec "
+                 "is on");
+        if (obs.flightrec && obs.fr_max_dumps == 0)
+            fail("obs.fr_max_dumps must be > 0 when obs.flightrec "
+                 "is on");
     }
 
     // The power-policy sub-struct validates itself (same
@@ -564,6 +575,33 @@ ServerSystem::buildObs()
             merger_->setTrace(tr, obs::laneId(Lane::Merger), &eq_);
     }
 
+    obs::SpanTracer *sp = obs_->spans();
+    obs::FlightRecorder *fr = obs_->flightRecorder();
+    if (sp != nullptr || fr != nullptr) {
+        const std::uint8_t govLane =
+            obs::spanLaneId(obs::SpanLane::Governor);
+        const std::uint8_t srvLane =
+            obs::spanLaneId(obs::SpanLane::Server);
+        if (sp != nullptr) {
+            sp->setLaneName(govLane, "governor");
+            sp->setLaneName(srvLane, "server");
+        }
+        if (fr != nullptr) {
+            fr->setLaneName(govLane, "governor");
+            fr->setLaneName(srvLane, "server");
+        }
+        if (snic_ != nullptr && snic_->coreGovernor() != nullptr)
+            snic_->coreGovernor()->attachSpans(sp, fr, govLane);
+        if (host_ != nullptr && host_->coreGovernor() != nullptr)
+            host_->coreGovernor()->attachSpans(sp, fr, govLane);
+    }
+    if (fr != nullptr && slo_ != nullptr) {
+        slo_->setOnViolation([this, fr](Tick, double p99_us) {
+            obs::frTrigger(fr, eq_.now(), obs::FrTrigger::Slo,
+                           static_cast<std::uint32_t>(p99_us));
+        });
+    }
+
     obs::StatsRegistry *reg = cfg_.obs.stats ? &obs_->registry() : nullptr;
 
     if (snic_ != nullptr) {
@@ -635,6 +673,40 @@ ServerSystem::buildObs()
         if (host_ != nullptr)
             n += host_->governorActiveCores();
         return static_cast<double>(n);
+    });
+
+    // Flight-recorder health — unconditional and null-safe like the
+    // governor block above, so the paths the bench schema requires
+    // exist in every server-rooted stats artifact (zero when off).
+    const auto frCount =
+        [this](std::uint64_t (obs::FlightRecorder::*read)() const) {
+            const obs::FlightRecorder *f = obs_->flightRecorder();
+            return f != nullptr ? (f->*read)() : 0;
+        };
+    reg->fnCounter("server.flightrec.recorded", [frCount] {
+        return frCount(&obs::FlightRecorder::recorded);
+    });
+    reg->fnCounter("server.flightrec.dumps", [frCount] {
+        return frCount(&obs::FlightRecorder::dumps);
+    });
+    reg->fnCounter("server.flightrec.dumps_dropped", [frCount] {
+        return frCount(&obs::FlightRecorder::dumpsDropped);
+    });
+    const auto frTriggers = [this](obs::FrTrigger t) {
+        const obs::FlightRecorder *f = obs_->flightRecorder();
+        return f != nullptr ? f->triggers(t) : 0;
+    };
+    reg->fnCounter("server.flightrec.triggers_fault", [frTriggers] {
+        return frTriggers(obs::FrTrigger::Fault);
+    });
+    reg->fnCounter("server.flightrec.triggers_slo", [frTriggers] {
+        return frTriggers(obs::FrTrigger::Slo);
+    });
+    reg->fnCounter("server.flightrec.triggers_shed", [frTriggers] {
+        return frTriggers(obs::FrTrigger::Shed);
+    });
+    reg->fnCounter("server.flightrec.triggers_gov", [frTriggers] {
+        return frTriggers(obs::FrTrigger::Gov);
     });
 
     if (eswitch_ != nullptr) {
@@ -883,6 +955,12 @@ ServerSystem::run(std::unique_ptr<net::RateProcess> rate, Tick warmup,
             };
             fh.lbp_stalled = [this](bool s) { lbp_->setStalled(s); };
         }
+        fh.on_inject = [this](const fault::FaultEvent &ev) {
+            obs::frTrigger(obs_ != nullptr ? obs_->flightRecorder()
+                                           : nullptr,
+                           eq_.now(), obs::FrTrigger::Fault,
+                           ev.index);
+        };
         injector_ = std::make_unique<fault::FaultInjector>(
             eq_, cfg_.faults, std::move(fh));
         injector_->start(eq_.now());
@@ -928,6 +1006,10 @@ ServerSystem::run(std::unique_ptr<net::RateProcess> rate, Tick warmup,
         obs_->registry().resetAll();
         if (obs_->tracer() != nullptr)
             obs_->tracer()->clear();
+        if (obs_->spans() != nullptr)
+            obs_->spans()->clear();
+        if (obs_->flightRecorder() != nullptr)
+            obs_->flightRecorder()->clear();
         obs_->startSampling(end);
     }
 
@@ -1054,6 +1136,33 @@ ServerSystem::run(std::unique_ptr<net::RateProcess> rate, Tick warmup,
     if (lbp_ != nullptr)
         r.ctrl_updates_dropped = lbp_->updatesDropped();
     r.past_clamps = pastClamps();
+
+    // --- distributed tracing / flight recorder (zero when off) -------
+    if (obs_ != nullptr) {
+        if (obs::SpanTracer *sp = obs_->spans(); sp != nullptr) {
+            // Re-emit the packet-stage records as Server-lane span
+            // instants so one Chrome document shows a sampled
+            // request's governor decisions next to its pipeline
+            // stages.
+            if (obs_->tracer() != nullptr) {
+                sp->bridgeStages(
+                    *obs_->tracer(),
+                    obs::spanLaneId(obs::SpanLane::Server));
+            }
+            r.trace_spans = sp->recorded();
+        }
+        if (obs::FlightRecorder *f = obs_->flightRecorder();
+            f != nullptr) {
+            // The drain already ran any scheduled flush; this only
+            // closes dumps whose post window outlived the run.
+            f->finalizePending(eq_.now());
+            r.fr_dumps = f->dumps();
+            r.fr_trigger_fault = f->triggers(obs::FrTrigger::Fault);
+            r.fr_trigger_slo = f->triggers(obs::FrTrigger::Slo);
+            r.fr_trigger_shed = f->triggers(obs::FrTrigger::Shed);
+            r.fr_trigger_gov = f->triggers(obs::FrTrigger::Gov);
+        }
+    }
 
     // --- core-scaling governor (zero when unarmed) -------------------
     r.gov_epochs = (snic_ != nullptr ? snic_->governorEpochs() : 0) +

@@ -254,6 +254,14 @@ struct RunResult
      */
     std::uint64_t past_clamps = 0;
 
+    // --- distributed tracing / flight recorder (zero when off) --------
+    std::uint64_t trace_spans = 0;       //!< span records written
+    std::uint64_t fr_dumps = 0;          //!< flight-recorder dumps taken
+    std::uint64_t fr_trigger_fault = 0;  //!< fault-injection triggers
+    std::uint64_t fr_trigger_slo = 0;    //!< SLO epoch-violation triggers
+    std::uint64_t fr_trigger_shed = 0;   //!< shed-watermark triggers
+    std::uint64_t fr_trigger_gov = 0;    //!< governor-storm triggers
+
     /**
      * Loss fraction over the measurement window. Packets in flight at
      * the window boundary are accounted explicitly (they were neither

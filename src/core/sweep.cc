@@ -9,6 +9,7 @@
 #include "funcs/registry.hh"
 #include "obs/registry.hh"
 #include "obs/report.hh"
+#include "obs/span.hh"
 #include "sim/parallel.hh"
 
 namespace halsim::core {
@@ -32,14 +33,29 @@ runSweep(const std::vector<SweepPoint> &points, const SweepOptions &opts)
 {
     const bool want_stats = !opts.stats_path.empty();
     const bool want_trace = !opts.trace_path.empty();
+    const bool want_spans = !opts.span_path.empty();
+    const bool want_fr = !opts.flightrec_path.empty();
 
     std::vector<RunResult> results(points.size());
     std::vector<std::string> stats(points.size());
     std::vector<std::string> traces(points.size());
+    std::vector<std::string> spans(points.size());
+    std::vector<std::string> frs(points.size());
     parallelFor(points.size(), opts.threads, [&](std::size_t i) {
         SweepPoint p = points[i];
         p.cfg.obs.stats = p.cfg.obs.stats || want_stats;
-        p.cfg.obs.trace = p.cfg.obs.trace || want_trace;
+        // Server-side span content is the bridged packet-stage
+        // records, so --trace-spans needs the packet tracer live too.
+        p.cfg.obs.trace = p.cfg.obs.trace || want_trace || want_spans;
+        p.cfg.obs.spans = p.cfg.obs.spans || want_spans;
+        if (want_fr) {
+            p.cfg.obs.flightrec = true;
+            if (opts.fr_armed != 0)
+                p.cfg.obs.fr_armed = opts.fr_armed;
+            else if (p.cfg.obs.fr_armed == 0)
+                p.cfg.obs.fr_armed =
+                    (1u << obs::kFrTriggerKinds) - 1;
+        }
         if (opts.slo_p99_us > 0.0 && !p.cfg.slo.enabled())
             p.cfg.slo.target_p99_us = opts.slo_p99_us;
         applyPowerFlags(opts, p.cfg);
@@ -67,23 +83,58 @@ runSweep(const std::vector<SweepPoint> &points, const SweepOptions &opts)
                 os, static_cast<int>(i), first);
             traces[i] = os.str();
         }
+        if (want_spans && sys.obs() != nullptr &&
+            sys.obs()->spans() != nullptr) {
+            std::ostringstream os;
+            bool first = true;
+            sys.obs()->spans()->writeChromeEvents(
+                os, static_cast<int>(i), first);
+            spans[i] = os.str();
+        }
+        if (want_fr && sys.obs() != nullptr &&
+            sys.obs()->flightRecorder() != nullptr) {
+            std::ostringstream os;
+            sys.obs()->flightRecorder()->writeJson(os);
+            frs[i] = os.str();
+        }
     });
 
     if (!opts.json_path.empty())
         writeSweepJson(opts.json_path, opts.bench_name, points, results,
                        opts.threads);
-    if (want_stats || want_trace) {
+    if (want_stats || want_trace || want_spans || want_fr) {
         obs::SweepReport rep(opts.bench_name, opts.threads);
+        if (!points.empty()) {
+            rep.setTraceMetadata(modeName(points[0].cfg.mode),
+                                 points[0].cfg.seed);
+        }
         for (std::size_t i = 0; i < points.size(); ++i) {
             if (want_stats)
                 rep.addStats(points[i].label, stats[i]);
             if (want_trace)
                 rep.addTraceEvents(traces[i]);
+            if (want_fr)
+                rep.addFlightRec(points[i].label, frs[i]);
         }
         if (want_stats)
             rep.saveStatsJson(opts.stats_path);
         if (want_trace)
             rep.saveTraceJson(opts.trace_path);
+        if (want_fr)
+            rep.saveFlightRecJson(opts.flightrec_path);
+        if (want_spans) {
+            // Span events live in their own document: span rows use
+            // the same pid space as the packet-stage rows, so merging
+            // them into the --trace artifact would collide tids.
+            obs::SweepReport spanRep(opts.bench_name, opts.threads);
+            if (!points.empty()) {
+                spanRep.setTraceMetadata(
+                    modeName(points[0].cfg.mode), points[0].cfg.seed);
+            }
+            for (std::size_t i = 0; i < points.size(); ++i)
+                spanRep.addTraceEvents(spans[i]);
+            spanRep.saveTraceJson(opts.span_path);
+        }
     }
     return results;
 }
@@ -205,6 +256,51 @@ registerSweepFlags(ArgRegistrar &reg, SweepOptions &opts)
                   opts.trace_path = v;
                   return {};
               });
+    reg.value("--trace-spans", "PATH",
+              "write the request-span Chrome trace_event JSON here",
+              [&opts](const std::string &v) -> std::string {
+                  opts.span_path = v;
+                  return {};
+              });
+    reg.value("--flightrec", "PATH",
+              "enable the flight recorder and write its dumps here",
+              [&opts](const std::string &v) -> std::string {
+                  opts.flightrec_path = v;
+                  return {};
+              });
+    reg.value(
+        "--fr-trigger", "LIST",
+        "arm flight-recorder triggers: comma-separated subset of "
+        "fault,slo,shed,gov, or all",
+        [&opts](const std::string &v) -> std::string {
+            std::uint32_t mask = 0;
+            std::size_t pos = 0;
+            for (;;) {
+                const std::size_t comma = v.find(',', pos);
+                const std::string tok =
+                    comma == std::string::npos
+                        ? v.substr(pos)
+                        : v.substr(pos, comma - pos);
+                if (tok == "all")
+                    mask |= (1u << obs::kFrTriggerKinds) - 1;
+                else if (tok == "fault")
+                    mask |= obs::frTriggerBit(obs::FrTrigger::Fault);
+                else if (tok == "slo")
+                    mask |= obs::frTriggerBit(obs::FrTrigger::Slo);
+                else if (tok == "shed")
+                    mask |= obs::frTriggerBit(obs::FrTrigger::Shed);
+                else if (tok == "gov")
+                    mask |= obs::frTriggerBit(obs::FrTrigger::Gov);
+                else
+                    return "unknown trigger '" + tok +
+                           "' (want fault, slo, shed, gov, or all)";
+                if (comma == std::string::npos)
+                    break;
+                pos = comma + 1;
+            }
+            opts.fr_armed = mask;
+            return {};
+        });
     reg.value("--slo-p99", "US",
               "arm the SLO monitor at this p99 target (microseconds)",
               [&opts](const std::string &v) -> std::string {

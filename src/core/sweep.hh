@@ -15,6 +15,7 @@
 #ifndef HALSIM_CORE_SWEEP_HH
 #define HALSIM_CORE_SWEEP_HH
 
+#include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <memory>
@@ -60,6 +61,17 @@ struct SweepOptions
     /** When non-empty, enable tracing and write a Chrome
      *  trace_event JSON here (one pid per sweep point). */
     std::string trace_path;
+    /** When non-empty, enable request-span tracing and write the
+     *  merged Chrome span document here (one pid per point). */
+    std::string span_path;
+    /** When non-empty, enable the flight recorder and write its
+     *  dump artifact here ({"bench","points":[{"label",
+     *  "flightrec":{...}}]}). */
+    std::string flightrec_path;
+    /** Armed flight-recorder trigger mask from `--fr-trigger`
+     *  (obs::frTriggerBit bits); 0 arms every trigger whenever the
+     *  flight recorder is forced on by @ref flightrec_path. */
+    std::uint32_t fr_armed = 0;
     /** When > 0, arm the SLO monitor at this p99 target for every
      *  point that does not already set its own target. */
     double slo_p99_us = 0.0;
@@ -125,7 +137,8 @@ class ArgRegistrar
 /**
  * Register the shared sweep/CLI flag set against @p opts:
  * `--threads N|all`, `--json PATH`, `--stats-out PATH`,
- * `--trace PATH`, `--slo-p99 US`, `--governor on|off`, and
+ * `--trace PATH`, `--trace-spans PATH`, `--flightrec PATH`,
+ * `--fr-trigger LIST`, `--slo-p99 US`, `--governor on|off`, and
  * `--gov-epoch US`.
  */
 void registerSweepFlags(ArgRegistrar &reg, SweepOptions &opts);
@@ -144,9 +157,10 @@ void applyPowerFlags(const SweepOptions &opts, ServerConfig &cfg);
 /**
  * Run every point (possibly in parallel) and return results in input
  * order. Writes the JSON artifacts named by opts.json_path /
- * opts.stats_path / opts.trace_path; the latter two force the
- * corresponding ObsConfig flag on for every point. Artifacts are
- * byte-deterministic for a given point list (no wall-clock content).
+ * opts.stats_path / opts.trace_path / opts.span_path /
+ * opts.flightrec_path; all but the first force the corresponding
+ * ObsConfig flag on for every point. Artifacts are byte-deterministic
+ * for a given point list (no wall-clock content).
  */
 std::vector<RunResult> runSweep(const std::vector<SweepPoint> &points,
                                 const SweepOptions &opts = {});

@@ -262,6 +262,8 @@ FaultInjector::fire(Scheduled &s)
         s.applied = true;
         ++injected_;
         ++active_;
+        if (hooks_.on_inject)
+            hooks_.on_inject(s.ev);
     } else {
         ++skipped_;
     }

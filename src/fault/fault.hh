@@ -184,6 +184,9 @@ struct FaultHooks
     std::function<void(double, Rng *)> probe_impair;
     /** Restore the health-probe channel to nominal. */
     std::function<void()> probe_restore;
+    /** Observer: a fault was applied (after the state change). Used
+     *  by the flight recorder; must be read-only w.r.t. the sim. */
+    std::function<void(const FaultEvent &)> on_inject;
 };
 
 /**

@@ -34,19 +34,38 @@ Backend::accept(net::PacketPtr pkt)
 {
     if (crashed_) {
         ++crashLost_;
+        obs::spanRecord(spans_, fr_, eq_.now(), pkt->id,
+                        obs::SpanKind::Drop, obs::SpanPhase::Instant,
+                        spanLane_, cfg_.index, 0);
         return;
     }
     const std::uint32_t occ = occupancy();
     if (occ >= cfg_.ring_capacity) {
         ++ringDrops_;
+        obs::spanRecord(spans_, fr_, eq_.now(), pkt->id,
+                        obs::SpanKind::Drop, obs::SpanPhase::Instant,
+                        spanLane_, cfg_.index, 1);
         return;
     }
     // Admission control: early-drop before the ring fills so queueing
     // delay for admitted requests stays bounded under a retry storm.
     if (cfg_.shed_watermark > 0 && occ >= cfg_.shed_watermark) {
         ++sheds_;
+        obs::spanRecord(spans_, fr_, eq_.now(), pkt->id,
+                        obs::SpanKind::Shed, obs::SpanPhase::Instant,
+                        spanLane_, cfg_.index, occ);
+        if (!shedding_) {
+            // Upward watermark crossing: one black-box trigger per
+            // overload episode, not one per shed packet.
+            shedding_ = true;
+            obs::frTrigger(fr_, eq_.now(), obs::FrTrigger::Shed,
+                           cfg_.index);
+        }
         return;
     }
+    obs::spanRecord(spans_, fr_, eq_.now(), pkt->id,
+                    obs::SpanKind::BackendQueue, obs::SpanPhase::Begin,
+                    spanLane_, cfg_.index, occ + 1);
     queue_.push_back(std::move(pkt));
     tryDispatch();
 }
@@ -57,8 +76,16 @@ Backend::tryDispatch()
     while (!stalled_ && busy_ < cfg_.cores && !queue_.empty()) {
         net::PacketPtr pkt = std::move(queue_.front());
         queue_.pop_front();
+        if (shedding_ && occupancy() < cfg_.shed_watermark)
+            shedding_ = false; // overload episode over; re-arm
         ++busy_;
         updatePower();
+        obs::spanRecord(spans_, fr_, eq_.now(), pkt->id,
+                        obs::SpanKind::BackendQueue, obs::SpanPhase::End,
+                        spanLane_, cfg_.index);
+        obs::spanRecord(spans_, fr_, eq_.now(), pkt->id,
+                        obs::SpanKind::BackendService,
+                        obs::SpanPhase::Begin, spanLane_, cfg_.index);
         const Tick service =
             cfg_.service_overhead +
             transferTicks(pkt->size(), cfg_.core_rate_gbps);
@@ -81,6 +108,9 @@ Backend::complete(std::uint64_t incarnation, net::PacketPtr pkt)
     --busy_;
     ++served_;
     servedBytes_ += pkt->size();
+    obs::spanRecord(spans_, fr_, eq_.now(), pkt->id,
+                    obs::SpanKind::BackendService, obs::SpanPhase::End,
+                    spanLane_, cfg_.index);
 
     // Turn the request around with real header rewrites: the backend
     // answers as its service identity, back to the recorded client.
@@ -110,10 +140,15 @@ Backend::crash()
     crashed_ = true;
     stalled_ = false;
     // Everything queued or on a core dies with the node.
-    crashLost_ += queue_.size() + busy_;
+    const std::uint32_t lost =
+        static_cast<std::uint32_t>(queue_.size() + busy_);
+    crashLost_ += lost;
     queue_.clear();
     busy_ = 0;
     ++incarnation_;
+    shedding_ = false;
+    obs::spanMark(spans_, fr_, eq_.now(), obs::SpanKind::Drop,
+                  spanLane_, cfg_.index, lost);
     updatePower();
 }
 

@@ -31,6 +31,7 @@
 
 #include "net/addr.hh"
 #include "net/packet.hh"
+#include "obs/hooks.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -55,6 +56,8 @@ class Backend : public net::PacketSink
         net::MacAddr service_mac;
         net::Ipv4Addr service_ip;
         std::string name = "backend";
+        /** Fleet index; span args identify the backend with it. */
+        unsigned index = 0;
     };
 
     Backend(EventQueue &eq, Config cfg, net::PacketSink &out);
@@ -84,6 +87,18 @@ class Backend : public net::PacketSink
 
     bool crashed() const { return crashed_; }
     bool stalled() const { return stalled_; }
+
+    /** Attach span/flight-recorder sinks (null = off): sampled
+     *  requests get queue/service spans; shed-watermark upward
+     *  crossings fire the Shed flight-recorder trigger. */
+    void
+    attachSpans(obs::SpanTracer *spans, obs::FlightRecorder *fr,
+                std::uint8_t lane)
+    {
+        spans_ = spans;
+        fr_ = fr;
+        spanLane_ = lane;
+    }
 
     // --- measurement ---------------------------------------------------
 
@@ -152,6 +167,13 @@ class Backend : public net::PacketSink
     std::uint64_t crashLost_ = 0;
 
     TimeWeighted power_;
+
+    obs::SpanTracer *spans_ = nullptr;
+    obs::FlightRecorder *fr_ = nullptr;
+    std::uint8_t spanLane_ = 0;
+    /** True while occupancy sits at/above the shed watermark; the
+     *  Shed trigger fires only on the upward crossing. */
+    bool shedding_ = false;
 };
 
 } // namespace halsim::fleet

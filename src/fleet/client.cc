@@ -66,6 +66,8 @@ FleetClient::emitOne()
     p.firstTx = now;
     // ids are strictly increasing, so the emplace always inserts.
     auto it = pending_.emplace(id, p).first;
+    obs::spanRecord(spans_, fr_, now, id, obs::SpanKind::Request,
+                    obs::SpanPhase::Begin, spanLane_, flow);
     sendAttempt(id, it->second);
 
     const Tick gap = transferTicks(cfg_.frame_bytes, rateGbps_);
@@ -94,6 +96,8 @@ FleetClient::sendAttempt(std::uint64_t id, Pending &p)
 
     ++sends_;
     sentBytes_ += pkt->size();
+    obs::spanRecord(spans_, fr_, eq_.now(), id, obs::SpanKind::Attempt,
+                    obs::SpanPhase::Begin, spanLane_, p.attempt);
     sink_.accept(std::move(pkt));
 
     if (cfg_.retry.enabled()) {
@@ -112,11 +116,27 @@ FleetClient::onTimeout(std::uint64_t id, unsigned attempt)
     ++timeouts_;
     Pending &p = it->second;
     if (p.retriesUsed >= cfg_.retry.max_retries) {
+        const std::uint32_t attempts = p.retriesUsed + 1;
+        obs::spanRecord(spans_, fr_, eq_.now(), id,
+                        obs::SpanKind::Attempt, obs::SpanPhase::End,
+                        spanLane_, p.attempt, 1);
+        obs::spanRecord(spans_, fr_, eq_.now(), id, obs::SpanKind::Drop,
+                        obs::SpanPhase::Instant, spanLane_, attempts);
+        obs::spanRecord(spans_, fr_, eq_.now(), id,
+                        obs::SpanKind::Request, obs::SpanPhase::End,
+                        spanLane_, attempts);
         ++failed_;
+        attempts_.sample(static_cast<double>(attempts));
+        if (attemptsSink_ != nullptr)
+            attemptsSink_->sample(static_cast<double>(attempts));
         pending_.erase(it);
         return;
     }
     const Tick backoff = cfg_.retry.backoffFor(p.retriesUsed);
+    // Attempt End args: (attempt index, backoff before the retry, us).
+    obs::spanRecord(spans_, fr_, eq_.now(), id, obs::SpanKind::Attempt,
+                    obs::SpanPhase::End, spanLane_, p.attempt,
+                    static_cast<std::uint32_t>(backoff / kUs));
     eq_.scheduleFnIn([this, id] { retransmit(id); }, backoff);
 }
 
@@ -141,6 +161,9 @@ FleetClient::accept(net::PacketPtr pkt)
         // Late original racing a served retry (or a response past a
         // failed request): suppressed, never double-counted.
         ++duplicates_;
+        obs::spanRecord(spans_, fr_, eq_.now(), pkt->id,
+                        obs::SpanKind::Duplicate,
+                        obs::SpanPhase::Instant, spanLane_);
         return;
     }
     const Tick now = eq_.now();
@@ -149,6 +172,16 @@ FleetClient::accept(net::PacketPtr pkt)
     obs::sloRecord(slo_, now, lat);
     delivered_.add(pkt->size());
     ++completions_;
+    const std::uint32_t attempts = it->second.retriesUsed + 1;
+    obs::spanRecord(spans_, fr_, now, pkt->id, obs::SpanKind::Attempt,
+                    obs::SpanPhase::End, spanLane_,
+                    it->second.attempt);
+    obs::spanRecord(spans_, fr_, now, pkt->id, obs::SpanKind::Request,
+                    obs::SpanPhase::End, spanLane_, attempts,
+                    static_cast<std::uint32_t>(lat / kUs));
+    attempts_.sample(static_cast<double>(attempts));
+    if (attemptsSink_ != nullptr)
+        attemptsSink_->sample(static_cast<double>(attempts));
     pending_.erase(it);
 }
 

@@ -29,6 +29,7 @@
 #include "net/client.hh"
 #include "net/packet.hh"
 #include "net/traffic.hh"
+#include "obs/hooks.hh"
 #include "obs/slo.hh"
 #include "sim/event.hh"
 #include "sim/event_queue.hh"
@@ -72,6 +73,22 @@ class FleetClient : public net::PacketSink
 
     void setSlo(obs::SloMonitor *m) { slo_ = m; }
 
+    /** Attach span/flight-recorder sinks (null = off): each sampled
+     *  request gets a root Request span, per-attempt child spans,
+     *  and Duplicate instants for suppressed late responses. */
+    void
+    attachSpans(obs::SpanTracer *spans, obs::FlightRecorder *fr,
+                std::uint8_t lane)
+    {
+        spans_ = spans;
+        fr_ = fr;
+        spanLane_ = lane;
+    }
+
+    /** Mirror per-request attempt counts into a registry-owned
+     *  histogram (window-scoped; resetAll clears it). */
+    void setAttemptsSink(Histogram *h) { attemptsSink_ = h; }
+
     /** Override the rate-resample period (before start()). */
     void setResampleEpoch(Tick t) { cfg_.resample_epoch = t; }
 
@@ -98,6 +115,15 @@ class FleetClient : public net::PacketSink
     std::uint64_t failed() const { return failed_; }
     /** Requests still awaiting a response or retry. */
     std::uint64_t outstanding() const { return pending_.size(); }
+
+    /**
+     * Per-request attempt counts, sampled once per *resolved*
+     * request (completion or abandonment) with the attempts that
+     * request made. Monotone (never window-reset), so with the run
+     * drained to quiescence attempts().sum() == sends() exactly —
+     * the retry-side mirror of the sent/responses/drops ledger.
+     */
+    const Histogram &attempts() const { return attempts_; }
 
     // --- measurement window reads --------------------------------------
 
@@ -167,6 +193,14 @@ class FleetClient : public net::PacketSink
 
     Histogram latency_;
     RateMeter delivered_;
+    /** Attempts per resolved request; lo/hi sized so integer counts
+     *  up to the retry budget land in exact bins. */
+    Histogram attempts_{1.0, 1024.0, 16};
+    Histogram *attemptsSink_ = nullptr;
+
+    obs::SpanTracer *spans_ = nullptr;
+    obs::FlightRecorder *fr_ = nullptr;
+    std::uint8_t spanLane_ = 0;
 };
 
 } // namespace halsim::fleet

@@ -8,6 +8,7 @@
 #include "net/traffic.hh"
 #include "obs/registry.hh"
 #include "obs/report.hh"
+#include "obs/span.hh"
 #include "sim/parallel.hh"
 
 namespace halsim::fleet {
@@ -92,6 +93,17 @@ FleetConfig::validate() const
         if (obs.trace && obs.trace_sample_every == 0)
             fail("obs.trace_sample_every must be > 0 when obs.trace "
                  "is on");
+        if (obs.spans && obs.span_capacity == 0)
+            fail("obs.span_capacity must be > 0 when obs.spans is on");
+        if (obs.spans && obs.span_sample_every == 0)
+            fail("obs.span_sample_every must be > 0 when obs.spans "
+                 "is on");
+        if (obs.flightrec && obs.fr_capacity == 0)
+            fail("obs.fr_capacity must be > 0 when obs.flightrec "
+                 "is on");
+        if (obs.flightrec && obs.fr_max_dumps == 0)
+            fail("obs.fr_max_dumps must be > 0 when obs.flightrec "
+                 "is on");
     }
 
     return errors;
@@ -153,6 +165,7 @@ FleetSystem::FleetSystem(EventQueue &eq, FleetConfig cfg)
         bc.service_ip = net::Ipv4Addr(
             10, 0, 2, static_cast<std::uint8_t>(10 + i));
         bc.name = "backend" + std::to_string(i);
+        bc.index = i;
         backends_.push_back(
             std::make_unique<Backend>(eq_, bc, *uplinks_.back()));
 
@@ -202,6 +215,38 @@ FleetSystem::buildObs()
         return;
     obs_ = std::make_unique<obs::Observability>(eq_, cfg_.obs);
 
+    obs::SpanTracer *sp = obs_->spans();
+    obs::FlightRecorder *fr = obs_->flightRecorder();
+    if (sp != nullptr || fr != nullptr) {
+        const auto nameLane = [sp, fr](obs::SpanLane l,
+                                       const char *name) {
+            if (sp != nullptr)
+                sp->setLaneName(obs::spanLaneId(l), name);
+            if (fr != nullptr)
+                fr->setLaneName(obs::spanLaneId(l), name);
+        };
+        nameLane(obs::SpanLane::Client, "client");
+        nameLane(obs::SpanLane::Frontend, "frontend");
+        nameLane(obs::SpanLane::Backend, "backend");
+        nameLane(obs::SpanLane::Health, "health");
+        client_->attachSpans(sp, fr,
+                             obs::spanLaneId(obs::SpanLane::Client));
+        frontend_->attachSpans(
+            sp, fr, obs::spanLaneId(obs::SpanLane::Frontend));
+        for (auto &b : backends_) {
+            b->attachSpans(sp, fr,
+                           obs::spanLaneId(obs::SpanLane::Backend));
+        }
+        health_->attachSpans(sp, fr,
+                             obs::spanLaneId(obs::SpanLane::Health));
+    }
+    if (fr != nullptr && slo_ != nullptr) {
+        slo_->setOnViolation([this, fr](Tick, double p99_us) {
+            obs::frTrigger(fr, eq_.now(), obs::FrTrigger::Slo,
+                           static_cast<std::uint32_t>(p99_us));
+        });
+    }
+
     obs::StatsRegistry *reg =
         cfg_.obs.stats ? &obs_->registry() : nullptr;
     if (reg == nullptr)
@@ -223,6 +268,59 @@ FleetSystem::buildObs()
                    [this] { return client_->failed(); });
     reg->fnGauge("fleet.client.outstanding", [this] {
         return static_cast<double>(client_->outstanding());
+    });
+    // Window-scoped attempts-per-request distribution: resetAll()
+    // zeroes it at the warmup boundary; the client's own monotone
+    // histogram keeps the exact whole-run ledger.
+    client_->setAttemptsSink(
+        reg->histogram("fleet.client.attempts", 1.0, 1024.0, 16));
+
+    // Span/flight-recorder health. Null-safe reads so the paths the
+    // bench schema requires exist in every stats artifact, reading
+    // zero while spans/flightrec are off.
+    reg->fnCounter("fleet.trace.spans_recorded", [this] {
+        const obs::SpanTracer *t = obs_->spans();
+        return t != nullptr ? t->recorded() : 0;
+    });
+    reg->fnCounter("fleet.trace.spans_overwritten", [this] {
+        const obs::SpanTracer *t = obs_->spans();
+        return t != nullptr ? t->overwritten() : 0;
+    });
+    reg->fnCounter("fleet.trace.spans_retained", [this] {
+        const obs::SpanTracer *t = obs_->spans();
+        return t != nullptr
+                   ? static_cast<std::uint64_t>(t->size())
+                   : 0;
+    });
+    const auto frCount =
+        [this](std::uint64_t (obs::FlightRecorder::*read)() const) {
+            const obs::FlightRecorder *f = obs_->flightRecorder();
+            return f != nullptr ? (f->*read)() : 0;
+        };
+    reg->fnCounter("fleet.flightrec.recorded", [frCount] {
+        return frCount(&obs::FlightRecorder::recorded);
+    });
+    reg->fnCounter("fleet.flightrec.dumps", [frCount] {
+        return frCount(&obs::FlightRecorder::dumps);
+    });
+    reg->fnCounter("fleet.flightrec.dumps_dropped", [frCount] {
+        return frCount(&obs::FlightRecorder::dumpsDropped);
+    });
+    const auto frTriggers = [this](obs::FrTrigger t) {
+        const obs::FlightRecorder *f = obs_->flightRecorder();
+        return f != nullptr ? f->triggers(t) : 0;
+    };
+    reg->fnCounter("fleet.flightrec.triggers_fault", [frTriggers] {
+        return frTriggers(obs::FrTrigger::Fault);
+    });
+    reg->fnCounter("fleet.flightrec.triggers_slo", [frTriggers] {
+        return frTriggers(obs::FrTrigger::Slo);
+    });
+    reg->fnCounter("fleet.flightrec.triggers_shed", [frTriggers] {
+        return frTriggers(obs::FrTrigger::Shed);
+    });
+    reg->fnCounter("fleet.flightrec.triggers_gov", [frTriggers] {
+        return frTriggers(obs::FrTrigger::Gov);
     });
 
     reg->fnCounter("fleet.frontend.dispatched",
@@ -340,6 +438,12 @@ FleetSystem::run(std::unique_ptr<net::RateProcess> rate, Tick warmup,
         fh.probe_restore = [this] {
             health_->clearProbeImpairment();
         };
+        fh.on_inject = [this](const fault::FaultEvent &ev) {
+            obs::frTrigger(obs_ != nullptr ? obs_->flightRecorder()
+                                           : nullptr,
+                           eq_.now(), obs::FrTrigger::Fault,
+                           ev.index);
+        };
         injector_ = std::make_unique<fault::FaultInjector>(
             eq_, cfg_.faults, std::move(fh));
         injector_->start(start);
@@ -390,6 +494,10 @@ FleetSystem::run(std::unique_ptr<net::RateProcess> rate, Tick warmup,
         obs_->registry().resetAll();
         if (obs_->tracer() != nullptr)
             obs_->tracer()->clear();
+        if (obs_->spans() != nullptr)
+            obs_->spans()->clear();
+        if (obs_->flightRecorder() != nullptr)
+            obs_->flightRecorder()->clear();
         obs_->startSampling(end);
     }
 
@@ -484,6 +592,22 @@ FleetSystem::run(std::unique_ptr<net::RateProcess> rate, Tick warmup,
     r.fleet_backend_served_max = smax;
     r.past_clamps = eq_.pastClamps();
 
+    if (obs_ != nullptr) {
+        if (const obs::SpanTracer *t = obs_->spans(); t != nullptr)
+            r.trace_spans = t->recorded();
+        if (obs::FlightRecorder *f = obs_->flightRecorder();
+            f != nullptr) {
+            // The drain ran every scheduled flush; this only closes
+            // dumps whose post window outlived the whole run.
+            f->finalizePending(eq_.now());
+            r.fr_dumps = f->dumps();
+            r.fr_trigger_fault = f->triggers(obs::FrTrigger::Fault);
+            r.fr_trigger_slo = f->triggers(obs::FrTrigger::Slo);
+            r.fr_trigger_shed = f->triggers(obs::FrTrigger::Shed);
+            r.fr_trigger_gov = f->triggers(obs::FrTrigger::Gov);
+        }
+    }
+
     if (injector_ != nullptr) {
         r.faults_injected = injector_->injected();
         r.faults_reverted = injector_->reverted();
@@ -539,12 +663,25 @@ runFleetSweep(const std::vector<FleetSweepPoint> &points,
               const core::SweepOptions &opts)
 {
     const bool want_stats = !opts.stats_path.empty();
+    const bool want_spans = !opts.span_path.empty();
+    const bool want_fr = !opts.flightrec_path.empty();
 
     std::vector<core::RunResult> results(points.size());
     std::vector<std::string> stats(points.size());
+    std::vector<std::string> spans(points.size());
+    std::vector<std::string> frs(points.size());
     parallelFor(points.size(), opts.threads, [&](std::size_t i) {
         FleetSweepPoint p = points[i];
         p.cfg.obs.stats = p.cfg.obs.stats || want_stats;
+        p.cfg.obs.spans = p.cfg.obs.spans || want_spans;
+        if (want_fr) {
+            p.cfg.obs.flightrec = true;
+            if (opts.fr_armed != 0)
+                p.cfg.obs.fr_armed = opts.fr_armed;
+            else if (p.cfg.obs.fr_armed == 0)
+                p.cfg.obs.fr_armed =
+                    (1u << obs::kFrTriggerKinds) - 1;
+        }
         if (opts.slo_p99_us > 0.0 && !p.cfg.slo.enabled())
             p.cfg.slo.target_p99_us = opts.slo_p99_us;
         EventQueue eq;
@@ -556,6 +693,20 @@ runFleetSweep(const std::vector<FleetSweepPoint> &points,
             std::ostringstream os;
             sys.obs()->writeStatsJson(os);
             stats[i] = os.str();
+        }
+        if (want_spans && sys.obs() != nullptr &&
+            sys.obs()->spans() != nullptr) {
+            std::ostringstream os;
+            bool first = true;
+            sys.obs()->spans()->writeChromeEvents(
+                os, static_cast<int>(i), first);
+            spans[i] = os.str();
+        }
+        if (want_fr && sys.obs() != nullptr &&
+            sys.obs()->flightRecorder() != nullptr) {
+            std::ostringstream os;
+            sys.obs()->flightRecorder()->writeJson(os);
+            frs[i] = os.str();
         }
     });
 
@@ -570,6 +721,20 @@ runFleetSweep(const std::vector<FleetSweepPoint> &points,
         for (std::size_t i = 0; i < points.size(); ++i)
             rep.addStats(points[i].label, stats[i]);
         rep.saveStatsJson(opts.stats_path);
+    }
+    if (want_spans) {
+        obs::SweepReport rep(opts.bench_name, opts.threads);
+        if (!points.empty())
+            rep.setTraceMetadata("fleet", points[0].cfg.seed);
+        for (std::size_t i = 0; i < points.size(); ++i)
+            rep.addTraceEvents(spans[i]);
+        rep.saveTraceJson(opts.span_path);
+    }
+    if (want_fr) {
+        obs::SweepReport rep(opts.bench_name, opts.threads);
+        for (std::size_t i = 0; i < points.size(); ++i)
+            rep.addFlightRec(points[i].label, frs[i]);
+        rep.saveFlightRecJson(opts.flightrec_path);
     }
     return results;
 }

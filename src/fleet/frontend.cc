@@ -30,6 +30,9 @@ Frontend::accept(net::PacketPtr pkt)
             // Whole fleet down: nothing can take this flow.
             flows_.erase(it);
             ++unroutableDrops_;
+            obs::spanRecord(spans_, fr_, eq_.now(), pkt->id,
+                            obs::SpanKind::Drop,
+                            obs::SpanPhase::Instant, spanLane_, 0, 2);
             return;
         }
         pin(key, fs, *owner);
@@ -41,6 +44,10 @@ Frontend::accept(net::PacketPtr pkt)
     ++fs.inFlight;
     ++dispatched_;
     ++perBackend_[fs.backend];
+    obs::spanRecord(spans_, fr_, eq_.now(), pkt->id,
+                    obs::SpanKind::FrontendLookup,
+                    obs::SpanPhase::Instant, spanLane_, fs.backend,
+                    inserted ? 1 : 0);
     sinks_[fs.backend]->accept(std::move(pkt));
 }
 
@@ -63,6 +70,7 @@ void
 Frontend::onBackendDown(unsigned b)
 {
     ring_.setUp(b, false);
+    const std::uint64_t migratedBefore = flowsMigrated_;
 
     // Walk the dead backend's pinned keys, skipping entries made
     // stale by earlier migrations. Every live flow re-pins to its
@@ -91,6 +99,11 @@ Frontend::onBackendDown(unsigned b)
             drainKeys.push_back(key);
         }
     }
+
+    obs::spanMark(spans_, fr_, eq_.now(), obs::SpanKind::Failover,
+                  spanLane_, b,
+                  static_cast<std::uint32_t>(flowsMigrated_ -
+                                             migratedBefore));
 
     if (!drainKeys.empty()) {
         eq_.scheduleFnIn(

@@ -33,6 +33,7 @@
 
 #include "fleet/ring.hh"
 #include "net/packet.hh"
+#include "obs/hooks.hh"
 #include "sim/event_queue.hh"
 #include "sim/types.hh"
 
@@ -70,6 +71,18 @@ class Frontend : public net::PacketSink
     /** Backend recovered: new flows may land on it again; existing
      *  pins stay where they are (per-connection consistency). */
     void onBackendUp(unsigned b);
+
+    /** Attach span/flight-recorder sinks (null = off): each sampled
+     *  request gets a FrontendLookup instant; failover migrations
+     *  emit Failover marks. */
+    void
+    attachSpans(obs::SpanTracer *spans, obs::FlightRecorder *fr,
+                std::uint8_t lane)
+    {
+        spans_ = spans;
+        fr_ = fr;
+        spanLane_ = lane;
+    }
 
     const HashRing &ring() const { return ring_; }
 
@@ -119,6 +132,10 @@ class Frontend : public net::PacketSink
     std::uint64_t drainStarted_ = 0;
     std::uint64_t drainCompleted_ = 0;
     std::uint64_t drainTimeouts_ = 0;
+
+    obs::SpanTracer *spans_ = nullptr;
+    obs::FlightRecorder *fr_ = nullptr;
+    std::uint8_t spanLane_ = 0;
 };
 
 } // namespace halsim::fleet

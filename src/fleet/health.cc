@@ -56,6 +56,8 @@ HealthChecker::probeAll()
                 s.healthy = true;
                 s.consecOk = 0;
                 ++upTransitions_;
+                obs::spanMark(spans_, fr_, eq_.now(),
+                              obs::SpanKind::HealthUp, spanLane_, b);
                 if (onUp_)
                     onUp_(b);
             }
@@ -66,6 +68,8 @@ HealthChecker::probeAll()
                 s.healthy = false;
                 s.consecFail = 0;
                 ++downTransitions_;
+                obs::spanMark(spans_, fr_, eq_.now(),
+                              obs::SpanKind::HealthDown, spanLane_, b);
                 if (onDown_)
                     onDown_(b);
             }

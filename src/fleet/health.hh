@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "fleet/backend.hh"
+#include "obs/hooks.hh"
 #include "sim/event.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
@@ -58,6 +59,17 @@ class HealthChecker
     void setOnUp(std::function<void(unsigned)> fn)
     {
         onUp_ = std::move(fn);
+    }
+
+    /** Attach span/flight-recorder sinks (null = off): down/up
+     *  transitions emit HealthDown/HealthUp marks. */
+    void
+    attachSpans(obs::SpanTracer *spans, obs::FlightRecorder *fr,
+                std::uint8_t lane)
+    {
+        spans_ = spans;
+        fr_ = fr;
+        spanLane_ = lane;
     }
 
     /** Probe every epoch from now until @p until. */
@@ -121,6 +133,10 @@ class HealthChecker
 
     double probeLoss_ = 0.0;
     Rng *probeRng_ = nullptr;
+
+    obs::SpanTracer *spans_ = nullptr;
+    obs::FlightRecorder *fr_ = nullptr;
+    std::uint8_t spanLane_ = 0;
 
     std::uint64_t probesSent_ = 0;
     std::uint64_t probesFailed_ = 0;

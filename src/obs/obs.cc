@@ -11,6 +11,21 @@ Observability::Observability(EventQueue &eq, const ObsConfig &cfg)
         tc.sample_every = cfg_.trace_sample_every;
         tracer_ = std::make_unique<PacketTracer>(tc);
     }
+    if (cfg_.spans) {
+        SpanTracer::Config sc;
+        sc.capacity = cfg_.span_capacity;
+        sc.sample_every = cfg_.span_sample_every;
+        spans_ = std::make_unique<SpanTracer>(sc);
+    }
+    if (cfg_.flightrec) {
+        FlightRecorder::Config fc;
+        fc.capacity = cfg_.fr_capacity;
+        fc.pre = cfg_.fr_pre;
+        fc.post = cfg_.fr_post;
+        fc.armed = cfg_.fr_armed;
+        fc.max_dumps = cfg_.fr_max_dumps;
+        flightRec_ = std::make_unique<FlightRecorder>(eq_, fc);
+    }
     sampleEvent_.setCallback([this] { onSample(); });
 }
 

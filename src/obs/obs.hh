@@ -20,6 +20,7 @@
 #include <ostream>
 
 #include "obs/registry.hh"
+#include "obs/span.hh"
 #include "obs/trace.hh"
 #include "sim/event.hh"
 #include "sim/event_queue.hh"
@@ -47,7 +48,38 @@ struct ObsConfig
     /** Trace packets whose id is a multiple of this (1 = all). */
     std::uint64_t trace_sample_every = 64;
 
-    bool enabled() const { return stats || trace; }
+    /** Record sampled request-scoped spans into the span ring. */
+    bool spans = false;
+
+    /** Span ring capacity in records. */
+    std::uint32_t span_capacity = 1u << 16;
+
+    /** Trace requests whose id is a multiple of this (1 = all). */
+    std::uint64_t span_sample_every = 16;
+
+    /** Run the always-on flight recorder (black-box capture). */
+    bool flightrec = false;
+
+    /** Flight-recorder ring capacity in records. */
+    std::uint32_t fr_capacity = 1u << 14;
+
+    /** Flight-recorder capture window before a trigger. */
+    Tick fr_pre = 200 * kUs;
+
+    /** Flight-recorder capture window after a trigger. */
+    Tick fr_post = 100 * kUs;
+
+    /** Bitmask of armed FrTrigger bits (frTriggerBit()). */
+    std::uint32_t fr_armed = 0;
+
+    /** At most this many flight-recorder dumps per run. */
+    std::uint32_t fr_max_dumps = 4;
+
+    bool
+    enabled() const
+    {
+        return stats || trace || spans || flightrec;
+    }
 };
 
 class Observability
@@ -67,6 +99,17 @@ class Observability
     /** Null unless cfg.trace. */
     PacketTracer *tracer() { return tracer_.get(); }
     const PacketTracer *tracer() const { return tracer_.get(); }
+
+    /** Null unless cfg.spans. */
+    SpanTracer *spans() { return spans_.get(); }
+    const SpanTracer *spans() const { return spans_.get(); }
+
+    /** Null unless cfg.flightrec. */
+    FlightRecorder *flightRecorder() { return flightRec_.get(); }
+    const FlightRecorder *flightRecorder() const
+    {
+        return flightRec_.get();
+    }
 
     /**
      * Begin epoch-periodic probe sampling, stopping after the last
@@ -88,6 +131,8 @@ class Observability
     ObsConfig cfg_;
     StatsRegistry reg_;
     std::unique_ptr<PacketTracer> tracer_;
+    std::unique_ptr<SpanTracer> spans_;
+    std::unique_ptr<FlightRecorder> flightRec_;
     CallbackEvent sampleEvent_;
     Tick until_ = 0;
 };

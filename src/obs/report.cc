@@ -58,6 +58,14 @@ SweepReport::writeTraceJson(std::ostream &os) const
 {
     os << "{\"traceEvents\":[";
     bool first = true;
+    if (hasMeta_) {
+        os << "{\"name\":\"run_metadata\",\"ph\":\"M\",\"pid\":0,"
+              "\"tid\":0,\"args\":{\"bench\":\""
+           << jsonEscape(bench_) << "\",\"preset\":\""
+           << jsonEscape(metaPreset_) << "\",\"seed\":" << metaSeed_
+           << ",\"build\":\"" << kBuildTag << "\"}}";
+        first = false;
+    }
     for (const std::string &t : traces_) {
         if (t.empty())
             continue;
@@ -85,6 +93,25 @@ bool
 SweepReport::saveTraceJson(const std::string &path) const
 {
     return writeFile(path, *this, &SweepReport::writeTraceJson);
+}
+
+void
+SweepReport::writeFlightRecJson(std::ostream &os) const
+{
+    os << "{\"bench\":\"" << jsonEscape(bench_) << "\",\"points\":[";
+    for (std::size_t i = 0; i < flightrecs_.size(); ++i) {
+        if (i)
+            os << ",";
+        os << "{\"label\":\"" << jsonEscape(frLabels_[i])
+           << "\",\"flightrec\":" << flightrecs_[i] << "}";
+    }
+    os << "]}";
+}
+
+bool
+SweepReport::saveFlightRecJson(const std::string &path) const
+{
+    return writeFile(path, *this, &SweepReport::writeFlightRecJson);
 }
 
 } // namespace halsim::obs

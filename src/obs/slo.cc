@@ -46,8 +46,11 @@ SloMonitor::closeEpoch()
     const double p99_us =
         epochHist_.p99() / static_cast<double>(kUs);
     ++epochs_;
-    if (p99_us > cfg_.target_p99_us)
+    if (p99_us > cfg_.target_p99_us) {
         ++violations_;
+        if (onViolation_)
+            onViolation_(epochStart_ + cfg_.epoch, p99_us);
+    }
     worstP99Us_ = std::max(worstP99Us_, p99_us);
     epochHist_.reset();
 }

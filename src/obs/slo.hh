@@ -22,6 +22,8 @@
 #define HALSIM_OBS_SLO_HH
 
 #include <cstdint>
+#include <functional>
+#include <utility>
 
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -113,6 +115,19 @@ class SloMonitor
 
     double targetP99Us() const { return cfg_.target_p99_us; }
 
+    /**
+     * Observer called when an epoch closes over target, with the
+     * closing epoch's end tick and its p99 in microseconds. Fires
+     * from inside closeEpoch(), so the callback must be read-only
+     * with respect to the simulation (the flight-recorder trigger
+     * is; see DESIGN.md §16).
+     */
+    void
+    setOnViolation(std::function<void(Tick, double)> cb)
+    {
+        onViolation_ = std::move(cb);
+    }
+
   private:
     /** Close epochs until @p now falls inside the current one. */
     void rollTo(Tick now);
@@ -128,6 +143,7 @@ class SloMonitor
     std::uint64_t violations_ = 0;
     double worstP99Us_ = 0.0;
     bool finished_ = false;
+    std::function<void(Tick, double)> onViolation_;
 };
 
 /** Null-check hook matching tracePacket(): one predicted branch when

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/hooks.hh"
 #include "proc/processor.hh"
 
 namespace halsim::proc {
@@ -206,6 +207,17 @@ CoreGovernor::resetStats()
     unparks_ = 0;
     minActive_ = active_;
     maxActive_ = active_;
+    stormActs_.fill(0);
+    stormIdx_ = 0;
+}
+
+void
+CoreGovernor::attachSpans(obs::SpanTracer *spans,
+                          obs::FlightRecorder *fr, std::uint8_t lane)
+{
+    spans_ = spans;
+    fr_ = fr;
+    spanLane_ = lane;
 }
 
 void
@@ -256,6 +268,7 @@ void
 CoreGovernor::tick()
 {
     ++epochs_;
+    const std::uint64_t actsBefore = parks_ + unparks_;
     const double epoch_s =
         static_cast<double>(cfg_.epoch) / static_cast<double>(kSec);
 
@@ -343,6 +356,24 @@ CoreGovernor::tick()
     table_.resetEpoch();
     minActive_ = std::min(minActive_, active_);
     maxActive_ = std::max(maxActive_, active_);
+
+    // Epoch decision span + park/unpark storm detection (pure
+    // observers; no-ops unless spans/flight recorder are attached).
+    obs::spanMark(spans_, fr_, eq_.now(), obs::SpanKind::GovernorEpoch,
+                  spanLane_, static_cast<std::uint32_t>(action),
+                  active_);
+    const std::uint64_t acts = parks_ + unparks_;
+    stormActs_[stormIdx_] =
+        static_cast<std::uint32_t>(acts - actsBefore);
+    stormIdx_ = (stormIdx_ + 1) % stormActs_.size();
+    std::uint32_t recent = 0;
+    for (std::uint32_t a : stormActs_)
+        recent += a;
+    if (recent >= kStormThreshold) {
+        obs::frTrigger(fr_, eq_.now(), obs::FrTrigger::Gov, recent);
+        stormActs_.fill(0);
+    }
+
     eq_.scheduleIn(&tickEvent_, cfg_.epoch);
 }
 

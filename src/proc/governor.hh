@@ -26,6 +26,7 @@
 #ifndef HALSIM_PROC_GOVERNOR_HH
 #define HALSIM_PROC_GOVERNOR_HH
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -35,6 +36,11 @@
 #include "nic/dpdk_ring.hh"
 #include "sim/event.hh"
 #include "sim/event_queue.hh"
+
+namespace halsim::obs {
+class SpanTracer;
+class FlightRecorder;
+} // namespace halsim::obs
 
 namespace halsim::proc {
 
@@ -194,6 +200,12 @@ planRebalance(const GovernorPolicy &cfg, const std::vector<double> &load,
 class CoreGovernor
 {
   public:
+    /** Park/unpark storm trigger: this many actions within the last
+     *  kStormWindow epochs fires the flight recorder (thrash, not
+     *  adaptation). */
+    static constexpr std::uint32_t kStormWindow = 8;
+    static constexpr std::uint32_t kStormThreshold = 4;
+
     CoreGovernor(EventQueue &eq, GovernorPolicy cfg,
                  FlowGroupTable &table,
                  std::vector<PollCore *> cores,
@@ -202,6 +214,12 @@ class CoreGovernor
 
     CoreGovernor(const CoreGovernor &) = delete;
     CoreGovernor &operator=(const CoreGovernor &) = delete;
+
+    /** Attach span/flight-recorder sinks (null = off): every epoch
+     *  emits a GovernorEpoch mark, and a park/unpark storm fires the
+     *  Gov trigger. Read-only observers; see DESIGN.md §16. */
+    void attachSpans(obs::SpanTracer *spans, obs::FlightRecorder *fr,
+                     std::uint8_t lane);
 
     unsigned activeCores() const { return active_; }
 
@@ -249,6 +267,14 @@ class CoreGovernor
     std::uint64_t unparks_ = 0;
     unsigned minActive_;
     unsigned maxActive_;
+
+    // Span/flight-recorder sinks (null = off) and the sliding
+    // park/unpark storm window.
+    obs::SpanTracer *spans_ = nullptr;
+    obs::FlightRecorder *fr_ = nullptr;
+    std::uint8_t spanLane_ = 0;
+    std::array<std::uint32_t, kStormWindow> stormActs_{};
+    std::size_t stormIdx_ = 0;
 };
 
 } // namespace halsim::proc

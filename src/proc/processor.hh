@@ -470,6 +470,9 @@ class Processor
     /** True when the governor is armed on this processor. */
     bool hasGovernor() const { return governor_ != nullptr; }
 
+    /** The governor itself (null when static); span attachment. */
+    CoreGovernor *coreGovernor() { return governor_.get(); }
+
     /**
      * Cores currently serving traffic: the governor's active set, or
      * the configured count when static. The LBP's capacity signal.

@@ -121,6 +121,12 @@ expectIdentical(const RunResult &a, const RunResult &b)
     EXPECT_EQ(a.gov_min_active_cores, b.gov_min_active_cores);
     EXPECT_EQ(a.gov_max_active_cores, b.gov_max_active_cores);
     EXPECT_EQ(a.past_clamps, b.past_clamps);
+    EXPECT_EQ(a.trace_spans, b.trace_spans);
+    EXPECT_EQ(a.fr_dumps, b.fr_dumps);
+    EXPECT_EQ(a.fr_trigger_fault, b.fr_trigger_fault);
+    EXPECT_EQ(a.fr_trigger_slo, b.fr_trigger_slo);
+    EXPECT_EQ(a.fr_trigger_shed, b.fr_trigger_shed);
+    EXPECT_EQ(a.fr_trigger_gov, b.fr_trigger_gov);
 }
 
 /** A HAL point with a transient fault so that every fault/watchdog
@@ -347,6 +353,115 @@ TEST(Determinism, FleetSweepThreads1VsNIdentical)
     };
     EXPECT_EQ(fromPoints(as[0]), fromPoints(ap[0]));
     EXPECT_EQ(as[1], ap[1]); // stats trees
+}
+
+TEST(Determinism, SpanArtifactsIdenticalAcrossSweepThreads)
+{
+    // Span + flight-recorder artifacts from a faulted fleet sweep must
+    // be byte-identical across sweep worker counts: each point's rings
+    // live inside its own FleetSystem, and the reports serialize in
+    // input order.
+    std::vector<fleet::FleetSweepPoint> points;
+    for (double rate : {20.0, 45.0}) {
+        fleet::FleetSweepPoint p;
+        p.cfg.backends = 3;
+        p.cfg.slo.target_p99_us = 500.0;
+        p.cfg.faults.backendCrash(1, 8 * kMs); // permanent, mid-window
+        p.rate_gbps = rate;
+        p.warmup = 5 * kMs;
+        p.measure = 20 * kMs;
+        p.label = "span" + std::to_string(static_cast<int>(rate));
+        points.push_back(std::move(p));
+    }
+
+    auto artifacts = [&points](unsigned threads) {
+        const std::string base = ::testing::TempDir() + "det_span_t" +
+                                 std::to_string(threads);
+        SweepOptions opts;
+        opts.threads = threads;
+        opts.span_path = base + "_spans.json";
+        opts.flightrec_path = base + "_fr.json";
+        const auto results = fleet::runFleetSweep(points, opts);
+        auto slurp = [](const std::string &path) {
+            std::ifstream in(path, std::ios::binary);
+            std::ostringstream os;
+            os << in.rdbuf();
+            return os.str();
+        };
+        return std::make_pair(
+            results,
+            std::vector<std::string>{slurp(opts.span_path),
+                                     slurp(opts.flightrec_path)});
+    };
+
+    const auto [rs, as] = artifacts(1);
+    const auto [rp, ap] = artifacts(4);
+    ASSERT_EQ(rs.size(), points.size());
+    // The artifact flags force spans + flight recorder on, the crash
+    // must have fired a trigger, and spans must have been recorded.
+    ASSERT_GT(rs[0].trace_spans, 0u);
+    ASSERT_GT(rs[0].fr_trigger_fault, 0u);
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+        SCOPED_TRACE(i);
+        expectIdentical(rs[i], rp[i]);
+    }
+    ASSERT_FALSE(as[0].empty());
+    ASSERT_FALSE(as[1].empty());
+    EXPECT_EQ(as[0], ap[0]); // span trace
+    EXPECT_EQ(as[1], ap[1]); // flight-recorder dumps
+}
+
+TEST(Determinism, SpanArtifactsIdenticalAcrossRunThreads)
+{
+    // Enabling spans/flight recorder makes a point obs-enabled, which
+    // disqualifies it from the partitioned single-run engine — a
+    // run_threads 3 request must fall back to the monolithic engine
+    // and reproduce the run_threads 0 artifacts byte for byte.
+    std::vector<SweepPoint> points;
+    for (unsigned run_threads : {0u, 3u}) {
+        SweepPoint p;
+        p.cfg = faultedHalConfig();
+        p.cfg.run_threads = run_threads;
+        // Server-side spans come from the packet-stage bridge, so the
+        // packet tracer must be live too.
+        p.cfg.obs.trace = true;
+        p.rate_gbps = 60.0;
+        p.warmup = 5 * kMs;
+        p.measure = 20 * kMs;
+        p.label = "rt"; // same label: rows must serialize identically
+        points.push_back(std::move(p));
+    }
+
+    auto artifacts = [&points](std::size_t which) {
+        const std::string base = ::testing::TempDir() + "det_span_rt" +
+                                 std::to_string(which);
+        SweepOptions opts;
+        opts.threads = 1;
+        opts.span_path = base + "_spans.json";
+        opts.flightrec_path = base + "_fr.json";
+        std::vector<SweepPoint> one{points[which]};
+        const auto results = runSweep(one, opts);
+        auto slurp = [](const std::string &path) {
+            std::ifstream in(path, std::ios::binary);
+            std::ostringstream os;
+            os << in.rdbuf();
+            return os.str();
+        };
+        return std::make_pair(
+            results[0],
+            std::vector<std::string>{slurp(opts.span_path),
+                                     slurp(opts.flightrec_path)});
+    };
+
+    const auto [r0, a0] = artifacts(0);
+    const auto [r3, a3] = artifacts(1);
+    ASSERT_GT(r0.trace_spans, 0u);
+    ASSERT_GT(r0.fr_trigger_fault, 0u);
+    expectIdentical(r0, r3);
+    ASSERT_FALSE(a0[0].empty());
+    ASSERT_FALSE(a0[1].empty());
+    EXPECT_EQ(a0[0], a3[0]); // span trace
+    EXPECT_EQ(a0[1], a3[1]); // flight-recorder dumps
 }
 
 TEST(Determinism, BatchOnVsOffIdentical)

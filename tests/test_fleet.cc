@@ -13,11 +13,13 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "fleet/fleet.hh"
+#include "obs/span.hh"
 #include "net/client.hh"
 #include "net/packet.hh"
 #include "net/traffic.hh"
@@ -448,6 +450,67 @@ TEST(FleetDrill, CrashDrillLedgerReconcilesExactly)
     EXPECT_EQ(r.fleet_failovers, 1u);
     EXPECT_GT(r.fleet_flows_migrated, 0u);
     EXPECT_GT(r.drops, 0u); // the crash stranded real requests
+}
+
+TEST(FleetDrill, CrashTriggersOneFlightRecorderDumpWithDownSpan)
+{
+    auto cfg = drillConfig();
+    cfg.client.retry.max_retries = 5;
+    cfg.faults.backendCrash(1, 15 * kMs); // permanent, mid-window
+    cfg.obs.flightrec = true;
+    cfg.obs.fr_armed = obs::frTriggerBit(obs::FrTrigger::Fault);
+    // The health checker needs fall=3 probe epochs of 2 ms to declare
+    // the crashed backend down; a 10 ms post-trigger window captures
+    // that transition inside the dump. The window is snapshot at
+    // flush time, so the ring must hold >= the full window's records
+    // (~11 records/us at this rate) for the transition to survive.
+    cfg.obs.fr_post = 10 * kMs;
+    cfg.obs.fr_capacity = 1u << 18;
+
+    EventQueue eq;
+    FleetSystem sys(eq, std::move(cfg));
+    const auto r = sys.run(std::make_unique<net::ConstantRate>(8.0), 0,
+                           40 * kMs);
+
+    // Exactly one armed trigger fired, producing exactly one dump.
+    ASSERT_GT(r.faults_injected, 0u);
+    EXPECT_EQ(r.fr_trigger_fault, 1u);
+    EXPECT_EQ(r.fr_dumps, 1u);
+    EXPECT_EQ(r.fr_trigger_slo + r.fr_trigger_shed + r.fr_trigger_gov,
+              0u);
+
+    // The captured window must hold the backend-down transition the
+    // crash caused: the health checker's down mark lands ~6 ms after
+    // the trigger, well inside the post window.
+    ASSERT_NE(sys.obs(), nullptr);
+    const obs::FlightRecorder *fr = sys.obs()->flightRecorder();
+    ASSERT_NE(fr, nullptr);
+    std::ostringstream text, json;
+    fr->writeText(text);
+    fr->writeJson(json);
+    EXPECT_NE(text.str().find("health_down"), std::string::npos)
+        << text.str();
+    EXPECT_NE(json.str().find("\"health_down\""), std::string::npos);
+
+    // Determinism: a second identical run reproduces the dump byte
+    // for byte.
+    {
+        auto cfg2 = drillConfig();
+        cfg2.client.retry.max_retries = 5;
+        cfg2.faults.backendCrash(1, 15 * kMs);
+        cfg2.obs.flightrec = true;
+        cfg2.obs.fr_armed = obs::frTriggerBit(obs::FrTrigger::Fault);
+        cfg2.obs.fr_post = 10 * kMs;
+        cfg2.obs.fr_capacity = 1u << 18;
+        EventQueue eq2;
+        FleetSystem sys2(eq2, std::move(cfg2));
+        const auto r2 = sys2.run(
+            std::make_unique<net::ConstantRate>(8.0), 0, 40 * kMs);
+        EXPECT_EQ(r2.fr_dumps, 1u);
+        std::ostringstream json2;
+        sys2.obs()->flightRecorder()->writeJson(json2);
+        EXPECT_EQ(json.str(), json2.str());
+    }
 }
 
 TEST(FleetDrill, AllBackendsDownFailsRequestsButStillReconciles)

@@ -217,6 +217,7 @@ def check_trace(path, schema):
         fail("%s: traceEvents must be a non-empty array" % path)
         return
     phases = set(schema["event_phases"])
+    meta_names = ("thread_name", "process_name", "run_metadata")
     saw_instant = saw_meta = False
     for i, ev in enumerate(events):
         where = "%s: traceEvents[%d]" % (path, i)
@@ -234,11 +235,20 @@ def check_trace(path, schema):
             ts = ev.get("ts")
             if isinstance(ts, (int, float)) and ts < 0:
                 fail(where + ": negative ts")
-        else:
+        elif ph == "M":
             saw_meta = True
-            if ev.get("name") != "thread_name":
-                fail("%s: metadata event is not thread_name: %r" %
-                     (where, ev.get("name")))
+            if ev.get("name") not in meta_names:
+                fail("%s: metadata event is not one of %s: %r" %
+                     (where, "/".join(meta_names), ev.get("name")))
+        else:
+            # Async span ("b"/"e") and flow ("s"/"t"/"f") events from
+            # span documents are id-keyed; nesting and pairing are
+            # validated in depth by tools/check_trace_json.py.
+            if "id" not in ev:
+                fail("%s: %r event without id" % (where, ph))
+            ts = ev.get("ts")
+            if isinstance(ts, (int, float)) and ts < 0:
+                fail(where + ": negative ts")
     if not saw_instant:
         fail("%s: no instant events recorded" % path)
     if not saw_meta:
